@@ -1,0 +1,61 @@
+"""E01 — Proposition 1: every run has a quiescence point.
+
+"For every run ρ there exists a natural number m such that
+out(ρ) = ∪_{n=0}^m out(τ_n)."
+
+Workload: the flooding TC transducer and the relay transducer on
+networks of 1–5 nodes, many seeded fair runs each.  Measured: every run
+converges (the strong form of quiescence), and the recorded quiescence
+step — the last step producing a new output tuple — is a finite prefix
+position strictly before the run's end.
+"""
+
+from conftest import once
+
+from repro.core import relay_identity_transducer, transitive_closure_transducer
+from repro.db import instance, schema
+from repro.net import line, ring, round_robin, run_fair, single, star
+
+
+def _workloads():
+    tc = transitive_closure_transducer()
+    graph = instance(schema(S=2), S=[(1, 2), (2, 3), (3, 1)])
+    relay = relay_identity_transducer()
+    elements = instance(schema(S=1), S=[(1,), (2,), (3,)])
+    nets = [single(), line(2), line(3), ring(4), star(5)]
+    for net in nets:
+        yield ("tc", tc, graph, net)
+        yield ("relay", relay, elements, net)
+
+
+def test_e01_quiescence_point_exists(benchmark, report):
+    rows = []
+    all_ok = True
+
+    def run_all():
+        nonlocal all_ok
+        for name, transducer, I, net in _workloads():
+            quiescence = []
+            for seed in range(10):
+                result = run_fair(net, transducer, round_robin(I, net),
+                                  seed=seed)
+                ok = result.converged and (
+                    result.quiescence_step <= result.stats.steps
+                )
+                all_ok &= ok
+                quiescence.append(result.quiescence_step)
+            rows.append([
+                name, net.name, 10,
+                min(quiescence), max(quiescence),
+                "yes" if all_ok else "NO",
+            ])
+
+    once(benchmark, run_all)
+    report(
+        "E01",
+        "Prop 1: every fair run reaches output quiescence at a finite step",
+        ["transducer", "network", "runs", "min qstep", "max qstep", "all quiesced"],
+        rows,
+        all_ok,
+        f"({len(rows)} workload cells x 10 seeded runs)",
+    )

@@ -1,0 +1,46 @@
+"""E02 — Example 2: the first-element transducer is not consistent.
+
+"When there are at least two nodes and at least two elements in S,
+different runs may deliver the elements in different orders, so
+different outputs can be produced, even for the same horizontal
+partition."
+
+Measured: on a 2-node line with all facts at one node, the set of
+distinct outputs over seeded schedules has size ≥ 2 for |S| ∈ {2, 3} —
+and the witness pair of runs is exhibited.
+"""
+
+from conftest import once
+
+from repro.core import first_element_transducer
+from repro.db import instance, schema
+from repro.net import all_at_one, line, run_fair
+
+
+def test_e02_first_element_inconsistent(benchmark, report):
+    transducer = first_element_transducer()
+    net = line(2)
+    rows = []
+    ok = True
+
+    def run_all():
+        nonlocal ok
+        for size in (2, 3):
+            I = instance(schema(S=1), S=[(i,) for i in range(1, size + 1)])
+            partition = all_at_one(I, net)
+            outputs = set()
+            for seed in range(16):
+                outputs.add(run_fair(net, transducer, partition, seed=seed).output)
+            distinct = sorted(sorted(o) for o in outputs)
+            ok &= len(outputs) >= 2
+            rows.append([size, 16, len(outputs), distinct])
+
+    once(benchmark, run_all)
+    report(
+        "E02",
+        "Example 2: first-element transducer produces schedule-dependent output",
+        ["|S|", "runs", "distinct outputs", "outputs seen"],
+        rows,
+        ok,
+        "(≥2 distinct outputs on the same partition = inconsistency witness)",
+    )

@@ -1,0 +1,64 @@
+"""E04 — Example 4: consistent on every network, not topology-independent.
+
+"On any network with at least two nodes, the identity query is
+computed, but on the network with a single node, the empty query is
+computed."
+
+Measured: per-network consistency holds everywhere; the 1-node output
+differs from every multi-node output; the checker flags the transducer
+as not network-topology independent.
+"""
+
+from conftest import once
+
+from repro.core import relay_identity_transducer
+from repro.db import instance, schema
+from repro.net import (
+    check_consistency,
+    check_topology_independence,
+    line,
+    ring,
+    single,
+    star,
+)
+
+
+def test_e04_consistent_but_not_nti(benchmark, report):
+    transducer = relay_identity_transducer()
+    I = instance(schema(S=1), S=[(1,), (2,)])
+    nets = [single(), line(2), line(3), ring(3), star(4)]
+    rows = []
+    ok = True
+
+    def run_all():
+        nonlocal ok
+        outputs = {}
+        for net in nets:
+            result = check_consistency(
+                net, transducer, I, partition_count=3, seeds=(0, 1)
+            )
+            ok &= result.consistent
+            outputs[net.name] = result.outputs[0]
+            rows.append([
+                net.name, len(net),
+                "yes" if result.consistent else "NO",
+                sorted(result.outputs[0]),
+            ])
+        # one-node differs from multi-node (identity vs empty)
+        ok &= outputs["single"] == frozenset()
+        multi = {v for k, v in outputs.items() if k != "single"}
+        ok &= multi == {I.relation("S")}
+        nti = check_topology_independence(
+            transducer, I, networks=nets, partition_count=2, seeds=(0,)
+        )
+        ok &= not nti.independent
+        rows.append(["NTI checker", "-", "-", f"independent={nti.independent}"])
+
+    once(benchmark, run_all)
+    report(
+        "E04",
+        "Example 4: consistent per network; 1-node disagrees -> not NTI",
+        ["network", "n", "consistent", "output"],
+        rows,
+        ok,
+    )

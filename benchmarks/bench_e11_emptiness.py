@@ -1,0 +1,98 @@
+"""E11 — Example 10 and the Section 5 subtlety.
+
+Two claims, both checked *exhaustively* over partitions:
+
+1. the emptiness transducer is not coordination-free: on a multi-node
+   network, no horizontal partition lets heartbeats alone certify
+   emptiness (Example 10: "the nodes must coordinate with each other to
+   be certain that S is empty at every node");
+2. the A/B-nonempty transducer *is* coordination-free, but its witness
+   partition is not full replication — "a run on the horizontal
+   partition where every node has the entire input will not reach
+   quiescence without communication".
+"""
+
+from conftest import once
+
+from repro.core import ab_nonempty_transducer, emptiness_transducer
+from repro.db import Instance, instance, schema
+from repro.net import (
+    check_coordination_free_on,
+    computed_output,
+    enumerate_partitions,
+    full_replication,
+    heartbeat_output,
+    line,
+    ring,
+)
+
+
+def test_e11_emptiness_needs_coordination(benchmark, report):
+    transducer = emptiness_transducer()
+    empty = Instance.empty(schema(S=1))
+    rows = []
+    ok = True
+
+    def run_all():
+        nonlocal ok
+        for net in (line(2), line(3), ring(3)):
+            expected = computed_output(net, transducer, empty)
+            assert expected == frozenset({()})
+            result = check_coordination_free_on(net, transducer, empty, expected)
+            good = not result.coordination_free and result.exhaustive
+            ok &= good
+            rows.append([
+                net.name, result.partitions_tried,
+                "exhaustive" if result.exhaustive else "sampled",
+                "no" if not result.coordination_free else "YES?!",
+            ])
+
+    once(benchmark, run_all)
+    report(
+        "E11",
+        "Example 10: emptiness is NOT coordination-free (exhaustive)",
+        ["network", "partitions tried", "coverage", "coordination-free"],
+        rows,
+        ok,
+    )
+
+
+def test_e11_ab_nonempty_subtlety(benchmark, report):
+    transducer = ab_nonempty_transducer()
+    sch = schema(A=1, B=1)
+    I = instance(sch, A=[(1,)], B=[(2,)])
+    net = line(2)
+    rows = []
+    ok = True
+
+    def run_all():
+        nonlocal ok
+        expected = computed_output(net, transducer, I)
+        assert expected == frozenset({()})
+        # full replication fails without communication...
+        replicated_hb = heartbeat_output(
+            net, transducer, full_replication(I, net)
+        )
+        fails_on_replication = replicated_hb != expected
+        # ...but some partition succeeds (exhaustive over all 9):
+        witnesses = []
+        for partition in enumerate_partitions(I, net):
+            got = heartbeat_output(net, transducer, partition)
+            if got == expected:
+                witnesses.append(partition.describe())
+            rows.append([
+                partition.describe(), set(got),
+                "witness" if got == expected else "",
+            ])
+        ok &= fails_on_replication and len(witnesses) >= 1
+
+    once(benchmark, run_all)
+    report(
+        "E11b",
+        "Section 5: A/B transducer is coordination-free, but full "
+        "replication is no witness",
+        ["partition", "heartbeat-only output", "note"],
+        rows,
+        ok,
+        "(expected {()}; witnesses are exactly the A/B-separating partitions)",
+    )

@@ -1,0 +1,104 @@
+"""E12 — Theorem 12 / Corollary 13: the CALM property.
+
+"Every query that is distributedly computed by a coordination-free
+transducer is monotone" — and the converse triangle through oblivious
+transducers.
+
+Measured: for the full transducer zoo, the three corners (coordination-
+freeness, obliviousness/Id-freeness, monotonicity of the computed
+query) and the implications between them; plus the instance-pair
+monotonicity sweep on the coordination-free members and an explicit
+non-monotonicity witness for the coordinating emptiness transducer.
+"""
+
+from conftest import once
+
+from repro.analysis import calm_verdict
+from repro.analysis.calm import ComputedQuery
+from repro.core import (
+    ab_nonempty_transducer,
+    emptiness_transducer,
+    ping_identity_transducer,
+    transitive_closure_transducer,
+)
+from repro.db import Instance, instance, schema
+from repro.lang.monotone import find_monotonicity_counterexample
+
+
+def test_e12_calm_triangle(benchmark, report):
+    zoo = [
+        (transitive_closure_transducer(),
+         instance(schema(S=2), S=[(1, 2), (2, 3)])),
+        (ab_nonempty_transducer(),
+         instance(schema(A=1, B=1), A=[(1,)], B=[(2,)])),
+        (emptiness_transducer(), instance(schema(S=1), S=[(1,)])),
+        (ping_identity_transducer(), instance(schema(S=1), S=[(1,)])),
+    ]
+    rows = []
+    ok = True
+
+    def run_all():
+        nonlocal ok
+        for transducer, I in zoo:
+            verdict = calm_verdict(transducer, I, monotonicity_trials=20)
+            consistent = verdict.consistent_with_calm()
+            ok &= consistent
+            rows.append([
+                verdict.name,
+                "yes" if verdict.oblivious else "no",
+                "yes" if verdict.uses_id else "no",
+                "yes" if verdict.coordination_free else "no",
+                "yes" if verdict.computed_query_monotone else "no",
+                "OK" if consistent else "VIOLATION",
+            ])
+
+    once(benchmark, run_all)
+    report(
+        "E12",
+        "Cor 13: coordination-free <=> oblivious-expressible <=> monotone",
+        ["transducer", "oblivious", "uses Id", "coord-free",
+         "monotone Q", "CALM implications"],
+        rows,
+        ok,
+    )
+
+
+def test_e12_nonmonotone_witness_for_emptiness(benchmark, report):
+    """The coordinating emptiness transducer computes a provably
+    non-monotone query — exhibited with an explicit I ⊆ J pair."""
+    rows = []
+    ok = True
+
+    def run_all():
+        nonlocal ok
+        query = ComputedQuery(emptiness_transducer())
+        witness = find_monotonicity_counterexample(
+            query, (1, 2), trials=40, density=0.4
+        )
+        found = witness is not None
+        ok &= found
+        if found:
+            small, big = witness
+            rows.append([
+                f"I = {sorted(small.facts())}",
+                f"J = {sorted(big.facts())}",
+                set(query(small)),
+                set(query(big)),
+            ])
+        # sanity: the empty/nonempty pair is always a witness
+        empty = Instance.empty(schema(S=1))
+        nonempty = instance(schema(S=1), S=[(1,)])
+        flip = query(empty) == frozenset({()}) and query(nonempty) == frozenset()
+        ok &= flip
+        rows.append(["I = {} (empty)", "J = {S(1)}",
+                     set(query(empty)), set(query(nonempty))])
+
+    once(benchmark, run_all)
+    report(
+        "E12b",
+        "Thm 12 contrapositive: emptiness (needs coordination) is non-monotone",
+        ["I", "J ⊇ I", "Q(I)", "Q(J)"],
+        rows,
+        ok,
+        "(Q(I) ⊄ Q(J): adding facts retracts the answer — non-monotone)",
+    )

@@ -1,0 +1,122 @@
+"""E13 — Example 15, Theorem 16, Corollary 17: All without Id.
+
+Example 15: a transducer that uses All but not Id, is network-topology
+independent, yet is *not* coordination-free.  Theorem 16: such
+transducers still compute only monotone queries.  The theorem's proof
+runs a fifo round schedule on the ring R4 and mimics it on R4 plus the
+chord 2–4 while ignoring node 3 — replayed here literally.
+"""
+
+from conftest import once
+
+from repro.analysis.calm import ComputedQuery
+from repro.core import ping_identity_transducer, uses_all, uses_id
+from repro.db import instance, schema
+from repro.lang.monotone import check_monotone_pair, instance_pairs
+from repro.net import (
+    check_coordination_free_on,
+    check_topology_independence,
+    computed_output,
+    full_replication,
+    line,
+    r4_ring,
+    r4_with_chord,
+    run_fifo_rounds,
+    single,
+)
+
+S1 = schema(S=1)
+
+
+def test_e13_example15_properties(benchmark, report):
+    transducer = ping_identity_transducer()
+    I = instance(S1, S=[(1,), (2,)])
+    rows = []
+    ok = True
+
+    def run_all():
+        nonlocal ok
+        flags_ok = uses_all(transducer) and not uses_id(transducer)
+        rows.append(["uses All / not Id", "yes" if flags_ok else "NO"])
+        nti = check_topology_independence(
+            transducer, I,
+            networks=[single(), line(2), line(3), r4_ring()],
+            partition_count=2, seeds=(0,),
+        )
+        rows.append(["network-topology independent", "yes" if nti.independent else "NO"])
+        expected = computed_output(line(2), transducer, I)
+        cf = check_coordination_free_on(line(2), transducer, I, expected)
+        rows.append(["coordination-free", "yes" if cf.coordination_free else "no"])
+        monotone = all(
+            check_monotone_pair(ComputedQuery(transducer), small, big)
+            for small, big in instance_pairs(S1, (1, 2, 3), 20, seed=0)
+        )
+        rows.append(["computed query monotone (Thm 16)", "yes" if monotone else "NO"])
+        ok &= flags_ok and nti.independent and not cf.coordination_free and monotone
+
+    once(benchmark, run_all)
+    report(
+        "E13",
+        "Example 15 + Thm 16: All-only -> NTI, not coord-free, still monotone",
+        ["property", "verdict"],
+        rows,
+        ok,
+    )
+
+
+def test_e13_theorem16_proof_replay(benchmark, report):
+    """Replay the fifo-round runs on R4 and R4+chord from the proof."""
+    transducer = ping_identity_transducer()
+    small = instance(S1, S=[(1,)])
+    big = instance(S1, S=[(1,), (2,)])
+    rows = []
+    ok = True
+
+    def run_all():
+        nonlocal ok
+        # run ρ on R4 with the full small instance everywhere (fifo rounds)
+        r4 = r4_ring()
+        rho = run_fifo_rounds(
+            transducer=transducer,
+            network=r4,
+            partition=full_replication(small, r4),
+        )
+        t_out = rho.output
+        ok1 = rho.converged and t_out == frozenset({(1,)})
+        rows.append(["rho on R4, H = small everywhere", sorted(t_out),
+                     "yes" if ok1 else "NO"])
+        # run ρ' on R4+chord: J\I placed at node 3, node 3 ignored
+        chord = r4_with_chord()
+        from repro.net import HorizontalPartition
+
+        fragments = {
+            v: small for v in chord.nodes
+        }
+        fragments["v3"] = big  # H'(3) contains J \ I too
+        partition = HorizontalPartition(big, fragments)
+        rho_prime = run_fifo_rounds(
+            transducer=transducer,
+            network=chord,
+            partition=partition,
+            skip_nodes=frozenset({"v3"}),
+        )
+        # the mimicked run still outputs t = (1,) — so (1,) ∈ Q(J)
+        ok2 = (1,) in rho_prime.output
+        rows.append(["rho' on R4+chord, node 3 ignored",
+                     sorted(rho_prime.output), "yes" if ok2 else "NO"])
+        # and indeed Q(J) (by any fair run) contains t as well
+        q_big = computed_output(r4, transducer, big)
+        ok3 = (1,) in q_big
+        rows.append(["Q(J) by a fair run on R4", sorted(q_big),
+                     "yes" if ok3 else "NO"])
+        ok &= ok1 and ok2 and ok3
+
+    once(benchmark, run_all)
+    report(
+        "E13b",
+        "Thm 16 proof replay: fifo rounds on R4; mimicry on R4+chord "
+        "ignoring node 3 preserves the output tuple",
+        ["run", "output", "as in the proof"],
+        rows,
+        ok,
+    )

@@ -1,0 +1,96 @@
+"""E17 — engineering scaling (not a paper claim, an implementation study).
+
+Two sweeps:
+
+1. message complexity of Lemma 5(1) multicast vs Lemma 5(2) flooding as
+   the network grows — the coordination overhead of the Ready flag is
+   the gap between the curves (quadratic-ish acks vs linear-ish flood);
+2. semi-naive vs naive Datalog evaluation on growing chain graphs — the
+   classical differential-evaluation win, relevant because every
+   transducer step evaluates rule bodies.
+"""
+
+import time
+
+from conftest import once
+
+from repro.core import flooding_transducer, multicast_transducer
+from repro.db import instance, schema
+from repro.lang import DatalogProgram, naive_fixpoint, seminaive_fixpoint
+from repro.net import line, round_robin, run_fair
+
+S2 = schema(S=2)
+
+
+def test_e17_message_complexity(benchmark, report):
+    I = instance(S2, S=[(1, 2), (2, 3)])
+    flood = flooding_transducer(S2)
+    multicast = multicast_transducer(S2)
+    rows = []
+    ok = True
+
+    def run_all():
+        nonlocal ok
+        for n in (2, 3, 4, 5, 6):
+            net = line(n)
+            fl = run_fair(net, flood, round_robin(I, net), seed=0)
+            mc = run_fair(net, multicast, round_robin(I, net), seed=0,
+                          max_steps=2_000_000)
+            ok_row = fl.converged and mc.converged
+            ok &= ok_row
+            rows.append([
+                n,
+                fl.stats.facts_sent,
+                mc.stats.facts_sent,
+                f"{mc.stats.facts_sent / max(1, fl.stats.facts_sent):.1f}x",
+                "yes" if ok_row else "NO",
+            ])
+        # the overhead ratio should grow with n (coordination amplifies)
+        ratios = [row[2] / max(1, row[1]) for row in rows]
+        ok &= ratios[-1] > ratios[0]
+
+    once(benchmark, run_all)
+    report(
+        "E17",
+        "Scaling: multicast (Ready) vs flooding message cost on line(n)",
+        ["n nodes", "flood sent", "multicast sent", "overhead", "converged"],
+        rows,
+        ok,
+        "(the Ready flag's acks dominate as the network grows)",
+    )
+
+
+def test_e17_seminaive_vs_naive(benchmark, report):
+    program = DatalogProgram.parse(
+        "T(x,y) :- S(x,y). T(x,y) :- S(x,z), T(z,y).", S2
+    )
+    rows = []
+    ok = True
+
+    def run_all():
+        nonlocal ok
+        for n in (10, 20, 40, 60):
+            chain = instance(S2, S=[(i, i + 1) for i in range(n)])
+            t0 = time.perf_counter()
+            naive = naive_fixpoint(program, chain)
+            t_naive = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            semi = seminaive_fixpoint(program, chain)
+            t_semi = time.perf_counter() - t0
+            agree = naive == semi
+            ok &= agree
+            rows.append([
+                n, len(semi.relation("T")),
+                f"{t_naive * 1000:.1f}ms", f"{t_semi * 1000:.1f}ms",
+                f"{t_naive / max(t_semi, 1e-9):.1f}x",
+                "yes" if agree else "NO",
+            ])
+
+    once(benchmark, run_all)
+    report(
+        "E17b",
+        "Scaling: semi-naive vs naive Datalog on chain TC",
+        ["chain length", "|TC|", "naive", "semi-naive", "speedup", "agree"],
+        rows,
+        ok,
+    )

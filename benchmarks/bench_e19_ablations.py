@@ -1,0 +1,121 @@
+"""E19 — runtime ablations (design-choice studies from DESIGN.md).
+
+Not paper claims; these validate the simulator decisions that the
+reproduction's soundness rests on:
+
+1. **Delivery-bias ablation** — fair runs must produce identical output
+   for any scheduler bias (the model quantifies over all fair runs;
+   if output varied with the bias on a consistent network, our
+   truncation would be unsound).  Swept over bias ∈ {0.05 … 0.95}.
+2. **Convergence-check interval ablation** — the exact convergence test
+   is run every k steps; k trades test overhead against overshoot
+   steps.  Output must be identical for all k; reported cost curves
+   justify the default.
+3. **Seed robustness** — 25 seeds on one workload: one distinct output.
+"""
+
+import time
+
+from conftest import once
+
+from repro.core import transitive_closure_transducer
+from repro.db import instance, schema
+from repro.net import ring, round_robin, run_fair
+
+S2 = schema(S=2)
+
+
+def test_e19_delivery_bias_ablation(benchmark, report):
+    transducer = transitive_closure_transducer()
+    I = instance(S2, S=[(1, 2), (2, 3), (3, 4)])
+    net = ring(3)
+    partition = round_robin(I, net)
+    rows = []
+    ok = True
+
+    def run_all():
+        nonlocal ok
+        outputs = set()
+        for bias in (0.05, 0.25, 0.5, 0.75, 0.95):
+            result = run_fair(net, transducer, partition, seed=0,
+                              deliver_bias=bias, max_steps=200_000)
+            outputs.add(result.output)
+            rows.append([
+                bias, result.stats.steps, result.stats.deliveries,
+                result.stats.heartbeats,
+                "yes" if result.converged else "NO",
+            ])
+        ok &= len(outputs) == 1
+
+    once(benchmark, run_all)
+    report(
+        "E19",
+        "Ablation: output invariant under scheduler delivery bias",
+        ["bias", "steps", "deliveries", "heartbeats", "converged"],
+        rows,
+        ok,
+        "(one distinct output across all biases)",
+    )
+
+
+def test_e19_check_interval_ablation(benchmark, report):
+    transducer = transitive_closure_transducer()
+    I = instance(S2, S=[(1, 2), (2, 3), (3, 4)])
+    net = ring(3)
+    partition = round_robin(I, net)
+    rows = []
+    ok = True
+
+    def run_all():
+        nonlocal ok
+        outputs = set()
+        for interval in (1, 4, 16, 64, 256):
+            start = time.perf_counter()
+            result = run_fair(net, transducer, partition, seed=0,
+                              check_every=interval, max_steps=200_000)
+            elapsed = time.perf_counter() - start
+            outputs.add(result.output)
+            rows.append([
+                interval, result.stats.steps, f"{elapsed * 1000:.0f}ms",
+                "yes" if result.converged else "NO",
+            ])
+        ok &= len(outputs) == 1
+
+    once(benchmark, run_all)
+    report(
+        "E19b",
+        "Ablation: convergence-check interval vs cost (output invariant)",
+        ["check every", "steps", "wall time", "converged"],
+        rows,
+        ok,
+        "(small intervals stop earlier but test more often)",
+    )
+
+
+def test_e19_seed_robustness(benchmark, report):
+    transducer = transitive_closure_transducer()
+    I = instance(S2, S=[(1, 2), (2, 3), (3, 1)])
+    net = ring(3)
+    partition = round_robin(I, net)
+    rows = []
+    ok = True
+
+    def run_all():
+        nonlocal ok
+        outputs = set()
+        steps = []
+        for seed in range(25):
+            result = run_fair(net, transducer, partition, seed=seed)
+            outputs.add(result.output)
+            steps.append(result.stats.steps)
+        ok &= len(outputs) == 1
+        rows.append([25, len(outputs), min(steps), max(steps)])
+
+    once(benchmark, run_all)
+    report(
+        "E19c",
+        "Ablation: 25 seeds, one output (consistency under the hood)",
+        ["seeds", "distinct outputs", "min steps", "max steps"],
+        rows,
+        ok,
+    )

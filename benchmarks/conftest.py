@@ -1,0 +1,33 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each bench module reproduces one experiment from DESIGN.md §4 (the
+per-experiment index).  The ``record_experiment`` fixture collects the
+printed result rows so EXPERIMENTS.md can be cross-checked against
+``pytest benchmarks/ --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import experiment_banner, format_table
+
+
+@pytest.fixture
+def report():
+    """Print an experiment banner + table and assert the verdict."""
+
+    def _report(exp_id, claim, headers, rows, ok, detail=""):
+        print()
+        print(experiment_banner(exp_id, claim))
+        print(format_table(headers, rows))
+        status = "CONFIRMED" if ok else "REFUTED"
+        print(f"\n{exp_id} verdict: {status} {detail}")
+        assert ok, f"{exp_id} failed: {detail}"
+
+    return _report
+
+
+def once(benchmark, fn):
+    """Run *fn* exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""The CALM property (Corollary 13), demonstrated on the transducer zoo.
+
+For each transducer the paper discusses, print the syntactic flags
+(oblivious / inflationary / uses Id / uses All), the empirical
+coordination-freeness verdict, and the empirical monotonicity of the
+query it computes — then check the CALM implications:
+
+    oblivious            ⇒  coordination-free        (Prop. 11)
+    coordination-free    ⇒  monotone computed query  (Thm. 12)
+    does not use Id      ⇒  monotone computed query  (Thm. 16)
+"""
+
+from repro.analysis import calm_verdict, format_table
+from repro.core import (
+    ab_nonempty_transducer,
+    emptiness_transducer,
+    ping_identity_transducer,
+    relay_identity_transducer,
+    transitive_closure_transducer,
+)
+from repro.db import instance, schema
+
+ZOO = [
+    (transitive_closure_transducer(), instance(schema(S=2), S=[(1, 2), (2, 3)])),
+    (relay_identity_transducer(), instance(schema(S=1), S=[(1,), (2,)])),
+    (ab_nonempty_transducer(), instance(schema(A=1, B=1), A=[(1,)], B=[(2,)])),
+    (emptiness_transducer(), instance(schema(S=1), S=[(1,)])),
+    (ping_identity_transducer(), instance(schema(S=1), S=[(1,)])),
+]
+
+
+def yn(value):
+    if value is None:
+        return "—"
+    return "yes" if value else "no"
+
+
+rows = []
+all_consistent = True
+for transducer, test_instance in ZOO:
+    verdict = calm_verdict(transducer, test_instance, monotonicity_trials=15)
+    consistent = verdict.consistent_with_calm()
+    all_consistent &= consistent
+    rows.append(
+        [
+            verdict.name,
+            yn(verdict.oblivious),
+            yn(verdict.uses_id),
+            yn(verdict.uses_all),
+            yn(verdict.topology_independent),
+            yn(verdict.coordination_free),
+            yn(verdict.computed_query_monotone),
+            "OK" if consistent else "VIOLATION",
+        ]
+    )
+
+print(
+    format_table(
+        ["transducer", "oblivious", "uses Id", "uses All", "NTI",
+         "coord-free", "monotone Q", "CALM"],
+        rows,
+    )
+)
+
+assert all_consistent
+print("\nEvery verdict satisfies the CALM implications — the triangle")
+print("coordination-free ⇔ oblivious-expressible ⇔ monotone holds on the zoo.")
+print("Note example15 (ping): uses All but not Id — not coordination-free,")
+print("yet still monotone, exactly the refinement of Theorem 16 / Cor. 17.")

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Section 8's closing remark: distributed Dedalus via location specifiers.
+
+"Distribution is not built in Dedalus and must be simulated using data
+elements serving as location specifiers. ... This works without
+coordination since the program is monotone in the EDB relations."
+
+This script localizes a plain transitive-closure Dedalus program onto a
+ring network: every relation gains a location column, peers flood their
+EDB fragments through @async rules over the Link topology facts, and
+every node's local fixpoint converges to the *global* answer — for any
+asynchronous delivery schedule.
+"""
+
+from repro.analysis import format_table
+from repro.db import instance, schema
+from repro.dedalus import DedalusProgram, localize, node_view, place, run_program
+from repro.net import ring, round_robin
+
+# The *local* program a peer runs — ordinary Dedalus, no distribution.
+local_program = DedalusProgram.parse(
+    """
+    T(x, y) :- S(x, y).
+    T(x, y) :- T(x, z), T(z, y).
+    """,
+    schema(S=2),
+)
+
+# Localize: adds the location column, Link shipping, send-once ledgers.
+distributed = localize(local_program)
+print("local program: ", local_program)
+print("localized:     ", distributed)
+
+graph = instance(schema(S=2), S=[(1, 2), (2, 3), (3, 4), (4, 5)])
+network = ring(3)
+edb = place(round_robin(graph, network), network)
+print(f"\nnetwork: {network}, input: {sorted(graph.relation('S'))}")
+
+expected = frozenset(
+    {(i, j) for i in range(1, 6) for j in range(i + 1, 6)}
+)
+
+rows = []
+for seed in range(4):
+    trace = run_program(distributed, edb, seed=seed, max_steps=300)
+    per_node = [
+        node_view(trace.final(), "T", v) == expected
+        for v in network.sorted_nodes()
+    ]
+    rows.append([
+        seed, trace.stabilized_at,
+        all(per_node),
+    ])
+
+print(format_table(
+    ["async seed", "stabilized at", "every node has global TC"],
+    rows,
+))
+
+assert all(row[2] for row in rows)
+print("\nEvery peer converged to the global transitive closure under every")
+print("asynchronous schedule — monotone in the EDB, hence coordination-free,")
+print("exactly the paper's remark.")
+
+# Watch one node's view grow monotonically over time:
+trace = run_program(distributed, edb, seed=0, max_steps=300)
+node = network.sorted_nodes()[0]
+print(f"\n{node}'s view of T over time:")
+last = None
+for t in sorted(trace.states):
+    view = node_view(trace.states[t], "T", node)
+    if view != last:
+        print(f"  t={t}: {len(view)} tuples")
+        last = view

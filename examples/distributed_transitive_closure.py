@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Example 3 of the paper: distributed transitive closure.
+
+Runs the paper's flooding TC transducer over several topologies,
+partitions, and schedules, showing that the output never varies —
+the *consistency* and *network-topology independence* of Section 4 —
+and reports the message cost of each combination.
+"""
+
+from repro.analysis import format_table
+from repro.core import transitive_closure_transducer
+from repro.db import instance, schema
+from repro.lang import DatalogQuery
+from repro.net import (
+    all_at_one,
+    clique,
+    full_replication,
+    line,
+    ring,
+    round_robin,
+    run_fair,
+    single,
+    star,
+)
+
+graph = instance(
+    schema(S=2),
+    S=[(1, 2), (2, 3), (3, 4), (4, 5), (10, 11)],
+)
+
+# the sequential reference answer
+reference = DatalogQuery.parse(
+    "T(x, y) :- S(x, y). T(x, y) :- S(x, z), T(z, y).", "T", schema(S=2)
+)(graph)
+print(f"|S| = {len(graph)}, |TC(S)| = {len(reference)}")
+
+transducer = transitive_closure_transducer()
+
+rows = []
+outputs = set()
+for network in [single(), line(2), line(4), ring(4), star(5), clique(4)]:
+    for partition_name, make in [
+        ("replicated", full_replication),
+        ("one-node", all_at_one),
+        ("round-robin", round_robin),
+    ]:
+        partition = make(graph, network)
+        for seed in (0, 1):
+            result = run_fair(network, transducer, partition, seed=seed)
+            outputs.add(result.output)
+            rows.append(
+                [
+                    network.name,
+                    partition_name,
+                    seed,
+                    len(result.output),
+                    result.stats.steps,
+                    result.stats.facts_sent,
+                    "yes" if result.converged else "NO",
+                ]
+            )
+
+print(
+    format_table(
+        ["network", "partition", "seed", "|out|", "steps", "sent", "converged"],
+        rows,
+    )
+)
+
+assert outputs == {reference}, "some run disagreed with the reference!"
+print(
+    f"\nAll {len(rows)} runs produced exactly TC(S) "
+    "— consistent and network-topology independent, as Example 3 claims."
+)

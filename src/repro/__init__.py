@@ -1,0 +1,42 @@
+"""repro — an executable reproduction of
+"Relational transducers for declarative networking"
+(Ameloot, Neven, Van den Bussche, PODS 2011).
+
+Subpackages
+-----------
+``repro.db``
+    Relational substrate: facts, schemas, instances, multisets.
+``repro.lang``
+    Query languages: FO (active-domain), Datalog, stratified Datalog,
+    nonrecursive Datalog, UCQ/UCQ¬, the *while* language, combinators.
+``repro.core``
+    Relational transducers: transition semantics, property classes,
+    the builder DSL, and every construction from the paper's proofs.
+``repro.net``
+    Transducer networks: topologies, configurations, fair runs,
+    horizontal partitions, consistency / topology-independence /
+    coordination-freeness checkers.
+``repro.dedalus``
+    Dedalus (temporal Datalog), Turing machines, and the Theorem 18
+    compiler.
+``repro.analysis``
+    The CALM-property harness and experiment reporting.
+
+Quickstart
+----------
+>>> from repro.db import schema, instance
+>>> from repro.core import transitive_closure_transducer
+>>> from repro.net import line, round_robin, run_fair
+>>> t = transitive_closure_transducer()
+>>> I = instance(schema(S=2), S=[(1, 2), (2, 3)])
+>>> net = line(3)
+>>> result = run_fair(net, t, round_robin(I, net), seed=0)
+>>> sorted(result.output)
+[(1, 2), (1, 3), (2, 3)]
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, core, db, dedalus, lang, net
+
+__all__ = ["analysis", "core", "db", "dedalus", "lang", "net", "__version__"]

@@ -1,0 +1,13 @@
+"""Cross-cutting empirical verifiers: the CALM harness and reporting."""
+
+from .calm import CalmVerdict, ComputedQuery, calm_verdict
+from .reporting import experiment_banner, format_table, verdict
+
+__all__ = [
+    "CalmVerdict",
+    "ComputedQuery",
+    "calm_verdict",
+    "experiment_banner",
+    "format_table",
+    "verdict",
+]

@@ -1,0 +1,176 @@
+"""The CALM-property harness (Section 6, Corollaries 13/14/17).
+
+Ties the whole library together: given a transducer, this module
+extracts the query it distributedly computes (as a plain
+:class:`~repro.lang.query.Query` via :class:`ComputedQuery`), checks
+the syntactic property flags, probes coordination-freeness, and tests
+monotonicity of the computed query — the three corners of the CALM
+triangle::
+
+        coordination-free  ⇔  oblivious(-expressible)  ⇔  monotone
+
+All semantic checks are empirical per DESIGN.md §2: counterexamples are
+definitive, confirmations are evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.properties import property_report
+from ..core.transducer import Transducer
+from ..db.instance import Instance
+from ..db.schema import DatabaseSchema
+from ..lang.monotone import check_monotone_pair, instance_pairs
+from ..lang.query import Query
+from ..net.consistency import computed_output
+from ..net.coordination import check_coordination_free_on
+from ..net.network import Network, line
+
+
+class ComputedQuery(Query):
+    """The query a (consistent, NTI) transducer distributedly computes.
+
+    Evaluation runs the transducer on a reference network with a
+    canonical partition and fair schedule; by consistency and
+    network-topology independence the choice does not matter (both
+    properties are themselves checked by separate benches).
+    """
+
+    def __init__(
+        self,
+        transducer: Transducer,
+        network: Network | None = None,
+        seed: int = 0,
+        max_steps: int = 20_000,
+    ):
+        self.transducer = transducer
+        self.network = network if network is not None else line(2)
+        self.seed = seed
+        self.max_steps = max_steps
+        self.arity = transducer.schema.output_arity
+        self.input_schema = transducer.schema.inputs
+
+    def __call__(self, instance: Instance) -> frozenset[tuple]:
+        instance = instance.restrict(
+            [n for n in self.input_schema if n in instance.schema]
+        ).expand_schema(self.input_schema)
+        return computed_output(
+            self.network,
+            self.transducer,
+            instance,
+            seed=self.seed,
+            max_steps=self.max_steps,
+        )
+
+    def __repr__(self) -> str:
+        return f"ComputedQuery({self.transducer.name} on {self.network.name})"
+
+
+@dataclass
+class CalmVerdict:
+    """One transducer's CALM diagnostics."""
+
+    name: str
+    oblivious: bool
+    inflationary: bool
+    monotone_queries: bool
+    uses_id: bool
+    uses_all: bool
+    coordination_free: bool | None
+    computed_query_monotone: bool | None
+    topology_independent: bool | None = None
+
+    def consistent_with_calm(self) -> bool:
+        """Does the verdict satisfy the implications of Corollary 13?
+
+        All of the paper's implications presuppose network-topology
+        independence (queries are only *defined* for NTI transducers), so
+        they are vacuous when ``topology_independent`` is False:
+
+        * NTI ∧ oblivious ⇒ coordination-free (Prop. 11);
+        * NTI ∧ coordination-free ⇒ monotone computed query (Thm. 12);
+        * NTI ∧ no-Id ⇒ monotone computed query (Thm. 16).
+
+        ``None`` entries (checks skipped) are treated as unconstrained;
+        an unknown NTI status is treated as NTI (the strict reading).
+        """
+        if self.topology_independent is False:
+            return True
+        if self.oblivious and self.coordination_free is False:
+            return False
+        if self.coordination_free and self.computed_query_monotone is False:
+            return False
+        if not self.uses_id and self.computed_query_monotone is False:
+            return False
+        return True
+
+
+def calm_verdict(
+    transducer: Transducer,
+    test_instance: Instance,
+    network: Network | None = None,
+    monotonicity_domain: tuple = (1, 2, 3),
+    monotonicity_trials: int = 30,
+    check_coordination: bool = True,
+    seed: int = 0,
+) -> CalmVerdict:
+    """Assemble the full CALM diagnostic for one transducer.
+
+    Coordination-freeness quantifies over *every* instance, so the probe
+    runs on the provided test instance *and* the empty instance (the
+    empty instance is the hard case for queries like emptiness, whose
+    answer on nonempty inputs is trivially reachable without messages).
+    """
+    network = network if network is not None else line(2)
+    flags = property_report(transducer)
+    query = ComputedQuery(transducer, network, seed=seed)
+
+    coordination_free: bool | None = None
+    if check_coordination:
+        probes = [test_instance, Instance.empty(transducer.schema.inputs)]
+        verdicts = []
+        for probe in probes:
+            expected = query(probe)
+            report = check_coordination_free_on(
+                network, transducer, probe, expected
+            )
+            verdicts.append(report.coordination_free)
+        coordination_free = all(verdicts)
+
+    monotone: bool | None = None
+    pairs = instance_pairs(
+        transducer.schema.inputs,
+        monotonicity_domain,
+        monotonicity_trials,
+        seed=seed,
+    )
+    monotone = all(check_monotone_pair(query, small, big) for small, big in pairs)
+
+    from ..net.consistency import check_topology_independence
+    from ..net.network import single
+
+    nti_report = check_topology_independence(
+        transducer,
+        test_instance,
+        networks=[single(), network],
+        partition_count=2,
+        seeds=(seed,),
+    )
+
+    return CalmVerdict(
+        name=transducer.name,
+        oblivious=flags["oblivious"],
+        inflationary=flags["inflationary"],
+        monotone_queries=flags["monotone"],
+        uses_id=flags["uses_id"],
+        uses_all=flags["uses_all"],
+        coordination_free=coordination_free,
+        computed_query_monotone=monotone,
+        topology_independent=nti_report.independent,
+    )
+
+
+def empty_instance(schema: DatabaseSchema) -> Instance:
+    """Convenience: the empty instance of a schema."""
+    return Instance.empty(schema)

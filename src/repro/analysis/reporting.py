@@ -1,0 +1,33 @@
+"""Plain-text table formatting shared by the benchmark harness.
+
+The paper has no numbered tables; each experiment prints its results in
+a small ASCII table whose rows are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+    def render(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+
+    lines = [render(cells[0]), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
+def experiment_banner(exp_id: str, claim: str) -> str:
+    """The standard header printed by each experiment bench."""
+    bar = "=" * 72
+    return f"{bar}\n{exp_id}: {claim}\n{bar}"
+
+
+def verdict(ok: bool, confirmed: str = "CONFIRMED", refuted: str = "REFUTED") -> str:
+    """Uniform pass/fail wording for experiment summaries."""
+    return confirmed if ok else refuted

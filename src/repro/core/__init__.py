@@ -1,0 +1,100 @@
+"""The paper's primary contribution: relational transducers.
+
+Transducer schemas and the exact transition semantics (Section 2.1),
+the syntactic property classes (oblivious / inflationary / monotone,
+Section 4), a rule-based construction DSL, and every transducer the
+paper builds in its proofs and examples.
+"""
+
+from .builder import build_transducer
+from .constructions import (
+    collect_then_apply_transducer,
+    continuous_apply_transducer,
+    flooding_transducer,
+    multicast_transducer,
+    stored_sources,
+)
+from .datalog_bridge import datalog_to_transducer, transducer_to_datalog
+from .fo_compile import StagedCompilation, compile_fo_staged, eliminate_forall
+from .ucq_constructions import (
+    ucq_collect_then_apply_transducer,
+    ucq_continuous_transducer,
+    ucq_multicast_transducer,
+    uses_only_ucqneg,
+)
+from .examples import (
+    ALL_EXAMPLES,
+    ab_nonempty_transducer,
+    emptiness_transducer,
+    first_element_transducer,
+    ping_identity_transducer,
+    relay_identity_transducer,
+    transitive_closure_transducer,
+)
+from .ordering import (
+    check_strict_total_order,
+    ordering_transducer,
+    parity_transducer,
+)
+from .properties import (
+    is_inflationary,
+    is_monotone,
+    is_oblivious,
+    property_report,
+    uses_all,
+    uses_id,
+)
+from .schema import ALL_RELATION, ID_RELATION, SYSTEM_SCHEMA, TransducerSchema
+from .transducer import LocalTransition, Transducer
+from .while_bridge import (
+    continuous_while_transducer,
+    transducer_to_while,
+    while_to_transducer,
+)
+from .wrappers import GatedQuery, InnerQuery, TotalizedQuery
+
+__all__ = [
+    "ALL_EXAMPLES",
+    "ALL_RELATION",
+    "GatedQuery",
+    "ID_RELATION",
+    "InnerQuery",
+    "LocalTransition",
+    "SYSTEM_SCHEMA",
+    "TotalizedQuery",
+    "Transducer",
+    "TransducerSchema",
+    "ab_nonempty_transducer",
+    "StagedCompilation",
+    "build_transducer",
+    "check_strict_total_order",
+    "collect_then_apply_transducer",
+    "continuous_apply_transducer",
+    "continuous_while_transducer",
+    "datalog_to_transducer",
+    "emptiness_transducer",
+    "first_element_transducer",
+    "flooding_transducer",
+    "is_inflationary",
+    "is_monotone",
+    "is_oblivious",
+    "multicast_transducer",
+    "ordering_transducer",
+    "parity_transducer",
+    "ping_identity_transducer",
+    "property_report",
+    "relay_identity_transducer",
+    "stored_sources",
+    "compile_fo_staged",
+    "eliminate_forall",
+    "transducer_to_datalog",
+    "transducer_to_while",
+    "transitive_closure_transducer",
+    "ucq_collect_then_apply_transducer",
+    "ucq_continuous_transducer",
+    "ucq_multicast_transducer",
+    "uses_all",
+    "uses_id",
+    "uses_only_ucqneg",
+    "while_to_transducer",
+]

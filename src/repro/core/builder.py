@@ -1,0 +1,148 @@
+"""A rule-based DSL for writing transducers.
+
+The paper writes its transducers as prose; this module gives them a
+concrete syntax in the UCQ¬ fragment (which by Proposition 7 loses no
+distributed expressiveness).  A transducer is a block of rules whose
+heads are tagged with their role::
+
+    send Msg(x, y)  :- S(x, y).
+    insert Seen(x)  :- Msg(x, y).
+    delete Todo(x)  :- Done(x).
+    out(x, y)       :- Seen(x), Seen(y), x != y.
+
+* ``send R(...)``  — a disjunct of the send query for message relation R;
+* ``insert R(...)`` / ``delete R(...)`` — memory update disjuncts;
+* ``out(...)``     — a disjunct of the output query.
+
+Rule bodies are conjunctions of atoms over the *combined* schema
+(input ∪ {Id, All} ∪ message ∪ memory), negated atoms, and
+(in)equalities.  Multiple rules with the same head form a union.
+
+For queries beyond UCQ¬ (e.g. Lemma 5's ∀-style "received an ack from
+every node" checks), pass fully-formed :class:`~repro.lang.query.Query`
+objects via the ``send=/insert=/delete=/output=`` keyword overrides.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Mapping
+
+from ..db.schema import DatabaseSchema, SchemaError
+from ..lang.ast import Rule
+from ..lang.parser import parse_rules
+from ..lang.query import Query
+from ..lang.ucq import UCQNegQuery
+from .schema import TransducerSchema
+from .transducer import Transducer
+
+_ROLE_PREFIX = re.compile(
+    r"\b(send|insert|delete)\s+([A-Za-z_][A-Za-z0-9_]*)\s*\("
+)
+
+_OUT_HEAD = "out"
+
+
+def _tag_roles(text: str) -> str:
+    """Rewrite ``send M(`` to ``send__M(`` so the rule parser accepts it."""
+    return _ROLE_PREFIX.sub(lambda m: f"{m.group(1)}__{m.group(2)}(", text)
+
+
+def build_transducer(
+    *,
+    inputs: Mapping[str, int] | DatabaseSchema = (),
+    messages: Mapping[str, int] | DatabaseSchema = (),
+    memory: Mapping[str, int] | DatabaseSchema = (),
+    output_arity: int = 0,
+    rules: str = "",
+    send: Mapping[str, Query] | None = None,
+    insert: Mapping[str, Query] | None = None,
+    delete: Mapping[str, Query] | None = None,
+    output: Query | None = None,
+    name: str | None = None,
+) -> Transducer:
+    """Build a :class:`~repro.core.transducer.Transducer` from tagged rules.
+
+    Explicit query objects passed via keywords take precedence over (and
+    must not overlap with) rule-defined queries for the same relation.
+    """
+    schema = TransducerSchema(
+        DatabaseSchema(inputs),
+        DatabaseSchema(messages),
+        DatabaseSchema(memory),
+        output_arity,
+    )
+    combined = schema.combined
+
+    groups: dict[tuple[str, str], list[Rule]] = {}
+    out_rules: list[Rule] = []
+    for rule in parse_rules(_tag_roles(rules)):
+        head = rule.head.relation
+        if head == _OUT_HEAD:
+            out_rules.append(rule)
+            continue
+        if "__" not in head:
+            raise SchemaError(
+                f"rule head {head!r} lacks a role tag "
+                "(send/insert/delete/out): {rule!r}"
+            )
+        role, rel = head.split("__", 1)
+        target_schema = {
+            "send": schema.messages,
+            "insert": schema.memory,
+            "delete": schema.memory,
+        }[role]
+        if rel not in target_schema:
+            raise SchemaError(f"{role} rule for undeclared relation {rel!r}")
+        if len(rule.head.terms) != target_schema[rel]:
+            raise SchemaError(
+                f"{role} rule head arity {len(rule.head.terms)} "
+                f"does not match {rel}/{target_schema[rel]}"
+            )
+        groups.setdefault((role, rel), []).append(rule)
+
+    def queries_for(role: str) -> dict[str, Query]:
+        return {
+            rel: UCQNegQuery(tuple(rule_list), combined)
+            for (r, rel), rule_list in groups.items()
+            if r == role
+        }
+
+    send_queries = queries_for("send")
+    insert_queries = queries_for("insert")
+    delete_queries = queries_for("delete")
+    output_query: Query | None = None
+    if out_rules:
+        for rule in out_rules:
+            if len(rule.head.terms) != output_arity:
+                raise SchemaError(
+                    f"out rule arity {len(rule.head.terms)} != declared {output_arity}"
+                )
+        output_query = UCQNegQuery(tuple(out_rules), combined)
+
+    for override, rule_defined, label in (
+        (send, send_queries, "send"),
+        (insert, insert_queries, "insert"),
+        (delete, delete_queries, "delete"),
+    ):
+        if override:
+            clash = set(override) & set(rule_defined)
+            if clash:
+                raise SchemaError(
+                    f"{label} queries for {sorted(clash)} given both as rules "
+                    "and as query objects"
+                )
+            rule_defined.update(override)
+    if output is not None:
+        if output_query is not None:
+            raise SchemaError("output given both as rules and as a query object")
+        output_query = output
+
+    return Transducer(
+        schema,
+        send=send_queries,
+        insert=insert_queries,
+        delete=delete_queries,
+        output=output_query,
+        name=name,
+    )

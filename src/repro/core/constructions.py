@@ -1,0 +1,259 @@
+"""The transducers built in the paper's proofs (Lemma 5, Theorem 6).
+
+* :func:`flooding_transducer` — Lemma 5(2): the oblivious, inflationary,
+  monotone broadcast ("all nodes simply send out their local input
+  facts and forward any message they receive").
+* :func:`multicast_transducer` — Lemma 5(1): the coordinated multicast
+  with per-fact acknowledgements, ``done`` messages and the ``Ready``
+  flag, which "does not become true at a node before that node has the
+  entire instance in its memory".
+* :func:`collect_then_apply_transducer` — Theorem 6(1): run the
+  multicast, then apply an arbitrary query Q to the collected instance.
+* :func:`continuous_apply_transducer` — Theorem 6(2)/(4): the oblivious
+  construction for monotone Q — "continuously apply Q to the part of
+  the input instance already received, and output the result".
+
+All constructions are *generic in the input schema*: they synthesize
+the message/memory relations and rules for whatever relations the
+query needs.
+"""
+
+from __future__ import annotations
+
+from ..db.schema import DatabaseSchema
+from ..lang.ast import And, Atom, Eq, Exists, Forall, Formula, Not, Or, Var
+from ..lang.query import FOQuery, Query
+from .builder import build_transducer
+from .schema import ALL_RELATION, ID_RELATION
+from .transducer import Transducer
+from .wrappers import GatedQuery, InnerQuery
+
+# Relation-name conventions for synthesized relations.
+MSG_PREFIX = "In_"       # flooding message for input relation R
+ORIG_PREFIX = "Orig_"    # multicast message: fact tagged with origin id
+ACK_PREFIX = "Ack_"      # multicast acknowledgement
+STORE_PREFIX = "Stored_"  # collected copy of input relation R
+ACKREC_PREFIX = "AckRec_"  # which nodes acked which of my facts
+DONE_RELATION = "Done"
+DONEREC_RELATION = "DoneRec"
+READY_RELATION = "Ready"
+
+
+def _vars(k: int, prefix: str = "x") -> tuple[Var, ...]:
+    return tuple(Var(f"{prefix}{i + 1}") for i in range(k))
+
+
+def stored_sources(input_schema: DatabaseSchema) -> dict[str, tuple[str, ...]]:
+    """Inner-to-outer source map: each input R is fed by R ∪ Stored_R."""
+    return {
+        name: (name, STORE_PREFIX + name)
+        for name in input_schema.relation_names()
+    }
+
+
+def flooding_transducer(
+    input_schema: DatabaseSchema,
+    output: Query | None = None,
+    output_arity: int = 0,
+    name: str = "lemma5_2_flooding",
+) -> Transducer:
+    """Lemma 5(2): oblivious flooding of all input facts.
+
+    For each input relation ``R``: broadcast local facts as ``In_R``,
+    forward every received ``In_R``, and accumulate into ``Stored_R``
+    (own facts included, so ``Stored_R`` converges to the global
+    extent of R).  No Id, no All, no deletions, all queries positive.
+    """
+    messages = {MSG_PREFIX + r: input_schema[r] for r in input_schema}
+    memory = {STORE_PREFIX + r: input_schema[r] for r in input_schema}
+    lines = []
+    for r in input_schema.relation_names():
+        xs = ", ".join(v.name for v in _vars(input_schema[r]))
+        msg, store = MSG_PREFIX + r, STORE_PREFIX + r
+        lines.append(f"send {msg}({xs}) :- {r}({xs}).")
+        lines.append(f"send {msg}({xs}) :- {msg}({xs}).")
+        lines.append(f"insert {store}({xs}) :- {msg}({xs}).")
+        lines.append(f"insert {store}({xs}) :- {r}({xs}).")
+    if output is not None:
+        output_arity = output.arity
+    return build_transducer(
+        inputs=input_schema,
+        messages=messages,
+        memory=memory,
+        output_arity=output_arity,
+        rules="\n".join(lines),
+        output=output,
+        name=name,
+    )
+
+
+def _all_facts_acked(
+    input_schema: DatabaseSchema, acker: Var
+) -> Formula:
+    """⋀_R ∀x̄ (R(x̄) → AckRec_R(acker, x̄)) — *acker* acked all my facts."""
+    parts: list[Formula] = []
+    for r in input_schema.relation_names():
+        xs = _vars(input_schema[r])
+        implication = Or((Not(Atom(r, xs)), Atom(ACKREC_PREFIX + r, (acker,) + xs)))
+        parts.append(implication if not xs else Forall(xs, implication))
+    if not parts:
+        # Empty input schema: vacuously acked.
+        return Eq(acker, acker)
+    if len(parts) == 1 and input_schema:
+        base = parts[0]
+    else:
+        base = And(tuple(parts))
+    # Conjoin a trivially-true atom binding `acker` when all parts are
+    # closed formulas is not needed: callers conjoin Id/All atoms.
+    return base
+
+
+def multicast_transducer(
+    input_schema: DatabaseSchema,
+    output: Query | None = None,
+    output_arity: int = 0,
+    name: str = "lemma5_1_multicast",
+) -> Transducer:
+    """Lemma 5(1): multicast with acknowledgements and a Ready flag.
+
+    Implements the proof's protocol literally:
+
+    1. every node v floods each local fact tagged with its id
+       (``Orig_R(v, x̄)``), and everyone forwards;
+    2. every node u acknowledges every received fact with its own id
+       (``Ack_R(u, w, x̄)``), forwarded likewise; received facts are
+       stored in ``Stored_R``;
+    3. node w records in ``AckRec_R(u, x̄)`` the acks addressed to it
+       for its own facts (plus the trivial self-ack);
+    4. when w sees acks from u for *all* its local facts it sends
+       ``Done(w, u)``, forwarded until u records it in ``DoneRec(w)``;
+    5. ``Ready`` is set once ``DoneRec`` covers ``All``.
+
+    Inflationary (no deletions), but decidedly not oblivious.
+    """
+    messages: dict[str, int] = {DONE_RELATION: 2}
+    memory: dict[str, int] = {DONEREC_RELATION: 1, READY_RELATION: 0}
+    for r in input_schema.relation_names():
+        k = input_schema[r]
+        messages[ORIG_PREFIX + r] = k + 1
+        messages[ACK_PREFIX + r] = k + 2
+        memory[STORE_PREFIX + r] = k
+        memory[ACKREC_PREFIX + r] = k + 1
+
+    lines = []
+    for r in input_schema.relation_names():
+        k = input_schema[r]
+        xs = ", ".join(v.name for v in _vars(k))
+        orig, ack = ORIG_PREFIX + r, ACK_PREFIX + r
+        store, ackrec = STORE_PREFIX + r, ACKREC_PREFIX + r
+        sep = ", " if k else ""
+        # 1. flood own facts tagged with own id; forward others'.
+        lines.append(f"send {orig}(v{sep}{xs}) :- Id(v), {r}({xs}).")
+        lines.append(f"send {orig}(w{sep}{xs}) :- {orig}(w{sep}{xs}).")
+        # 2. store and acknowledge every received fact.
+        lines.append(f"insert {store}({xs}) :- {orig}(w{sep}{xs}).")
+        lines.append(f"insert {store}({xs}) :- {r}({xs}).")
+        lines.append(f"send {ack}(u, w{sep}{xs}) :- {orig}(w{sep}{xs}), Id(u).")
+        lines.append(f"send {ack}(u, w{sep}{xs}) :- {ack}(u, w{sep}{xs}).")
+        # 3. record acks addressed to me for my own facts; self-ack.
+        lines.append(
+            f"insert {ackrec}(u{sep}{xs}) :- {ack}(u, w{sep}{xs}), Id(w), {r}({xs})."
+        )
+        lines.append(f"insert {ackrec}(u{sep}{xs}) :- Id(u), {r}({xs}).")
+    rules = "\n".join(lines)
+
+    combined_schema = input_schema.union(
+        DatabaseSchema({ID_RELATION: 1, ALL_RELATION: 1}),
+        DatabaseSchema(messages),
+        DatabaseSchema(memory),
+    )
+
+    v, u, w = Var("v"), Var("u"), Var("w")
+    # 4. Done(v, u): I am v, u is a node, u acked all my facts — or a
+    # received Done fact being forwarded.
+    send_done = FOQuery(
+        Or((
+            And((Atom(ID_RELATION, (v,)), Atom(ALL_RELATION, (u,)),
+                 _all_facts_acked(input_schema, u))),
+            Atom(DONE_RELATION, (v, u)),
+        )),
+        (v, u),
+        combined_schema,
+    )
+    # DoneRec(v): a received Done(v, u) addressed to me (u = my id), or
+    # the self-done shortcut — messages to myself never arrive, so the
+    # "u acked all my facts" condition is recorded directly for u = me.
+    done_rec = FOQuery(
+        Or((
+            And((Atom(ID_RELATION, (v,)), _all_facts_acked(input_schema, v))),
+            Exists((u,), And((Atom(DONE_RELATION, (v, u)),
+                              Atom(ID_RELATION, (u,))))),
+        )),
+        (v,),
+        combined_schema,
+    )
+    # 5. Ready once DoneRec covers All.
+    ready = FOQuery(
+        Forall((w,), Or((Not(Atom(ALL_RELATION, (w,))),
+                         Atom(DONEREC_RELATION, (w,))))),
+        (),
+        combined_schema,
+    )
+    if output is not None:
+        output_arity = output.arity
+    return build_transducer(
+        inputs=input_schema,
+        messages=messages,
+        memory=memory,
+        output_arity=output_arity,
+        rules=rules,
+        send={DONE_RELATION: send_done},
+        insert={DONEREC_RELATION: done_rec, READY_RELATION: ready},
+        output=output,
+        name=name,
+    )
+
+
+def collect_then_apply_transducer(query: Query, name: str | None = None) -> Transducer:
+    """Theorem 6(1): distributedly compute an *arbitrary* query Q.
+
+    "We first run the transducer from Lemma 5(1) to obtain the entire
+    input instance.  Then we apply and output Q."  The output query is
+    Q over the ``Stored_*`` relations, gated on ``Ready`` — sound for
+    any Q (monotone or not) because Ready implies the collection is
+    complete.
+    """
+    probe = multicast_transducer(query.input_schema)
+    combined = probe.schema.combined
+    inner = InnerQuery(
+        query,
+        {r: (STORE_PREFIX + r,) for r in query.input_schema.relation_names()},
+        combined,
+    )
+    return multicast_transducer(
+        query.input_schema,
+        output=GatedQuery(inner, READY_RELATION),
+        name=name or f"theorem6_1_collect({getattr(query, 'name', query.__class__.__name__)})",
+    )
+
+
+def continuous_apply_transducer(query: Query, name: str | None = None) -> Transducer:
+    """Theorem 6(2)/(4): the oblivious construction for monotone Q.
+
+    "We continuously apply Q to the part of the input instance already
+    received, and output the result.  Since Q is monotone, no incorrect
+    tuples are output."  The transducer floods inputs (Lemma 5(2)) and
+    evaluates Q over own-plus-stored fragments on every transition.
+
+    The construction is only *correct* for monotone Q; it will happily
+    run a non-monotone Q and produce garbage — which is precisely what
+    the E12 CALM bench demonstrates.
+    """
+    probe = flooding_transducer(query.input_schema)
+    combined = probe.schema.combined
+    inner = InnerQuery(query, stored_sources(query.input_schema), combined)
+    return flooding_transducer(
+        query.input_schema,
+        output=inner,
+        name=name or f"theorem6_2_continuous({getattr(query, 'name', query.__class__.__name__)})",
+    )

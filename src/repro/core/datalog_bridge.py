@@ -1,0 +1,165 @@
+"""Theorem 6(5): Datalog ≡ oblivious inflationary nonrecursive-Datalog transducers.
+
+Two directions:
+
+* :func:`datalog_to_transducer` ("only-if"): a Datalog program P becomes
+  an oblivious, inflationary transducer whose local queries are unions
+  of conjunctive queries (nonrecursive!): inputs are flooded, and each
+  heartbeat applies one step of the T_P operator to memory — "we receive
+  input tuples and apply continuously the T_P-operator of the Datalog
+  program.  By the monotone nature of Datalog evaluation, deletions are
+  not needed."  The recursion of P unfolds *across transducer steps*.
+
+* :func:`transducer_to_datalog` ("if"): "The Datalog program ... is
+  obtained by taking together the rules of all update queries Q_ins and
+  the output query Q_out."  Message relations become IDB predicates
+  defined by their send queries — globally, everything sent is
+  eventually received, so the least model treats sends as receipts.
+"""
+
+from __future__ import annotations
+
+from ..db.schema import DatabaseSchema, SchemaError
+from ..lang.ast import Atom, Eq, Literal, Rule, Var
+from ..lang.datalog import DatalogProgram, DatalogQuery
+from ..lang.ucq import UCQNegQuery
+from .builder import build_transducer
+from .constructions import MSG_PREFIX
+from .properties import is_inflationary, is_oblivious
+from .transducer import Transducer
+
+COPY_PREFIX = "Copy_"
+ANSWER_RELATION = "Ans"
+
+
+def _rename_atom(atom: Atom, mapping: dict[str, str]) -> Atom:
+    new_name = mapping.get(atom.relation, atom.relation)
+    return Atom(new_name, atom.terms)
+
+
+def _rename_rule(rule: Rule, body_map: dict[str, str],
+                 head_map: dict[str, str]) -> Rule:
+    body = tuple(
+        Literal(
+            _rename_atom(lit.atom, body_map)
+            if isinstance(lit.atom, Atom)
+            else lit.atom,
+            lit.positive,
+        )
+        for lit in rule.body
+    )
+    return Rule(_rename_atom(rule.head, head_map), body)
+
+
+def datalog_to_transducer(
+    program: DatalogProgram, output: str, name: str | None = None
+) -> Transducer:
+    """Compile a Datalog program to the Theorem 6(5) transducer.
+
+    * inputs: the EDB schema; flooded via ``In_R`` messages;
+    * memory: ``Copy_R`` (accumulated global EDB) plus every IDB
+      relation of the program;
+    * each program rule becomes an insert rule with EDB body atoms
+      redirected to ``Copy_R`` — a single T_P step per transition;
+    * output: the designated IDB relation.
+
+    The result is oblivious, inflationary, and every local query is a
+    union of conjunctive queries.
+    """
+    if output not in program.idb_schema:
+        raise SchemaError(f"output relation {output!r} is not IDB in {program!r}")
+    edb = program.edb_schema
+    messages = {MSG_PREFIX + r: edb[r] for r in edb}
+    memory = {COPY_PREFIX + r: edb[r] for r in edb}
+    memory.update(dict(program.idb_schema))
+
+    lines = []
+    for r in edb.relation_names():
+        xs = ", ".join(f"x{i + 1}" for i in range(edb[r]))
+        msg, copy = MSG_PREFIX + r, COPY_PREFIX + r
+        lines.append(f"send {msg}({xs}) :- {r}({xs}).")
+        lines.append(f"send {msg}({xs}) :- {msg}({xs}).")
+        lines.append(f"insert {copy}({xs}) :- {msg}({xs}).")
+        lines.append(f"insert {copy}({xs}) :- {r}({xs}).")
+    out_arity = program.idb_schema[output]
+    xs = ", ".join(f"x{i + 1}" for i in range(out_arity))
+    lines.append(f"out({xs}) :- {output}({xs}).")
+
+    # Program rules as insert rules, EDB atoms redirected to Copy_R.
+    body_map = {r: COPY_PREFIX + r for r in edb}
+    combined = edb.union(
+        DatabaseSchema({"Id": 1, "All": 1}),
+        DatabaseSchema(messages),
+        DatabaseSchema(memory),
+    )
+    insert_groups: dict[str, list[Rule]] = {}
+    for rule in program.rules:
+        renamed = _rename_rule(rule, body_map, {})
+        insert_groups.setdefault(rule.head.relation, []).append(renamed)
+    insert_queries = {
+        rel: UCQNegQuery(tuple(rules), combined)
+        for rel, rules in insert_groups.items()
+    }
+
+    return build_transducer(
+        inputs=edb,
+        messages=messages,
+        memory=memory,
+        output_arity=out_arity,
+        rules="\n".join(lines),
+        insert=insert_queries,
+        name=name or f"theorem6_5_datalog({output})",
+    )
+
+
+def transducer_to_datalog(transducer: Transducer) -> DatalogQuery:
+    """Recover a Datalog program from an oblivious inflationary transducer.
+
+    Requirements (checked): the transducer is oblivious and inflationary,
+    and every send/insert/output query is a *positive*
+    :class:`~repro.lang.ucq.UCQNegQuery` (i.e. nonrecursive Datalog
+    without negation).  The program consists of
+
+    * the insert rules, head = the memory relation;
+    * the send rules, head = the message relation (globally, sending is
+      receiving);
+    * the output rules, head = ``Ans``.
+
+    Returns the :class:`~repro.lang.datalog.DatalogQuery` with answer
+    relation ``Ans`` over the transducer's input schema.
+    """
+    if not is_oblivious(transducer):
+        raise ValueError("transducer must be oblivious (no Id/All)")
+    if not is_inflationary(transducer):
+        raise ValueError("transducer must be inflationary (no deletions)")
+
+    rules: list[Rule] = []
+
+    def harvest(query, head_relation: str, head_arity: int) -> None:
+        if query.is_empty_syntactic():
+            return
+        if not isinstance(query, UCQNegQuery):
+            raise ValueError(
+                f"query for {head_relation!r} is not a UCQ "
+                f"(got {type(query).__name__})"
+            )
+        for rule in query.rules:
+            if rule.negative_body_atoms():
+                raise ValueError(
+                    f"negated atom in rule for {head_relation!r}: not Datalog"
+                )
+            rules.append(Rule(Atom(head_relation, rule.head.terms), rule.body))
+        if query.arity != head_arity:
+            raise ValueError(f"arity mismatch harvesting {head_relation!r}")
+
+    for rel, query in transducer.send_queries.items():
+        harvest(query, rel, transducer.schema.messages[rel])
+    for rel, query in transducer.insert_queries.items():
+        harvest(query, rel, transducer.schema.memory[rel])
+    harvest(transducer.output_query, ANSWER_RELATION,
+            transducer.schema.output_arity)
+
+    program = DatalogProgram(tuple(rules), transducer.schema.inputs)
+    if ANSWER_RELATION not in program.idb_schema:
+        raise ValueError("transducer has no output rules; nothing to compute")
+    return DatalogQuery(program, ANSWER_RELATION)

@@ -1,0 +1,224 @@
+"""The paper's worked examples as library transducers.
+
+* :func:`first_element_transducer` — Example 2 (not consistent);
+* :func:`transitive_closure_transducer` — Examples 3 and 9 (consistent,
+  network-topology independent, coordination-free);
+* :func:`relay_identity_transducer` — Example 4 (consistent on every
+  network, but not network-topology independent);
+* :func:`ab_nonempty_transducer` — the Section 5 example of a
+  coordination-free transducer for which full replication does *not*
+  avoid communication;
+* :func:`emptiness_transducer` — Example 10 (not coordination-free);
+* :func:`ping_identity_transducer` — Example 15 (uses All but not Id;
+  network-topology independent, not coordination-free).
+
+Each docstring quotes the paper's description; the rule blocks are the
+straightforward transcription into the builder DSL, with FO query
+objects where a rule needs a universal or a negated existential.
+"""
+
+from __future__ import annotations
+
+from ..db.schema import schema
+from ..lang.query import FOQuery
+from .builder import build_transducer
+from .transducer import Transducer
+
+
+def first_element_transducer() -> Transducer:
+    """Example 2 — an inconsistent network.
+
+    "The input is a set S of data elements.  Each node sends its part of
+    S to its neighbors.  Also, each node outputs the first element it
+    receives and outputs no further elements."
+
+    On a network with ≥ 2 nodes and |S| ≥ 2, different delivery orders
+    output different elements — the E02 bench finds two runs with
+    different outputs.
+    """
+    return build_transducer(
+        inputs={"S": 1},
+        messages={"M": 1},
+        memory={"GotOne": 0},
+        output_arity=1,
+        rules="""
+            send M(x)       :- S(x).
+            out(x)          :- M(x), not GotOne().
+            insert GotOne() :- M(x).
+        """,
+        name="example2_first_element",
+    )
+
+
+def transitive_closure_transducer() -> Transducer:
+    """Examples 3 and 9 — distributed transitive closure.
+
+    "Each node sends its part of the input to its neighbors.  Each node
+    also sends all tuples it receives to its neighbors.  In this way the
+    input is flooded to all nodes.  Each node accumulates the tuples it
+    receives in a memory relation R.  Finally, each node maintains a
+    memory relation T in which we repeatedly insert S ∪ R ∪ T ∪ (T ∘ T).
+    This relation T is also output."
+
+    Oblivious, inflationary and monotone — hence coordination-free
+    (Example 9 / Proposition 11).
+    """
+    return build_transducer(
+        inputs={"S": 2},
+        messages={"M": 2},
+        memory={"R": 2, "T": 2},
+        output_arity=2,
+        rules="""
+            send M(x, y)   :- S(x, y).
+            send M(x, y)   :- M(x, y).
+            insert R(x, y) :- M(x, y).
+            insert T(x, y) :- S(x, y).
+            insert T(x, y) :- R(x, y).
+            insert T(x, y) :- T(x, z), T(z, y).
+            out(x, y)      :- T(x, y).
+        """,
+        name="example3_transitive_closure",
+    )
+
+
+def relay_identity_transducer() -> Transducer:
+    """Example 4 — consistent everywhere, yet not topology-independent.
+
+    "Each node sends its input to its neighbors and also sends the
+    elements it receives to its neighbors.  Each node only outputs the
+    elements it receives.  On any network with at least two nodes, the
+    identity query is computed, but on the network with a single node,
+    the empty query is computed."
+    """
+    return build_transducer(
+        inputs={"S": 1},
+        messages={"M": 1},
+        memory={"Rcv": 1},
+        output_arity=1,
+        rules="""
+            send M(x)     :- S(x).
+            send M(x)     :- M(x).
+            insert Rcv(x) :- M(x).
+            out(x)        :- Rcv(x).
+        """,
+        name="example4_relay_identity",
+    )
+
+
+def ab_nonempty_transducer() -> Transducer:
+    """The Section 5 example: coordination-free, yet full replication
+    does not make communication unnecessary.
+
+    Input: two sets A, B.  Query: is at least one of A, B nonempty?
+    "If the network has only one node ..., the transducer simply outputs
+    the answer to the query.  Otherwise, it first tests if its local
+    input fragments A and B are both nonempty.  If yes, nothing is
+    output, but the value 'true' ... is sent out.  Any node that
+    receives the message 'true' will output it.  When A or B is empty
+    locally, the transducer simply outputs the desired output directly."
+
+    The witness partitions are the ones where no node holds both an
+    A-fact and a B-fact; on those, heartbeats alone settle the answer.
+    """
+    tschema = schema(A=1, B=1, Id=1, All=1, T=0)
+    multi = "exists w: All(w) & not Id(w)"
+    single = f"not ({multi})"
+    send_true = FOQuery.parse(
+        f"({multi}) & (exists x: A(x)) & (exists y: B(y))", "", tschema
+    )
+    output = FOQuery.parse(
+        # single node: answer the query directly
+        f"(({single}) & ((exists x: A(x)) | (exists x: B(x))))"
+        # received 'true': output it
+        " | T()"
+        # multi-node, locally one of A/B empty: output directly when sound
+        f" | (({multi}) & (exists x: A(x)) & not (exists y: B(y)))"
+        f" | (({multi}) & (exists y: B(y)) & not (exists x: A(x)))",
+        "",
+        tschema,
+    )
+    return build_transducer(
+        inputs={"A": 1, "B": 1},
+        messages={"T": 0},
+        memory={},
+        output_arity=0,
+        send={"T": send_true},
+        output=output,
+        name="section5_ab_nonempty",
+    )
+
+
+def emptiness_transducer() -> Transducer:
+    """Example 10 — the emptiness query; requires coordination.
+
+    "Every node sends out its identifier (using the relation Id) on
+    condition that its local relation S is empty.  Received messages are
+    forwarded, so that if S is globally empty, eventually all nodes will
+    have received the identifiers of all nodes, which can be checked
+    using the relation All.  When this has happened the transducer at
+    each node outputs 'true'."
+
+    The self-identifier is additionally recorded locally (a node knows
+    its own S is empty), which the one-node network needs.
+    """
+    tschema = schema(S=1, Id=1, All=1, N=1, Seen=1)
+    # Send my own identifier while my S is empty; forward received ones.
+    send_ids = FOQuery.parse(
+        "N(w) | (Id(w) & not (exists x: S(x)))", "w", tschema
+    )
+    # Seen records forwarded identifiers plus my own (I know my S is empty).
+    insert_seen = FOQuery.parse(
+        "N(w) | (Id(w) & not (exists x: S(x)))", "w", tschema
+    )
+    ready = FOQuery.parse("forall w: All(w) -> Seen(w)", "", tschema)
+    return build_transducer(
+        inputs={"S": 1},
+        messages={"N": 1},
+        memory={"Seen": 1},
+        output_arity=0,
+        send={"N": send_ids},
+        insert={"Seen": insert_seen},
+        output=ready,
+        name="example10_emptiness",
+    )
+
+
+def ping_identity_transducer() -> Transducer:
+    """Example 15 — network-topology independent, no Id, not coordination-free.
+
+    "The query expressed is simply the identity query on a set S.  The
+    transducer can detect whether he is alone in the network by looking
+    at the relation All.  If so, he simply outputs the result.  If he is
+    not alone, he sends out a ping message.  Only upon receiving a ping
+    message he outputs the result."
+
+    Note the aloneness test uses only All (two distinct elements exist
+    in All), not Id — this transducer witnesses that All alone already
+    breaks coordination-freeness (while Theorem 16 shows monotonicity
+    survives).
+    """
+    tschema = schema(S=1, Id=1, All=1, Ping=0)
+    multi = "exists w, u: All(w) & All(u) & w != u"
+    send_ping = FOQuery.parse(multi, "", tschema)
+    output = FOQuery.parse(
+        f"(S(x) & not ({multi})) | (S(x) & Ping())", "x", tschema
+    )
+    return build_transducer(
+        inputs={"S": 1},
+        messages={"Ping": 0},
+        memory={},
+        output_arity=1,
+        send={"Ping": send_ping},
+        output=output,
+        name="example15_ping_identity",
+    )
+
+
+ALL_EXAMPLES = {
+    "example2": first_element_transducer,
+    "example3": transitive_closure_transducer,
+    "example4": relay_identity_transducer,
+    "section5_ab": ab_nonempty_transducer,
+    "example10": emptiness_transducer,
+    "example15": ping_identity_transducer,
+}

@@ -1,0 +1,262 @@
+"""Proposition 7: compiling FO into staged UCQ¬ — the omitted proof.
+
+"Every (monotone) query that can be distributedly computed by an
+FO-transducer can be distributedly computed by an (oblivious)
+UCQ¬-transducer."  The paper proves this "by simulating FO queries by
+fixed compositions of UCQ¬" and omits the details; this module supplies
+them executably.
+
+The idea: each subformula of an FO formula becomes a memory relation
+``F_i`` holding the subformula's satisfying assignments; one UCQ¬
+insert query per node computes it from its children's relations (and an
+``FAdom`` relation for complements and equalities, per the
+active-domain semantics).  Quantifier ∀ is rewritten to ¬∃¬ first.
+
+Because memory is inflationary, a complement computed from an
+*incomplete* child would poison the result; the stages are therefore
+gated on a chain of nullary ``FTick_j`` relations — level-j nodes only
+fire once every level-(j−1) node is final.  For *positive* formulas no
+gating is needed (everything under-approximates monotonically), which
+is what makes the oblivious variant of Proposition 7 work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..db.schema import DatabaseSchema
+from ..lang.ast import (
+    And,
+    Atom,
+    Const,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Literal,
+    Not,
+    Or,
+    Rule,
+    Var,
+)
+from ..lang.query import FOQuery
+
+ADOM_RELATION = "FAdom"
+TICK_PREFIX = "FTick_"
+NODE_PREFIX = "F_"
+
+
+def eliminate_forall(formula: Formula) -> Formula:
+    """Rewrite ∀x̄ φ to ¬∃x̄ ¬φ, recursively."""
+    if isinstance(formula, (Atom, Eq)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(eliminate_forall(formula.body))
+    if isinstance(formula, And):
+        return And(tuple(eliminate_forall(p) for p in formula.parts))
+    if isinstance(formula, Or):
+        return Or(tuple(eliminate_forall(p) for p in formula.parts))
+    if isinstance(formula, Exists):
+        return Exists(formula.variables, eliminate_forall(formula.body))
+    if isinstance(formula, Forall):
+        return Not(Exists(formula.variables, Not(eliminate_forall(formula.body))))
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+@dataclass
+class StagedCompilation:
+    """The output of :func:`compile_fo_staged`."""
+
+    #: memory relations introduced (F_i nodes, FAdom, FTick_j)
+    memory: dict[str, int]
+    #: insert rules grouped by head relation
+    insert_rules: dict[str, list[Rule]] = field(default_factory=dict)
+    #: the root node's relation and its answer-variable order
+    root_relation: str = ""
+    root_vars: tuple[Var, ...] = ()
+    #: number of tick levels (the output gate is FTick_{levels})
+    levels: int = 0
+
+    @property
+    def final_tick(self) -> str:
+        return f"{TICK_PREFIX}{self.levels}"
+
+    def output_rule(self, head: str) -> Rule:
+        """``head(x̄) :- F_root(x̄), FTick_final().``"""
+        return Rule(
+            Atom(head, self.root_vars),
+            (
+                Literal(Atom(self.root_relation, self.root_vars)),
+                Literal(Atom(self.final_tick, ())),
+            ),
+        )
+
+
+def compile_fo_staged(
+    query: FOQuery,
+    sources: dict[str, str] | None = None,
+    gated: bool = True,
+    tick_seed_body: tuple[Literal, ...] = (),
+) -> StagedCompilation:
+    """Compile an FO query into staged UCQ¬ insert rules.
+
+    *sources* renames the input relations the compiled rules read (e.g.
+    ``{"S": "Stored_S"}`` to read collected copies).  With
+    ``gated=False`` no tick chain is produced (sound only for positive
+    formulas, where continuous re-evaluation under-approximates).
+    *tick_seed_body* lets callers delay the whole pipeline: the body of
+    the ``FTick_0`` rule (e.g. ``Ready()``), empty = fire immediately.
+    """
+    sources = sources or {}
+    formula = eliminate_forall(query.formula)
+    if not gated and not formula.is_positive():
+        raise ValueError(
+            "ungated (continuous) compilation is only sound for positive "
+            "formulas — complements of growing relations would poison the "
+            "inflationary stages"
+        )
+    result = StagedCompilation(memory={})
+    counter = [0]
+
+    def rename(name: str) -> str:
+        return sources.get(name, name)
+
+    def adom_atom(var: Var) -> Literal:
+        return Literal(Atom(ADOM_RELATION, (var,)))
+
+    def fresh(arity: int) -> str:
+        counter[0] += 1
+        name = f"{NODE_PREFIX}{counter[0]}"
+        result.memory[name] = arity
+        return name
+
+    def add_rule(head_rel: str, head_vars: tuple[Var, ...],
+                 body: list[Literal], level: int) -> None:
+        if gated and level > 0:
+            body = body + [Literal(Atom(f"{TICK_PREFIX}{level - 1}", ()))]
+        result.insert_rules.setdefault(head_rel, []).append(
+            Rule(Atom(head_rel, head_vars), tuple(body))
+        )
+
+    def visit(node: Formula) -> tuple[str, tuple[Var, ...], int]:
+        """Returns (relation, ordered free vars, level)."""
+        if isinstance(node, Atom):
+            out_vars = tuple(sorted(node.free_vars(), key=lambda v: v.name))
+            rel = fresh(len(out_vars))
+            body = [Literal(Atom(rename(node.relation), node.terms))]
+            add_rule(rel, out_vars, body, 1)
+            return rel, out_vars, 1
+        if isinstance(node, Eq):
+            left, right = node.left, node.right
+            out_vars = tuple(sorted(node.free_vars(), key=lambda v: v.name))
+            rel = fresh(len(out_vars))
+            if isinstance(left, Const) and isinstance(right, Const):
+                if left.value == right.value:
+                    add_rule(rel, (), [], 1)  # a fact: always true
+                return rel, out_vars, 1
+            body: list[Literal] = []
+            for v in out_vars:
+                body.append(adom_atom(v))
+            body.append(Literal(Eq(left, right)))
+            add_rule(rel, out_vars, body, 1)
+            return rel, out_vars, 1
+        if isinstance(node, Not):
+            child_rel, child_vars, child_level = visit(node.body)
+            rel = fresh(len(child_vars))
+            level = child_level + 1
+            body = [adom_atom(v) for v in child_vars]
+            body.append(Literal(Atom(child_rel, child_vars), positive=False))
+            add_rule(rel, child_vars, body, level)
+            return rel, child_vars, level
+        if isinstance(node, And):
+            children = [visit(p) for p in node.parts]
+            out_vars = tuple(
+                sorted(node.free_vars(), key=lambda v: v.name)
+            )
+            rel = fresh(len(out_vars))
+            level = 1 + max(lv for _, _, lv in children)
+            body = [
+                Literal(Atom(crel, cvars)) for crel, cvars, _ in children
+            ]
+            add_rule(rel, out_vars, body, level)
+            return rel, out_vars, level
+        if isinstance(node, Or):
+            children = [visit(p) for p in node.parts]
+            out_vars = tuple(sorted(node.free_vars(), key=lambda v: v.name))
+            rel = fresh(len(out_vars))
+            level = 1 + max(lv for _, _, lv in children)
+            for crel, cvars, _ in children:
+                body = [Literal(Atom(crel, cvars))]
+                # pad missing variables with the active domain
+                body.extend(adom_atom(v) for v in out_vars if v not in cvars)
+                add_rule(rel, out_vars, body, level)
+            return rel, out_vars, level
+        if isinstance(node, Exists):
+            child_rel, child_vars, child_level = visit(node.body)
+            out_vars = tuple(sorted(node.free_vars(), key=lambda v: v.name))
+            rel = fresh(len(out_vars))
+            level = child_level + 1
+            body = [Literal(Atom(child_rel, child_vars))]
+            # a quantified variable absent from the body ranges over adom:
+            # ∃ then needs adom nonempty — witnessed by any FAdom atom.
+            phantom = [v for v in node.variables if v not in child_vars]
+            body.extend(adom_atom(v) for v in phantom)
+            add_rule(rel, out_vars, body, level)
+            return rel, out_vars, level
+        raise TypeError(f"not a formula node: {node!r}")
+
+    root_rel, root_vars_sorted, depth = visit(formula)
+    # reorder to the query's declared answer order via one more stage
+    if tuple(query.answer_vars) != root_vars_sorted:
+        reordered = fresh(len(query.answer_vars))
+        add_rule(
+            reordered,
+            tuple(query.answer_vars),
+            [Literal(Atom(root_rel, root_vars_sorted))],
+            depth + 1,
+        )
+        root_rel, root_vars_sorted = reordered, tuple(query.answer_vars)
+        depth += 1
+
+    result.root_relation = root_rel
+    result.root_vars = root_vars_sorted
+    result.levels = depth
+
+    # FAdom: every position of every (renamed) source relation, plus the
+    # formula's constants.
+    result.memory[ADOM_RELATION] = 1
+    adom_rules = result.insert_rules.setdefault(ADOM_RELATION, [])
+    for name in query.input_schema.relation_names():
+        arity = query.input_schema[name]
+        for position in range(arity):
+            terms = tuple(
+                Var(f"a{i + 1}") for i in range(arity)
+            )
+            adom_rules.append(
+                Rule(
+                    Atom(ADOM_RELATION, (terms[position],)),
+                    (Literal(Atom(rename(name), terms)),),
+                )
+            )
+    from ..lang.fo import formula_constants
+
+    for value in sorted(formula_constants(formula), key=repr):
+        adom_rules.append(Rule(Atom(ADOM_RELATION, (Const(value),)), ()))
+
+    # the tick chain
+    if gated:
+        for j in range(depth + 1):
+            tick = f"{TICK_PREFIX}{j}"
+            result.memory[tick] = 0
+            if j == 0:
+                result.insert_rules.setdefault(tick, []).append(
+                    Rule(Atom(tick, ()), tuple(tick_seed_body))
+                )
+            else:
+                result.insert_rules.setdefault(tick, []).append(
+                    Rule(
+                        Atom(tick, ()),
+                        (Literal(Atom(f"{TICK_PREFIX}{j - 1}", ())),),
+                    )
+                )
+    return result

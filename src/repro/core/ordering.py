@@ -1,0 +1,191 @@
+"""Corollary 8: building a linear order on ≥ 2 nodes (hence PSPACE).
+
+Section 4, closing remark: "in a transducer network of at least two
+nodes, each node can establish a linear order on the active domain, by
+first collecting all input tuples, then sending out all elements of the
+active domain, forwarding messages and storing the elements that are
+received back in the order they are received."
+
+:func:`ordering_transducer` implements the protocol on top of the
+Lemma 5(1) multicast, entirely with FO queries (Corollary 8 is about
+FO-transducers): once ``Ready``, every node floods the elements of the
+collected active domain; each element is appended to the local order
+(``Less``) the first time it arrives — single-fact deliveries give the
+arrival sequence.  Different nodes/runs build different orders (the
+paper notes the protocol is not network-topology independent; it does
+nothing on a one-node network), but each is a strict total order on
+adom(I), which is what the PSPACE construction needs.
+
+:func:`parity_transducer` demonstrates the power gained: "is |S| even?"
+— not computable by any generic machinery without order — via an FO
+walk along the order: ``Odd``/``Even`` mark the parity of each order
+prefix, advanced one successor step per heartbeat.
+"""
+
+from __future__ import annotations
+
+from ..db.schema import DatabaseSchema, schema
+from ..lang.ast import Atom, Exists, Formula, Or, Var
+from ..lang.query import FOQuery
+from .constructions import READY_RELATION, STORE_PREFIX, multicast_transducer
+from .schema import TransducerSchema
+from .transducer import Transducer
+
+
+def _adom_formula(input_schema: DatabaseSchema, prefix: str, var: Var) -> Formula:
+    """FO formula: *var* occurs in some position of some ``prefix+R``."""
+    disjuncts: list[Formula] = []
+    for r in input_schema.relation_names():
+        arity = input_schema[r]
+        for position in range(arity):
+            terms = []
+            others = []
+            for i in range(arity):
+                if i == position:
+                    terms.append(var)
+                else:
+                    other = Var(f"o{i + 1}")
+                    terms.append(other)
+                    others.append(other)
+            atom = Atom(prefix + r, tuple(terms))
+            disjuncts.append(Exists(tuple(others), atom) if others else atom)
+    if not disjuncts:
+        raise ValueError("input schema has no relations with positive arity")
+    return disjuncts[0] if len(disjuncts) == 1 else Or(tuple(disjuncts))
+
+
+def ordering_transducer(input_schema: DatabaseSchema | None = None) -> Transducer:
+    """The Corollary 8 linear-order protocol (an FO-transducer).
+
+    Input defaults to a single unary relation S.  Memory after
+    convergence (on ≥ 2 nodes): at every node, ``Less`` is a strict
+    total order on adom(I) and ``Rcvd`` = adom(I).  No output; this is
+    a substrate for order-consuming computations.
+    """
+    if input_schema is None:
+        input_schema = schema(S=1)
+    base = multicast_transducer(input_schema)
+    messages = dict(base.schema.messages)
+    messages["Elem"] = 1
+    memory = dict(base.schema.memory)
+    memory.update({"Rcvd": 1, "Less": 2})
+    combined = input_schema.union(
+        schema(Id=1, All=1), DatabaseSchema(messages), DatabaseSchema(memory)
+    )
+
+    x = Var("x")
+    adom = _adom_formula(input_schema, STORE_PREFIX, x)
+    # Once Ready, flood the collected active domain; always forward.
+    send_elem = FOQuery(
+        Or((
+            Atom(READY_RELATION, ()) & adom,
+            Atom("Elem", (x,)),
+        )),
+        (x,),
+        combined,
+    )
+    # Append a newly arrived element after everything already received.
+    insert_less = FOQuery.parse(
+        "Elem(x) & Rcvd(y) & not Rcvd(x)", "y, x", combined
+    )
+    insert_rcvd = FOQuery.parse("Elem(x)", "x", combined)
+
+    send_queries = dict(base.send_queries)
+    send_queries["Elem"] = send_elem
+    insert_queries = dict(base.insert_queries)
+    insert_queries["Less"] = insert_less
+    insert_queries["Rcvd"] = insert_rcvd
+
+    return Transducer(
+        TransducerSchema(
+            input_schema, DatabaseSchema(messages), DatabaseSchema(memory), 0
+        ),
+        send=send_queries,
+        insert=insert_queries,
+        delete=dict(base.delete_queries),
+        output=None,
+        name="corollary8_ordering",
+    )
+
+
+def check_strict_total_order(less: frozenset, elements: frozenset) -> bool:
+    """Is *less* a strict total order on *elements*? (test/bench helper)"""
+    pairs = set(less)
+    for a in elements:
+        if (a, a) in pairs:
+            return False
+        for b in elements:
+            if a == b:
+                continue
+            ab, ba = (a, b) in pairs, (b, a) in pairs
+            if ab == ba:  # both or neither: not antisymmetric / not total
+                return False
+    for a, b in pairs:
+        for c in elements:
+            if (b, c) in pairs and (a, c) not in pairs:
+                return False
+    return True
+
+
+def parity_transducer() -> Transducer:
+    """"Is |S| even?" computed by an FO-transducer using the order.
+
+    The guard ``OrderDone`` (Ready, and every collected element received
+    back) freezes the order before the walk starts; then::
+
+        Odd(x)  ← first(x)                 -- position 1
+        Even(x) ← succ(y, x) ∧ Odd(y)      -- positions 2, 4, ...
+        Odd(x)  ← succ(y, x) ∧ Even(y)
+        out()   ← S empty ∨ (last(x) ∧ Even(x))
+
+    advanced one successor step per heartbeat through the memory
+    fixpoint.  On a one-node network no elements are ever received back,
+    so nonempty inputs produce no output — the ≥ 2 nodes proviso of
+    Corollary 8.
+    """
+    input_schema = schema(S=1)
+    base = ordering_transducer(input_schema)
+    messages = dict(base.schema.messages)
+    memory = dict(base.schema.memory)
+    memory.update({"Odd": 1, "Even": 1})
+    combined = input_schema.union(
+        schema(Id=1, All=1), DatabaseSchema(messages), DatabaseSchema(memory)
+    )
+
+    stored = STORE_PREFIX + "S"
+    order_done = (
+        f"{READY_RELATION}() & (forall z: {stored}(z) -> Rcvd(z))"
+    )
+    first = "Rcvd(x) & not (exists y: Less(y, x))"
+    succ = "Less(y, x) & not (exists z: Less(y, z) & Less(z, x))"
+    last = "Rcvd(x) & not (exists y: Less(x, y))"
+
+    insert_odd = FOQuery.parse(
+        f"({order_done}) & (({first}) | (exists y: ({succ}) & Even(y)))",
+        "x",
+        combined,
+    )
+    insert_even = FOQuery.parse(
+        f"({order_done}) & (exists y: ({succ}) & Odd(y))", "x", combined
+    )
+    output = FOQuery.parse(
+        f"(({order_done}) & not (exists z: {stored}(z)))"
+        f" | (({order_done}) & (exists x: ({last}) & Even(x)))",
+        "",
+        combined,
+    )
+
+    insert_queries = dict(base.insert_queries)
+    insert_queries["Odd"] = insert_odd
+    insert_queries["Even"] = insert_even
+
+    return Transducer(
+        TransducerSchema(
+            input_schema, DatabaseSchema(messages), DatabaseSchema(memory), 0
+        ),
+        send=dict(base.send_queries),
+        insert=insert_queries,
+        delete=dict(base.delete_queries),
+        output=output,
+        name="corollary8_parity",
+    )

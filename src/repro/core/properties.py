@@ -1,0 +1,67 @@
+"""Syntactic transducer properties: oblivious, inflationary, monotone.
+
+From Section 4:
+
+* **Oblivious**: "does not use the relations Id and All" — the program
+  is unaware of the context it runs in.  Every network-topology
+  independent oblivious transducer is coordination-free (Prop. 11).
+* **Inflationary**: "does not do deletions" — every deletion query is
+  empty.
+* **Monotone**: "uses only monotone local queries".
+
+These are *syntactic* certificates: they inspect the queries, not
+run-time behaviour.  Section 7 refines obliviousness into "does not use
+Id" and "does not use All" separately (Theorem 16, Corollary 17), so
+those tests are exposed individually.
+"""
+
+from __future__ import annotations
+
+from .schema import ALL_RELATION, ID_RELATION
+from .transducer import Transducer
+
+
+def uses_id(transducer: Transducer) -> bool:
+    """True when some local query reads the ``Id`` relation."""
+    return any(
+        ID_RELATION in query.relations() for _, query in transducer.all_queries()
+    )
+
+
+def uses_all(transducer: Transducer) -> bool:
+    """True when some local query reads the ``All`` relation."""
+    return any(
+        ALL_RELATION in query.relations() for _, query in transducer.all_queries()
+    )
+
+
+def is_oblivious(transducer: Transducer) -> bool:
+    """True when no local query reads ``Id`` or ``All`` (Section 4)."""
+    return not uses_id(transducer) and not uses_all(transducer)
+
+
+def is_inflationary(transducer: Transducer) -> bool:
+    """True when every deletion query is syntactically empty (Section 4).
+
+    The paper's notion is semantic ("each deletion query returns empty on
+    all inputs"); the syntactic check is the sound approximation: a
+    missing/[:class:`~repro.lang.query.EmptyQuery`] deletion query is a
+    certificate.
+    """
+    return all(q.is_empty_syntactic() for q in transducer.delete_queries.values())
+
+
+def is_monotone(transducer: Transducer) -> bool:
+    """True when every local query is syntactically monotone (Section 4)."""
+    return all(q.is_monotone_syntactic() for _, q in transducer.all_queries())
+
+
+def property_report(transducer: Transducer) -> dict[str, bool]:
+    """All four property flags in one dictionary (used by benchmarks)."""
+    return {
+        "oblivious": is_oblivious(transducer),
+        "inflationary": is_inflationary(transducer),
+        "monotone": is_monotone(transducer),
+        "uses_id": uses_id(transducer),
+        "uses_all": uses_all(transducer),
+    }

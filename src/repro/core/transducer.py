@@ -1,0 +1,252 @@
+"""Abstract relational transducers and their transition semantics.
+
+Section 2.1: a transducer over a schema (Sin, Ssys, Smsg, Smem, k) is a
+collection of queries — one send query per message relation, one insert
+and one delete query per memory relation, and one output query — all
+over the combined schema.
+
+The transition relation is implemented *literally*, including the
+"intimidating update formula" resolving conflicting inserts/deletes:
+
+    J(R) = (Qins \\ Qdel) ∪ (Qins ∩ Qdel ∩ I(R)) ∪ (I(R) \\ (Qins ∪ Qdel))
+
+i.e. a tuple both inserted and deleted keeps its previous status.
+Transitions are deterministic (a pure function of state and received
+messages) and outputs can never be retracted — the runtime accumulates
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from ..db.fact import Fact
+from ..db.instance import Instance
+from ..db.schema import SchemaError
+from ..lang.query import EmptyQuery, Query
+from .schema import TransducerSchema
+
+
+@dataclass(frozen=True)
+class LocalTransition:
+    """One local transducer transition ``I, Ircv --Jout--> J, Jsnd``.
+
+    *new_state* is the state J; *sent* is the message instance Jsnd;
+    *output* is the k-ary relation Jout (a set of tuples, not facts).
+    """
+
+    state: Instance
+    received: Instance
+    new_state: Instance
+    sent: Instance
+    output: frozenset
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the transition changes no state, sends and outputs nothing.
+
+        (Used by quiescence detection; note a transition with output that
+        has already been produced earlier is *not* captured here — the
+        runtime compares against accumulated output.)
+        """
+        return (
+            self.new_state == self.state
+            and not self.sent.facts()
+            and not self.output
+        )
+
+
+class Transducer:
+    """An abstract relational transducer: a collection of queries.
+
+    Parameters
+    ----------
+    schema:
+        The transducer schema.
+    send:
+        Mapping from message relation name to its send query.  Missing
+        relations default to the empty query (never sent).
+    insert, delete:
+        Mappings from memory relation name to insert/delete queries.
+        Missing relations default to the empty query.
+    output:
+        The output query ``Qout`` (defaults to the empty query of the
+        output arity).
+    name:
+        Optional human-readable name used in reprs and reports.
+    """
+
+    def __init__(
+        self,
+        schema: TransducerSchema,
+        send: Mapping[str, Query] | None = None,
+        insert: Mapping[str, Query] | None = None,
+        delete: Mapping[str, Query] | None = None,
+        output: Query | None = None,
+        name: str | None = None,
+    ):
+        self.schema = schema
+        combined = schema.combined
+        send = dict(send or {})
+        insert = dict(insert or {})
+        delete = dict(delete or {})
+
+        def check(query: Query, arity: int, role: str) -> Query:
+            if query.arity != arity:
+                raise SchemaError(
+                    f"{role} query has arity {query.arity}, expected {arity}"
+                )
+            for rel in query.relations():
+                if rel not in combined:
+                    raise SchemaError(
+                        f"{role} query reads {rel!r} outside the combined schema"
+                    )
+            return query
+
+        for rel in send:
+            if rel not in schema.messages:
+                raise SchemaError(f"send query for non-message relation {rel!r}")
+        for mapping, label in ((insert, "insert"), (delete, "delete")):
+            for rel in mapping:
+                if rel not in schema.memory:
+                    raise SchemaError(f"{label} query for non-memory relation {rel!r}")
+
+        self.send_queries = {
+            rel: check(
+                send.get(rel, EmptyQuery(schema.messages[rel], combined)),
+                schema.messages[rel],
+                f"send[{rel}]",
+            )
+            for rel in schema.messages
+        }
+        self.insert_queries = {
+            rel: check(
+                insert.get(rel, EmptyQuery(schema.memory[rel], combined)),
+                schema.memory[rel],
+                f"insert[{rel}]",
+            )
+            for rel in schema.memory
+        }
+        self.delete_queries = {
+            rel: check(
+                delete.get(rel, EmptyQuery(schema.memory[rel], combined)),
+                schema.memory[rel],
+                f"delete[{rel}]",
+            )
+            for rel in schema.memory
+        }
+        self.output_query = check(
+            output
+            if output is not None
+            else EmptyQuery(schema.output_arity, combined),
+            schema.output_arity,
+            "output",
+        )
+        self.name = name or "transducer"
+
+    # -- query plumbing ------------------------------------------------------
+
+    def all_queries(self) -> list[tuple[str, Query]]:
+        """All queries with role labels, for property checks and reports."""
+        out: list[tuple[str, Query]] = []
+        for rel, q in sorted(self.send_queries.items()):
+            out.append((f"send[{rel}]", q))
+        for rel, q in sorted(self.insert_queries.items()):
+            out.append((f"insert[{rel}]", q))
+        for rel, q in sorted(self.delete_queries.items()):
+            out.append((f"delete[{rel}]", q))
+        out.append(("output", self.output_query))
+        return out
+
+    # -- state construction ----------------------------------------------------
+
+    def make_state(
+        self,
+        local_input: Instance,
+        node: object,
+        all_nodes: frozenset,
+    ) -> Instance:
+        """Build a legal state: input fragment + Id = {node} + All = nodes + empty memory.
+
+        This enforces the configuration conditions of Section 3:
+        ``I(Id) = {v}`` and ``I(All) = V``.
+        """
+        for rel in local_input.schema:
+            if rel not in self.schema.inputs:
+                raise SchemaError(
+                    f"local input has relation {rel!r} outside the input schema"
+                )
+        state = Instance.empty(self.schema.state)
+        state = state.with_facts(local_input.facts())
+        state = state.set_relation("Id", [(node,)])
+        state = state.set_relation("All", [(v,) for v in all_nodes])
+        return state
+
+    def check_state(self, state: Instance) -> None:
+        """Validate that *state* instantiates Sin ∪ Ssys ∪ Smem."""
+        if state.schema != self.schema.state:
+            raise SchemaError(
+                f"state schema {state.schema} differs from {self.schema.state}"
+            )
+        if len(state.relation("Id")) != 1:
+            raise SchemaError("state must have exactly one Id fact")
+
+    # -- the transition function ---------------------------------------------------
+
+    def transition(self, state: Instance, received: Instance) -> LocalTransition:
+        """The unique transition from *state* reading *received* messages.
+
+        *received* must be an instance of (a subschema of) Smsg.  Raises
+        :class:`~repro.lang.query.QueryUndefined` when some local query
+        is undefined on I' — then no transition exists (Section 2.1:
+        "every query of Π is defined on I'").
+        """
+        for rel in received.schema:
+            if rel not in self.schema.messages:
+                raise SchemaError(f"received non-message relation {rel!r}")
+        combined = self.schema.combined
+        current = Instance(combined, state.facts() | received.facts())
+
+        sent_facts: set[Fact] = set()
+        for rel, query in self.send_queries.items():
+            for row in query(current):
+                sent_facts.add(Fact(rel, row))
+        sent = Instance(self.schema.messages, sent_facts)
+
+        output = frozenset(self.output_query(current))
+
+        new_state = state
+        for rel in self.schema.memory:
+            inserted = self.insert_queries[rel](current)
+            deleted = self.delete_queries[rel](current)
+            old = state.relation(rel)
+            updated = (
+                (inserted - deleted)
+                | (inserted & deleted & old)
+                | (old - (inserted | deleted))
+            )
+            if updated != old:
+                new_state = new_state.set_relation(rel, updated)
+
+        return LocalTransition(
+            state=state,
+            received=received,
+            new_state=new_state,
+            sent=sent,
+            output=output,
+        )
+
+    def heartbeat(self, state: Instance) -> LocalTransition:
+        """A transition reading no messages (the local half of a heartbeat)."""
+        return self.transition(state, Instance.empty(self.schema.messages))
+
+    def deliver(self, state: Instance, fact: Fact) -> LocalTransition:
+        """A transition reading the single message fact *fact*."""
+        received = Instance(
+            self.schema.messages.restrict([fact.relation]), (fact,)
+        ).expand_schema(self.schema.messages)
+        return self.transition(state, received)
+
+    def __repr__(self) -> str:
+        return f"Transducer({self.name!r}, {self.schema!r})"

@@ -1,0 +1,263 @@
+"""Proposition 7's transducers: everything in UCQ¬.
+
+Three constructions, mirroring the FO ones but with every local query a
+union of conjunctive queries with negation:
+
+* :func:`ucq_multicast_transducer` — the paper's "the transducer from
+  Lemma 5(1) can actually be implemented to use only unions of
+  conjunctive queries with negation (UCQ¬)" (proof omitted there).  The
+  FO universal checks ("u acked all my facts", "Done received from
+  every node") become *assigned* helper relations via the insert-Q /
+  delete-R idiom: ``MissingAck := {u | some local fact lacks u's ack}``
+  recomputed every step.  Because acks only accumulate, the helpers
+  only shrink, so the derived flags are possibly delayed but never
+  early — Ready keeps Lemma 5(1)'s never-early guarantee.  (The UCQ¬
+  version uses deletions; only the FO version is inflationary.)
+
+* :func:`ucq_collect_then_apply_transducer` — Theorem 6(1) with UCQ¬
+  local queries: UCQ¬ multicast + the staged FO compilation of
+  :mod:`repro.core.fo_compile`, gated on Ready.
+
+* :func:`ucq_continuous_transducer` — the oblivious half: for
+  *positive* FO queries, flooding + ungated continuous staged rules;
+  oblivious, inflationary, monotone.
+"""
+
+from __future__ import annotations
+
+from ..db.schema import DatabaseSchema
+from ..lang.ast import Atom, Literal, Rule, Var
+from ..lang.query import FOQuery, Query
+from ..lang.ucq import UCQNegQuery
+from .builder import build_transducer
+from .constructions import (
+    ACK_PREFIX,
+    ACKREC_PREFIX,
+    DONE_RELATION,
+    DONEREC_RELATION,
+    MSG_PREFIX,
+    ORIG_PREFIX,
+    READY_RELATION,
+    STORE_PREFIX,
+    _vars,
+)
+from .fo_compile import ADOM_RELATION, compile_fo_staged
+from .schema import TransducerSchema
+from .transducer import Transducer
+
+MISSING_ACK = "MissingAck"
+NOT_ALL_DONE = "NotAllDone"
+PRIMED = "Primed"
+PRIMED2 = "Primed2"
+
+
+def uses_only_ucqneg(transducer: Transducer) -> bool:
+    """True when every non-default local query is a UCQ¬ query object."""
+    return all(
+        query.is_empty_syntactic() or isinstance(query, UCQNegQuery)
+        for _, query in transducer.all_queries()
+    )
+
+
+def ucq_multicast_transducer(
+    input_schema: DatabaseSchema,
+    output: Query | None = None,
+    output_arity: int = 0,
+    name: str = "prop7_ucq_multicast",
+) -> Transducer:
+    """Lemma 5(1) with only UCQ¬ local queries (and deletions)."""
+    messages: dict[str, int] = {DONE_RELATION: 2}
+    memory: dict[str, int] = {
+        DONEREC_RELATION: 1,
+        READY_RELATION: 0,
+        MISSING_ACK: 1,
+        NOT_ALL_DONE: 0,
+        PRIMED: 0,
+        PRIMED2: 0,
+    }
+    for r in input_schema.relation_names():
+        k = input_schema[r]
+        messages[ORIG_PREFIX + r] = k + 1
+        messages[ACK_PREFIX + r] = k + 2
+        memory[STORE_PREFIX + r] = k
+        memory[ACKREC_PREFIX + r] = k + 1
+
+    lines = []
+    for r in input_schema.relation_names():
+        k = input_schema[r]
+        xs = ", ".join(v.name for v in _vars(k))
+        orig, ack = ORIG_PREFIX + r, ACK_PREFIX + r
+        store, ackrec = STORE_PREFIX + r, ACKREC_PREFIX + r
+        sep = ", " if k else ""
+        lines.append(f"send {orig}(v{sep}{xs}) :- Id(v), {r}({xs}).")
+        lines.append(f"send {orig}(w{sep}{xs}) :- {orig}(w{sep}{xs}).")
+        lines.append(f"insert {store}({xs}) :- {orig}(w{sep}{xs}).")
+        lines.append(f"insert {store}({xs}) :- {r}({xs}).")
+        lines.append(f"send {ack}(u, w{sep}{xs}) :- {orig}(w{sep}{xs}), Id(u).")
+        lines.append(f"send {ack}(u, w{sep}{xs}) :- {ack}(u, w{sep}{xs}).")
+        lines.append(
+            f"insert {ackrec}(u{sep}{xs}) :- {ack}(u, w{sep}{xs}), Id(w), {r}({xs})."
+        )
+        lines.append(f"insert {ackrec}(u{sep}{xs}) :- Id(u), {r}({xs}).")
+        # MissingAck(u) := some of my local facts lacks u's ack (assigned)
+        lines.append(
+            f"insert {MISSING_ACK}(u) :- All(u), {r}({xs}), "
+            f"not {ackrec}(u{sep}{xs})."
+        )
+    # assignment halves: delete the full current extent each step
+    lines.append(f"delete {MISSING_ACK}(u) :- {MISSING_ACK}(u).")
+    # init flags: Primed after step 1, Primed2 after step 2
+    lines.append(f"insert {PRIMED}().")
+    lines.append(f"insert {PRIMED2}() :- {PRIMED}().")
+    # Done(v, u): primed, and u is not missing any of my facts; + forward
+    lines.append(
+        f"send {DONE_RELATION}(v, u) :- Id(v), All(u), {PRIMED}(), "
+        f"not {MISSING_ACK}(u)."
+    )
+    lines.append(f"send {DONE_RELATION}(v, u) :- {DONE_RELATION}(v, u).")
+    # DoneRec: received Done addressed to me, or the self shortcut
+    lines.append(
+        f"insert {DONEREC_RELATION}(v) :- {DONE_RELATION}(v, u), Id(u)."
+    )
+    lines.append(
+        f"insert {DONEREC_RELATION}(v) :- Id(v), {PRIMED}(), "
+        f"not {MISSING_ACK}(v)."
+    )
+    # NotAllDone := some node's Done is still missing (assigned)
+    lines.append(
+        f"insert {NOT_ALL_DONE}() :- All(w), not {DONEREC_RELATION}(w)."
+    )
+    lines.append(f"delete {NOT_ALL_DONE}() :- {NOT_ALL_DONE}().")
+    # Ready once primed twice and nothing is missing
+    lines.append(
+        f"insert {READY_RELATION}() :- {PRIMED2}(), not {NOT_ALL_DONE}()."
+    )
+
+    if output is not None:
+        output_arity = output.arity
+    return build_transducer(
+        inputs=input_schema,
+        messages=messages,
+        memory=memory,
+        output_arity=output_arity,
+        rules="\n".join(lines),
+        output=output,
+        name=name,
+    )
+
+
+def _staged_insert_queries(
+    compiled, combined: DatabaseSchema
+) -> dict[str, UCQNegQuery]:
+    return {
+        rel: UCQNegQuery(tuple(rules), combined)
+        for rel, rules in compiled.insert_rules.items()
+    }
+
+
+def ucq_collect_then_apply_transducer(
+    query: FOQuery, name: str | None = None
+) -> Transducer:
+    """Theorem 6(1) realized with UCQ¬ local queries only (Prop 7)."""
+    sources = {
+        r: STORE_PREFIX + r for r in query.input_schema.relation_names()
+    }
+    compiled = compile_fo_staged(
+        query,
+        sources=sources,
+        gated=True,
+        tick_seed_body=(Literal(Atom(READY_RELATION, ())),),
+    )
+    base = ucq_multicast_transducer(query.input_schema)
+    messages = dict(base.schema.messages)
+    memory = dict(base.schema.memory)
+    for rel, arity in compiled.memory.items():
+        if rel in memory:
+            raise ValueError(f"staged relation {rel!r} collides")
+        memory[rel] = arity
+    combined = query.input_schema.union(
+        DatabaseSchema({"Id": 1, "All": 1}),
+        DatabaseSchema(messages),
+        DatabaseSchema(memory),
+    )
+    insert_queries = {
+        rel: UCQNegQuery(tuple(q.rules), combined)
+        for rel, q in base.insert_queries.items()
+        if not q.is_empty_syntactic()
+    }
+    insert_queries.update(_staged_insert_queries(compiled, combined))
+    send_queries = {
+        rel: UCQNegQuery(tuple(q.rules), combined)
+        for rel, q in base.send_queries.items()
+        if not q.is_empty_syntactic()
+    }
+    delete_queries = {
+        rel: UCQNegQuery(tuple(q.rules), combined)
+        for rel, q in base.delete_queries.items()
+        if not q.is_empty_syntactic()
+    }
+    output = UCQNegQuery((compiled.output_rule("out"),), combined)
+    return Transducer(
+        TransducerSchema(
+            query.input_schema,
+            DatabaseSchema(messages),
+            DatabaseSchema(memory),
+            query.arity,
+        ),
+        send=send_queries,
+        insert=insert_queries,
+        delete=delete_queries,
+        output=output,
+        name=name or "prop7_ucq_collect_apply",
+    )
+
+
+def ucq_continuous_transducer(
+    query: FOQuery, name: str | None = None
+) -> Transducer:
+    """The oblivious Prop 7 half: positive FO via flooding + continuous
+    ungated staged UCQ rules.  Oblivious, inflationary, monotone."""
+    copy_sources = {
+        r: STORE_PREFIX + r for r in query.input_schema.relation_names()
+    }
+    compiled = compile_fo_staged(query, sources=copy_sources, gated=False)
+
+    messages = {MSG_PREFIX + r: query.input_schema[r]
+                for r in query.input_schema}
+    memory = {STORE_PREFIX + r: query.input_schema[r]
+              for r in query.input_schema}
+    for rel, arity in compiled.memory.items():
+        memory[rel] = arity
+
+    lines = []
+    for r in query.input_schema.relation_names():
+        xs = ", ".join(v.name for v in _vars(query.input_schema[r]))
+        msg, store = MSG_PREFIX + r, STORE_PREFIX + r
+        lines.append(f"send {msg}({xs}) :- {r}({xs}).")
+        lines.append(f"send {msg}({xs}) :- {msg}({xs}).")
+        lines.append(f"insert {store}({xs}) :- {msg}({xs}).")
+        lines.append(f"insert {store}({xs}) :- {r}({xs}).")
+
+    combined = query.input_schema.union(
+        DatabaseSchema({"Id": 1, "All": 1}),
+        DatabaseSchema(messages),
+        DatabaseSchema(memory),
+    )
+    insert_queries = _staged_insert_queries(compiled, combined)
+    # ungated output: emit the root relation continuously (monotone, so
+    # intermediate results only under-approximate)
+    output = UCQNegQuery(
+        (Rule(Atom("out", compiled.root_vars),
+              (Literal(Atom(compiled.root_relation, compiled.root_vars)),)),),
+        combined,
+    )
+    return build_transducer(
+        inputs=query.input_schema,
+        messages=messages,
+        memory=memory,
+        output_arity=query.arity,
+        rules="\n".join(lines),
+        insert=insert_queries,
+        output=output,
+        name=name or "prop7_ucq_continuous",
+    )

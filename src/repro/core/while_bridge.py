@@ -1,0 +1,714 @@
+"""Lemma 5(3) / Theorem 6(3): *while* ↔ FO-transducers.
+
+"A query is expressible in the language 'while' if and only if it is
+computable by an FO-transducer on a single-node network."
+
+* :func:`while_to_transducer` compiles a while program to a transducer
+  that executes it one instruction per heartbeat, with a nullary
+  program-counter relation per instruction and the ``R := Q``
+  assignment idiom (insert Q, delete R).  On a one-node network, the
+  iterated heartbeats are exactly the "well-known techniques" of
+  Abiteboul–Vianu the proof cites.
+
+* :func:`transducer_to_while` simulates a transducer's heartbeat
+  sequence inside a while program: each loop iteration applies the
+  memory-update formula of every memory relation simultaneously (via
+  shadow relations) and accumulates the output; the loop stops when the
+  state is stable — the practical counterpart of the Abiteboul–Simon
+  loop-detection the proof invokes.  Transducers whose heartbeat
+  sequence cycles without stabilizing make the while program diverge
+  (= the query is undefined there), a documented deviation recorded in
+  DESIGN.md.
+
+When the while program's queries are FO, every synthesized transducer
+query is FO-expressible: the combinators used (union, gating on a
+nullary relation, nonemptiness of a closed formula) are definable in FO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..db.instance import Instance
+from ..db.schema import DatabaseSchema, SchemaError
+from ..lang.combinators import (
+    NonemptyQuery,
+    RelationQuery,
+    UnionQuery,
+    UpdateQuery,
+)
+from ..lang.query import Query
+from ..lang.whilelang import Assign, Statement, While, WhileChange, WhileProgram
+from .schema import TransducerSchema
+from .transducer import Transducer
+from .wrappers import GatedQuery, InnerQuery
+
+PC_PREFIX = "Pc_"
+SHADOW_PREFIX = "Shadow_"
+OUT_ACCUM = "OutAcc"
+
+
+# ---------------------------------------------------------------------------
+# Flattening while programs to instruction lists
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _AssignInstr:
+    target: str
+    query: Query
+    next: int
+
+
+@dataclass
+class _BranchInstr:
+    condition: Query  # 0-ary: nonempty = take `then`
+    then: int
+    otherwise: int
+
+
+@dataclass
+class _HaltInstr:
+    pass
+
+
+_Instr = object
+
+
+def _flatten(
+    statements: tuple[Statement, ...],
+    instructions: list,
+    work_schema: DatabaseSchema,
+    shadow_needed: set[str],
+) -> None:
+    """Append instructions for *statements*; fall through to the next index."""
+    for stmt in statements:
+        if isinstance(stmt, Assign):
+            index = len(instructions)
+            instructions.append(_AssignInstr(stmt.target, stmt.query, index + 1))
+        elif isinstance(stmt, While):
+            branch_index = len(instructions)
+            instructions.append(None)  # placeholder
+            _flatten(stmt.body, instructions, work_schema, shadow_needed)
+            # loop back to the branch test
+            jump_back = len(instructions)
+            instructions.append(None)
+            after = len(instructions)
+            instructions[branch_index] = _BranchInstr(
+                NonemptyQuery(stmt.condition), branch_index + 1, after
+            )
+            # unconditional jump = branch on a constant-true condition;
+            # we reuse the loop condition's re-test instead: jump to test.
+            instructions[jump_back] = _BranchInstr(
+                _AlwaysTrue(stmt.condition.input_schema), branch_index, branch_index
+            )
+        elif isinstance(stmt, WhileChange):
+            # Desugar: snapshot all work relations, run body, loop while
+            # any relation differs from its snapshot.
+            snapshot_start = len(instructions)
+            names = list(work_schema.relation_names())
+            shadow_needed.update(names)
+            for name in names:
+                index = len(instructions)
+                instructions.append(
+                    _AssignInstr(
+                        SHADOW_PREFIX + name,
+                        RelationQuery(name, work_schema),
+                        index + 1,
+                    )
+                )
+            _flatten(stmt.body, instructions, work_schema, shadow_needed)
+            test_index = len(instructions)
+            instructions.append(None)
+            after = len(instructions)
+            instructions[test_index] = _BranchInstr(
+                _ChangedQuery(names, work_schema), snapshot_start, after
+            )
+        else:
+            raise TypeError(f"not a statement: {stmt!r}")
+
+
+class _AlwaysTrue(Query):
+    """The closed query {()} — an unconditional branch condition."""
+
+    def __init__(self, input_schema: DatabaseSchema):
+        self.arity = 0
+        self.input_schema = input_schema
+
+    def __call__(self, instance: Instance) -> frozenset[tuple]:
+        return frozenset([()])
+
+    def relations(self) -> frozenset[str]:
+        return frozenset()
+
+    def is_monotone_syntactic(self) -> bool:
+        return True
+
+
+class _ChangedQuery(Query):
+    """True when some relation differs from its shadow snapshot."""
+
+    def __init__(self, names: list[str], work_schema: DatabaseSchema):
+        self.names = list(names)
+        self.arity = 0
+        # The schema must cover the shadow relations too: adaptors
+        # (InnerQuery) rebuild instances from input_schema, and a missing
+        # shadow would silently read as empty, looping the WhileChange.
+        shadows = DatabaseSchema(
+            {SHADOW_PREFIX + n: work_schema[n] for n in names}
+        )
+        self.input_schema = work_schema.union(shadows)
+
+    def __call__(self, instance: Instance) -> frozenset[tuple]:
+        for name in self.names:
+            current = (
+                instance.relation(name) if name in instance.schema else frozenset()
+            )
+            shadow_name = SHADOW_PREFIX + name
+            shadow = (
+                instance.relation(shadow_name)
+                if shadow_name in instance.schema
+                else frozenset()
+            )
+            if current != shadow:
+                return frozenset([()])
+        return frozenset()
+
+    def relations(self) -> frozenset[str]:
+        out = set(self.names)
+        out.update(SHADOW_PREFIX + n for n in self.names)
+        return frozenset(out)
+
+
+# ---------------------------------------------------------------------------
+# Gating helpers
+# ---------------------------------------------------------------------------
+
+
+class _PCGated(Query):
+    """base(inst) when the nullary relation *pc* holds, else empty."""
+
+    def __init__(self, base: Query, pc: str, input_schema: DatabaseSchema):
+        self.base = base
+        self.pc = pc
+        self.arity = base.arity
+        self.input_schema = input_schema
+
+    def __call__(self, instance: Instance) -> frozenset[tuple]:
+        if self.pc in instance.schema and instance.relation(self.pc):
+            return self.base(instance)
+        return frozenset()
+
+    def relations(self) -> frozenset[str]:
+        return self.base.relations() | {self.pc}
+
+
+class _PCArrival(Query):
+    """The 0-ary query: should the PC land on this instruction?
+
+    *sources* is a list of (pc_name, condition, want_nonempty) triples:
+    fire when we are at pc_name and the condition's truth matches.
+    """
+
+    def __init__(
+        self,
+        sources: list[tuple[str, Query | None, bool]],
+        input_schema: DatabaseSchema,
+    ):
+        self.sources = sources
+        self.arity = 0
+        self.input_schema = input_schema
+
+    def __call__(self, instance: Instance) -> frozenset[tuple]:
+        for pc, condition, want in self.sources:
+            if pc not in instance.schema or not instance.relation(pc):
+                continue
+            if condition is None:
+                return frozenset([()])
+            truth = bool(condition(instance))
+            if truth == want:
+                return frozenset([()])
+        return frozenset()
+
+    def relations(self) -> frozenset[str]:
+        out = {pc for pc, _, _ in self.sources}
+        for _, condition, _ in self.sources:
+            if condition is not None:
+                out |= condition.relations()
+        return frozenset(out)
+
+
+class _PCDeparture(Query):
+    """The 0-ary query: leave *pc* (true whenever we are at it)."""
+
+    def __init__(self, pc: str, input_schema: DatabaseSchema):
+        self.pc = pc
+        self.arity = 0
+        self.input_schema = input_schema
+
+    def __call__(self, instance: Instance) -> frozenset[tuple]:
+        if self.pc in instance.schema and instance.relation(self.pc):
+            return frozenset([()])
+        return frozenset()
+
+    def relations(self) -> frozenset[str]:
+        return frozenset((self.pc,))
+
+
+class _StartQuery(Query):
+    """Raise Pc_0 on the very first heartbeat (no PC set yet)."""
+
+    def __init__(self, pc_names: list[str], input_schema: DatabaseSchema):
+        self.pc_names = list(pc_names)
+        self.arity = 0
+        self.input_schema = input_schema
+
+    def __call__(self, instance: Instance) -> frozenset[tuple]:
+        for pc in self.pc_names:
+            if pc in instance.schema and instance.relation(pc):
+                return frozenset()
+        return frozenset([()])
+
+    def relations(self) -> frozenset[str]:
+        return frozenset(self.pc_names)
+
+
+# ---------------------------------------------------------------------------
+# while → transducer
+# ---------------------------------------------------------------------------
+
+
+def while_to_transducer(
+    program: WhileProgram,
+    source_map: dict[str, tuple[str, ...]] | None = None,
+    name: str | None = None,
+    extra_memory: dict[str, int] | None = None,
+) -> Transducer:
+    """Compile *program* to a transducer executing it via heartbeats.
+
+    One instruction executes per heartbeat; the program counter is a
+    bank of nullary memory relations ``Pc_i`` (raised/cleared through
+    the ordinary insert/delete mechanism — assignment by the insert-Q /
+    delete-R idiom).  Output: once the halt instruction is reached, the
+    program's output relation is emitted.
+
+    *source_map* optionally redirects the program's *input* relations to
+    other relations of the transducer state (used by distributed
+    variants that read collected copies instead of raw input).
+    """
+    instructions: list = []
+    shadow_needed: set[str] = set()
+    _flatten(program.body, instructions, program.work_schema, shadow_needed)
+    halt_index = len(instructions)
+    instructions.append(_HaltInstr())
+
+    work = dict(program.work_schema)
+    for name_ in shadow_needed:
+        work[SHADOW_PREFIX + name_] = program.work_schema[name_]
+    pc_names = [PC_PREFIX + str(i) for i in range(len(instructions))]
+    memory = dict(work)
+    memory.update({pc: 0 for pc in pc_names})
+    if extra_memory:
+        for rel, arity in extra_memory.items():
+            if rel in memory:
+                raise SchemaError(f"extra memory relation {rel!r} collides")
+            memory[rel] = arity
+
+    schema = TransducerSchema(
+        program.input_schema, DatabaseSchema(), DatabaseSchema(memory),
+        program.schema[program.output],
+    )
+    combined = schema.combined
+
+    def adapt(query: Query) -> Query:
+        if source_map is None:
+            return query
+        sources = dict(source_map)
+        for rel in query.relations():
+            sources.setdefault(rel, (rel,))
+        # Keep only relations the query actually needs a source for.
+        needed = {
+            rel: sources[rel]
+            for rel in query.input_schema.relation_names()
+            if rel in sources
+        }
+        inner_schema = query.input_schema
+        full = {rel: needed.get(rel, (rel,)) for rel in inner_schema}
+        return InnerQuery(query, full, combined)
+
+    insert: dict[str, list[Query]] = {}
+    delete: dict[str, list[Query]] = {}
+
+    def add(mapping: dict[str, list[Query]], rel: str, query: Query) -> None:
+        mapping.setdefault(rel, []).append(query)
+
+    arrival_sources: dict[int, list[tuple[str, Query | None, bool]]] = {}
+
+    for i, instr in enumerate(instructions):
+        pc = pc_names[i]
+        if isinstance(instr, _AssignInstr):
+            assigned = adapt(instr.query)
+            add(insert, instr.target, _PCGated(assigned, pc, combined))
+            add(
+                delete,
+                instr.target,
+                _PCGated(RelationQuery(instr.target, combined), pc, combined),
+            )
+            add(delete, pc, _PCDeparture(pc, combined))
+            arrival_sources.setdefault(instr.next, []).append((pc, None, True))
+        elif isinstance(instr, _BranchInstr):
+            condition = adapt(instr.condition)
+            add(delete, pc, _PCDeparture(pc, combined))
+            arrival_sources.setdefault(instr.then, []).append(
+                (pc, condition, True)
+            )
+            if instr.otherwise != instr.then:
+                arrival_sources.setdefault(instr.otherwise, []).append(
+                    (pc, condition, False)
+                )
+        elif isinstance(instr, _HaltInstr):
+            pass  # PC stays; output query below keeps emitting
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown instruction {instr!r}")
+
+    for target, sources in arrival_sources.items():
+        add(insert, pc_names[target], _PCArrival(sources, combined))
+    # Bootstrap: raise Pc_0 when no PC is set (the very first heartbeat).
+    add(insert, pc_names[0], _StartQuery(pc_names, combined))
+
+    insert_queries = {
+        rel: (qs[0] if len(qs) == 1 else UnionQuery(*qs))
+        for rel, qs in insert.items()
+    }
+    delete_queries = {
+        rel: (qs[0] if len(qs) == 1 else UnionQuery(*qs))
+        for rel, qs in delete.items()
+    }
+    output = _PCGated(
+        RelationQuery(program.output, combined), pc_names[halt_index], combined
+    )
+
+    return Transducer(
+        schema,
+        insert=insert_queries,
+        delete=delete_queries,
+        output=output,
+        name=name or "lemma5_3_while_machine",
+    )
+
+
+# ---------------------------------------------------------------------------
+# transducer → while
+# ---------------------------------------------------------------------------
+
+
+def transducer_to_while(transducer: Transducer) -> WhileProgram:
+    """Simulate the heartbeat sequence of *transducer* as a while program.
+
+    Works on the one-node semantics (no messages): each iteration
+    applies every memory update simultaneously via shadow relations and
+    accumulates the output; the loop stops when a full iteration changes
+    nothing.  The returned program's output relation is ``OutAcc``.
+    """
+    tschema = transducer.schema
+    # Choose a snapshot prefix that cannot collide with existing memory
+    # relations (the transducer may itself contain Shadow_* relations,
+    # e.g. when it was produced by while_to_transducer).
+    shadow_prefix = SHADOW_PREFIX
+    names = set(tschema.memory) | set(tschema.inputs)
+    while any((shadow_prefix + rel) in names for rel in tschema.memory):
+        shadow_prefix = "S" + shadow_prefix
+    work: dict[str, int] = {}
+    for rel in tschema.memory:
+        work[rel] = tschema.memory[rel]
+        work[shadow_prefix + rel] = tschema.memory[rel]
+    if OUT_ACCUM in work or OUT_ACCUM in tschema.inputs:
+        raise SchemaError(f"relation name {OUT_ACCUM!r} is reserved")
+    work[OUT_ACCUM] = tschema.output_arity
+    # The while program's database contains input + Id/All + memory, so
+    # transducer queries can be evaluated verbatim.  Id and All must be
+    # provided as *input* relations by the caller when running.
+    input_schema = tschema.inputs.union(tschema.system)
+    work_schema = DatabaseSchema(work)
+    full = input_schema.union(work_schema)
+
+    body: list[Statement] = []
+    # Snapshot current memory into shadows.
+    for rel in tschema.memory:
+        body.append(Assign(shadow_prefix + rel, RelationQuery(rel, full)))
+    # Accumulate output of the *current* state (pre-update), like the
+    # transducer's Jout which is evaluated on I'.
+    body.append(
+        Assign(
+            OUT_ACCUM,
+            UnionQuery(
+                RelationQuery(OUT_ACCUM, full),
+                _Rebound(transducer.output_query, {}, full, tschema.messages),
+            ),
+        )
+    )
+    # Apply all memory updates; UpdateQuery reads the shadows so that the
+    # updates are simultaneous.
+    shadow_map = {rel: shadow_prefix + rel for rel in tschema.memory}
+    for rel in tschema.memory:
+        ins = _Rebound(
+            transducer.insert_queries[rel], shadow_map, full, tschema.messages
+        )
+        dele = _Rebound(
+            transducer.delete_queries[rel], shadow_map, full, tschema.messages
+        )
+        body.append(
+            Assign(rel, UpdateQuery(shadow_prefix + rel, ins, dele, full))
+        )
+    program_body: tuple[Statement, ...] = (WhileChange(tuple(body)),)
+    return WhileProgram(
+        input_schema=input_schema,
+        work_schema=work_schema,
+        body=program_body,
+        output=OUT_ACCUM,
+    )
+
+
+class _Rebound(Query):
+    """Evaluate *base* with memory relations redirected to their shadows.
+
+    Within one simulated step the "current" memory is the shadow copy
+    (the real relations may already hold next-step values mid-block).
+    """
+
+    def __init__(self, base: Query, mapping: dict[str, str],
+                 input_schema: DatabaseSchema,
+                 message_schema: DatabaseSchema | None = None):
+        self.base = base
+        self.mapping = dict(mapping)
+        self.message_schema = message_schema
+        self.arity = base.arity
+        self.input_schema = input_schema
+
+    def __call__(self, instance: Instance) -> frozenset[tuple]:
+        # Build the instance the base query should see: every memory
+        # relation R takes the extent of Shadow_R, and message relations
+        # are present but empty (heartbeat semantics).
+        rebuilt = instance
+        if self.message_schema is not None:
+            rebuilt = rebuilt.expand_schema(self.message_schema)
+        for rel, shadow in self.mapping.items():
+            extent = (
+                instance.relation(shadow)
+                if shadow in instance.schema
+                else frozenset()
+            )
+            if rel in rebuilt.schema:
+                rebuilt = rebuilt.set_relation(rel, extent)
+        return self.base(rebuilt)
+
+    def relations(self) -> frozenset[str]:
+        out = set()
+        for rel in self.base.relations():
+            out.add(self.mapping.get(rel, rel))
+        return frozenset(out)
+
+    def __repr__(self) -> str:
+        return f"_Rebound({self.base!r})"
+
+
+# ---------------------------------------------------------------------------
+# Theorem 6(4): continuous while with restart-on-new-input
+# ---------------------------------------------------------------------------
+
+
+def _novel_fact_received(instance: Instance,
+                         message_stores: dict[str, str]) -> bool:
+    """Did this transition deliver an input fact not yet stored?
+
+    The paper restarts "every time a *new* input fact comes in";
+    re-deliveries of already-stored facts must not wipe the machine,
+    or duplicated floods would restart it forever.
+    """
+    for msg, store in message_stores.items():
+        if msg not in instance.schema:
+            continue
+        received = instance.relation(msg)
+        if not received:
+            continue
+        stored = (
+            instance.relation(store) if store in instance.schema
+            else frozenset()
+        )
+        if received - stored:
+            return True
+    return False
+
+
+class _QuietGated(Query):
+    """*base*, but empty whenever a *new* input fact is being received.
+
+    Pauses the PC machine during restart deliveries so that the restart
+    deletions wipe the state without insert/delete conflicts.
+    """
+
+    def __init__(self, base: Query, message_stores: dict[str, str],
+                 input_schema: DatabaseSchema):
+        self.base = base
+        self.message_stores = dict(message_stores)
+        self.arity = base.arity
+        self.input_schema = input_schema
+
+    def __call__(self, instance: Instance) -> frozenset[tuple]:
+        if _novel_fact_received(instance, self.message_stores):
+            return frozenset()
+        return self.base(instance)
+
+    def relations(self) -> frozenset[str]:
+        out = set(self.base.relations())
+        out.update(self.message_stores)
+        out.update(self.message_stores.values())
+        return frozenset(out)
+
+
+class _FullExtentOnMsg(Query):
+    """The full extent of a relation, but only when a new fact arrives.
+
+    The restart deletion: wipes *relation* whenever a previously-unseen
+    input fact arrives — "we use deletion to start afresh" (Thm 6(4)).
+    """
+
+    def __init__(self, relation: str, message_stores: dict[str, str],
+                 input_schema: DatabaseSchema):
+        self.relation = relation
+        self.message_stores = dict(message_stores)
+        self.arity = input_schema[relation]
+        self.input_schema = input_schema
+
+    def __call__(self, instance: Instance) -> frozenset[tuple]:
+        if not _novel_fact_received(instance, self.message_stores):
+            return frozenset()
+        if self.relation not in instance.schema:
+            return frozenset()
+        return instance.relation(self.relation)
+
+    def relations(self) -> frozenset[str]:
+        out = set(self.message_stores)
+        out.update(self.message_stores.values())
+        out.add(self.relation)
+        return frozenset(out)
+
+
+def continuous_while_transducer(
+    program: WhileProgram, name: str | None = None
+) -> Transducer:
+    """Theorem 6(4): monotone while queries, obliviously.
+
+    "We receive input tuples and store them in memory.  We continuously
+    recompute the while-program, starting afresh every time a new input
+    fact comes in.  We use deletion to start afresh.  Since the query is
+    monotone, no incorrect tuples are output."
+
+    Construction: Lemma 5(2) flooding (``In_R`` messages, ``Stored_R``
+    memory) merged with the PC machine of :func:`while_to_transducer`
+    reading ``R ∪ Stored_R``; every delivery of an input fact pauses the
+    machine (its inserts are quiet-gated), wipes the work relations and
+    program counter, and the next heartbeat restarts from scratch.
+
+    Oblivious (never reads Id/All); *not* inflationary (the restart
+    deletes); sound only for monotone queries — exactly the paper's
+    conditions.
+    """
+    from ..lang.ucq import UCQNegQuery
+    from .constructions import MSG_PREFIX, STORE_PREFIX
+
+    base = while_to_transducer(
+        program,
+        source_map={
+            r: (r, STORE_PREFIX + r)
+            for r in program.input_schema.relation_names()
+        },
+        name="inner_machine",
+        extra_memory={
+            STORE_PREFIX + r: program.input_schema[r]
+            for r in program.input_schema.relation_names()
+        },
+    )
+    messages = {
+        MSG_PREFIX + r: program.input_schema[r]
+        for r in program.input_schema.relation_names()
+    }
+    memory = dict(base.schema.memory)
+    for r in program.input_schema.relation_names():
+        memory[STORE_PREFIX + r] = program.input_schema[r]
+    schema = TransducerSchema(
+        program.input_schema,
+        DatabaseSchema(messages),
+        DatabaseSchema(memory),
+        base.schema.output_arity,
+    )
+    combined = schema.combined
+    message_stores = {
+        MSG_PREFIX + r: STORE_PREFIX + r
+        for r in program.input_schema.relation_names()
+    }
+
+    # Flooding rules (UCQ): broadcast, forward, store.
+    flood_lines = []
+    for r in program.input_schema.relation_names():
+        arity = program.input_schema[r]
+        xs = ", ".join(f"x{i + 1}" for i in range(arity))
+        msg, store = MSG_PREFIX + r, STORE_PREFIX + r
+        flood_lines.append(f"snd__{msg}({xs}) :- {r}({xs}).")
+        flood_lines.append(f"snd__{msg}({xs}) :- {msg}({xs}).")
+        flood_lines.append(f"ins__{store}({xs}) :- {msg}({xs}).")
+        flood_lines.append(f"ins__{store}({xs}) :- {r}({xs}).")
+    from ..lang.parser import parse_rules
+
+    flood_rules = parse_rules("\n".join(flood_lines))
+    send_queries: dict[str, Query] = {}
+    insert_queries: dict[str, Query] = {}
+    for rule in flood_rules:
+        role, rel = rule.head.relation.split("__", 1)
+        group = send_queries if role == "snd" else insert_queries
+        from ..lang.ast import Atom as _Atom, Rule as _Rule
+
+        fixed = _Rule(_Atom(rel, rule.head.terms), rule.body)
+        if rel in group:
+            existing = group[rel]
+            assert isinstance(existing, UCQNegQuery)
+            group[rel] = UCQNegQuery(existing.rules + (fixed,), combined)
+        else:
+            group[rel] = UCQNegQuery((fixed,), combined)
+
+    # Machine queries: quiet-gated inserts, restart deletions.  The
+    # restart wipes only the machine's own relations (PCs, work,
+    # shadows) — never the Stored_* collection, which must survive
+    # restarts (it is what the machine restarts *from*).
+    machine_memory = [
+        rel for rel in base.schema.memory
+        if not rel.startswith(STORE_PREFIX)
+    ]
+    delete_queries: dict[str, Query] = {}
+    for rel, query in base.insert_queries.items():
+        if query.is_empty_syntactic():
+            continue
+        insert_queries[rel] = _QuietGated(query, message_stores, combined)
+    for rel, query in base.delete_queries.items():
+        if rel.startswith(STORE_PREFIX):
+            continue  # the collection survives restarts
+        parts: list[Query] = []
+        if not query.is_empty_syntactic():
+            parts.append(_QuietGated(query, message_stores, combined))
+        parts.append(_FullExtentOnMsg(rel, message_stores, combined))
+        delete_queries[rel] = parts[0] if len(parts) == 1 else UnionQuery(*parts)
+    for rel in machine_memory:
+        if rel not in delete_queries:
+            delete_queries[rel] = _FullExtentOnMsg(
+                rel, message_stores, combined
+            )
+    output = _QuietGated(base.output_query, message_stores, combined)
+
+    return Transducer(
+        schema,
+        send=send_queries,
+        insert=insert_queries,
+        delete=delete_queries,
+        output=output,
+        name=name or "theorem6_4_continuous_while",
+    )

@@ -1,0 +1,137 @@
+"""Query adaptors used by the proof constructions.
+
+The Theorem 6 transducers all share a pattern: a local query (possibly
+in a powerful language) is evaluated over an instance *reconstructed*
+from memory relations — e.g. "apply Q to the part of the input received
+so far", where the received part lives in ``Stored_R`` relations and
+the node's own fragment in ``R``.  :class:`InnerQuery` packages that
+reconstruction; :class:`GatedQuery` adds the "only once the Ready flag
+is set" guard of Theorem 6(1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from ..db.instance import Instance
+from ..db.schema import DatabaseSchema
+from ..lang.query import Query, QueryUndefined
+
+
+class InnerQuery(Query):
+    """Evaluate *inner* on an instance rebuilt from outer relations.
+
+    *sources* maps each inner relation name to the outer relation names
+    whose union forms its extent.  The adaptor's own input schema is the
+    outer (combined transducer) schema.
+    """
+
+    def __init__(
+        self,
+        inner: Query,
+        sources: Mapping[str, Sequence[str]],
+        outer_schema: DatabaseSchema,
+    ):
+        missing = set(inner.input_schema.relation_names()) - set(sources)
+        if missing:
+            raise ValueError(f"no sources for inner relations {sorted(missing)}")
+        for inner_rel, outer_rels in sources.items():
+            want = inner.input_schema[inner_rel]
+            for outer_rel in outer_rels:
+                if outer_schema[outer_rel] != want:
+                    raise ValueError(
+                        f"outer relation {outer_rel!r} has arity "
+                        f"{outer_schema[outer_rel]}, inner {inner_rel!r} wants {want}"
+                    )
+        self.inner = inner
+        self.sources = {k: tuple(v) for k, v in sources.items()}
+        self.input_schema = outer_schema
+        self.arity = inner.arity
+
+    def rebuild(self, instance: Instance) -> Instance:
+        """The inner-schema instance assembled from the outer instance."""
+        inner_instance = Instance.empty(self.inner.input_schema)
+        for inner_rel, outer_rels in self.sources.items():
+            tuples: set[tuple] = set()
+            for outer_rel in outer_rels:
+                if outer_rel in instance.schema:
+                    tuples |= instance.relation(outer_rel)
+            inner_instance = inner_instance.set_relation(inner_rel, tuples)
+        return inner_instance
+
+    def __call__(self, instance: Instance) -> frozenset[tuple]:
+        return self.inner(self.rebuild(instance))
+
+    def relations(self) -> frozenset[str]:
+        out: set[str] = set()
+        for outer_rels in self.sources.values():
+            out.update(outer_rels)
+        return frozenset(out)
+
+    def is_monotone_syntactic(self) -> bool:
+        return self.inner.is_monotone_syntactic()
+
+    def __repr__(self) -> str:
+        return f"InnerQuery({self.inner!r} over {self.sources})"
+
+
+class GatedQuery(Query):
+    """*base*, but returning empty until the nullary *gate* relation holds.
+
+    Used by Theorem 6(1): output Q(Stored) only once Ready is true.  The
+    gate makes the query non-monotone in general — which is fine, since
+    Theorem 6(1) computes arbitrary queries and coordination is allowed.
+    """
+
+    def __init__(self, base: Query, gate: str):
+        if base.input_schema[gate] != 0:
+            raise ValueError(f"gate relation {gate!r} must be nullary")
+        self.base = base
+        self.gate = gate
+        self.arity = base.arity
+        self.input_schema = base.input_schema
+
+    def __call__(self, instance: Instance) -> frozenset[tuple]:
+        if self.gate in instance.schema and instance.relation(self.gate):
+            return self.base(instance)
+        return frozenset()
+
+    def relations(self) -> frozenset[str]:
+        return self.base.relations() | {self.gate}
+
+    def is_monotone_syntactic(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"GatedQuery({self.base!r} if {self.gate})"
+
+
+class TotalizedQuery(Query):
+    """*base*, but returning empty where *base* is undefined.
+
+    Transducer transitions require every local query to be defined on
+    I'; wrapping a partial query (e.g. a while query with a divergence
+    budget) keeps the network running, at the cost of computing the
+    totalized variant.  Theorem 6's constructions use the raw partial
+    query — this wrapper exists for experiments that want runs to finish.
+    """
+
+    def __init__(self, base: Query):
+        self.base = base
+        self.arity = base.arity
+        self.input_schema = base.input_schema
+
+    def __call__(self, instance: Instance) -> frozenset[tuple]:
+        try:
+            return self.base(instance)
+        except QueryUndefined:
+            return frozenset()
+
+    def relations(self) -> frozenset[str]:
+        return self.base.relations()
+
+    def is_monotone_syntactic(self) -> bool:
+        return self.base.is_monotone_syntactic()
+
+    def __repr__(self) -> str:
+        return f"TotalizedQuery({self.base!r})"

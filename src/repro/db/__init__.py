@@ -1,0 +1,30 @@
+"""Relational database substrate: facts, schemas, instances, multisets.
+
+This package implements Section 2's preliminaries: the universe ``dom``,
+database schemas, instances-as-sets-of-facts, active domains, and the
+genericity machinery (dom-permutations).  It also provides the fact
+multisets used as message buffers by the network runtime of Section 3.
+"""
+
+from .fact import Fact, fact, facts
+from .instance import Instance, instance
+from .multiset import FactMultiset
+from .schema import DatabaseSchema, SchemaError, schema
+from .values import Permutation, Value, ValueTuple, fresh_values, is_atomic
+
+__all__ = [
+    "DatabaseSchema",
+    "Fact",
+    "FactMultiset",
+    "Instance",
+    "Permutation",
+    "SchemaError",
+    "Value",
+    "ValueTuple",
+    "fact",
+    "facts",
+    "fresh_values",
+    "instance",
+    "is_atomic",
+    "schema",
+]

@@ -1,0 +1,92 @@
+"""Facts: the atoms a database instance is made of.
+
+Section 2: "a fact is an expression of the form R(a1, ..., ak) with
+a1, ..., ak in dom and R in S of arity k".
+
+A :class:`Fact` is an immutable pair of relation name and value tuple.
+Facts are hashable, totally ordered (for deterministic iteration), and
+cheap — the whole runtime shuffles large numbers of them around.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Any
+
+from .values import Permutation, Value, is_atomic
+
+
+class Fact:
+    """An immutable fact ``R(a1, ..., ak)``."""
+
+    __slots__ = ("relation", "values", "_hash")
+
+    relation: str
+    values: tuple
+
+    def __init__(self, relation: str, values: Iterable[Value] = ()):
+        if not isinstance(relation, str) or not relation:
+            raise ValueError(f"relation name must be a non-empty string: {relation!r}")
+        values = tuple(values)
+        for value in values:
+            if not is_atomic(value):
+                raise ValueError(f"non-atomic value in fact: {value!r}")
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "_hash", hash((relation, values)))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Fact is immutable")
+
+    @property
+    def arity(self) -> int:
+        """Number of values in the fact."""
+        return len(self.values)
+
+    def rename(self, relation: str) -> "Fact":
+        """The same tuple under a different relation name."""
+        return Fact(relation, self.values)
+
+    def apply(self, h: Permutation) -> "Fact":
+        """Apply a dom-permutation componentwise: ``h(R(a..)) = R(h(a)..)``."""
+        return Fact(self.relation, h.apply_tuple(self.values))
+
+    def project(self, positions: Iterable[int]) -> tuple:
+        """The sub-tuple at the given 0-based positions."""
+        return tuple(self.values[i] for i in positions)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Fact):
+            return NotImplemented
+        return self.relation == other.relation and self.values == other.values
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def _sort_key(self) -> tuple:
+        # Values may mix types (ints, strings); compare on (typename, repr)
+        # to get a deterministic, if arbitrary, total order.
+        return (
+            self.relation,
+            len(self.values),
+            tuple((type(v).__name__, repr(v)) for v in self.values),
+        )
+
+    def __lt__(self, other: "Fact") -> bool:
+        if not isinstance(other, Fact):
+            return NotImplemented
+        return self._sort_key() < other._sort_key()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(v) for v in self.values)
+        return f"{self.relation}({inner})"
+
+
+def fact(relation: str, *values: Value) -> Fact:
+    """Convenience constructor: ``fact("S", 1, 2)`` is ``S(1, 2)``."""
+    return Fact(relation, values)
+
+
+def facts(relation: str, tuples: Iterable[Iterable[Value]]) -> frozenset[Fact]:
+    """Build a set of facts over one relation from raw tuples."""
+    return frozenset(Fact(relation, tuple(t)) for t in tuples)

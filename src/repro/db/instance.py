@@ -1,0 +1,208 @@
+"""Database instances as sets of facts.
+
+Section 2: "we can view an instance as a set of facts over S".  The
+:class:`Instance` class is an immutable set of facts tagged with the
+schema it instantiates.  All operations return new instances.
+
+Immutability is a deliberate choice for the distributed runtime: a
+configuration maps nodes to states, and transitions build new
+configurations; sharing unchanged instances between configurations is
+then free and safe.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from .fact import Fact
+from .schema import DatabaseSchema, SchemaError
+from .values import Permutation, Value
+
+
+class Instance:
+    """An immutable instance of a :class:`DatabaseSchema`.
+
+    Every fact must use a relation of the schema with the right arity.
+    Iteration yields facts in sorted order for determinism.
+    """
+
+    __slots__ = ("schema", "_facts", "_hash")
+
+    schema: DatabaseSchema
+
+    def __init__(self, schema: DatabaseSchema, facts: Iterable[Fact] = ()):
+        fact_set = frozenset(facts)
+        for f in fact_set:
+            if f.relation not in schema:
+                raise SchemaError(f"fact {f!r} uses relation outside schema {schema}")
+            if f.arity != schema[f.relation]:
+                raise SchemaError(
+                    f"fact {f!r} has arity {f.arity}, schema says "
+                    f"{schema[f.relation]}"
+                )
+        object.__setattr__(self, "schema", schema)
+        object.__setattr__(self, "_facts", fact_set)
+        object.__setattr__(self, "_hash", hash((schema, fact_set)))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Instance is immutable")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def empty(cls, schema: DatabaseSchema) -> "Instance":
+        """The empty instance of *schema*."""
+        return cls(schema, ())
+
+    @classmethod
+    def from_dict(
+        cls,
+        schema: DatabaseSchema,
+        relations: Mapping[str, Iterable[Iterable[Value]]],
+    ) -> "Instance":
+        """Build from ``{"R": [(1, 2), (2, 3)], ...}`` style data."""
+        collected: list[Fact] = []
+        for name, tuples in relations.items():
+            for t in tuples:
+                collected.append(Fact(name, tuple(t)))
+        return cls(schema, collected)
+
+    # -- set-of-facts interface ----------------------------------------------
+
+    def facts(self) -> frozenset[Fact]:
+        """The underlying set of facts."""
+        return self._facts
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(sorted(self._facts))
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __contains__(self, f: Fact) -> bool:
+        return f in self._facts
+
+    def __bool__(self) -> bool:
+        return bool(self._facts)
+
+    # -- relation views --------------------------------------------------------
+
+    def relation(self, name: str) -> frozenset[tuple]:
+        """The set of tuples of relation *name* (the relation's extent)."""
+        arity = self.schema[name]  # raises if absent
+        del arity
+        return frozenset(f.values for f in self._facts if f.relation == name)
+
+    def relation_facts(self, name: str) -> frozenset[Fact]:
+        """The facts of relation *name*."""
+        self.schema[name]  # membership check
+        return frozenset(f for f in self._facts if f.relation == name)
+
+    def is_empty(self, name: str) -> bool:
+        """True when relation *name* has no tuples."""
+        return not self.relation_facts(name)
+
+    # -- active domain ---------------------------------------------------------
+
+    def active_domain(self) -> frozenset:
+        """``adom(I)``: all data elements occurring in the instance."""
+        return frozenset(v for f in self._facts for v in f.values)
+
+    # -- algebra -----------------------------------------------------------------
+
+    def union(self, *others: "Instance") -> "Instance":
+        """Union of instances; schemas are merged (must agree on arities)."""
+        merged_schema = self.schema.union(*(o.schema for o in others))
+        merged_facts = set(self._facts)
+        for other in others:
+            merged_facts |= other._facts
+        return Instance(merged_schema, merged_facts)
+
+    def difference(self, other: "Instance") -> "Instance":
+        """Facts of self not in *other*; schema unchanged."""
+        return Instance(self.schema, self._facts - other._facts)
+
+    def intersection(self, other: "Instance") -> "Instance":
+        """Facts common to both; schema unchanged."""
+        return Instance(self.schema, self._facts & other._facts)
+
+    def with_facts(self, facts: Iterable[Fact]) -> "Instance":
+        """Self plus extra facts (schema-checked)."""
+        return Instance(self.schema, self._facts | set(facts))
+
+    def without_facts(self, facts: Iterable[Fact]) -> "Instance":
+        """Self minus the given facts."""
+        return Instance(self.schema, self._facts - set(facts))
+
+    def restrict(self, names: Iterable[str]) -> "Instance":
+        """The sub-instance over the given relation names."""
+        sub_schema = self.schema.restrict(names)
+        kept = frozenset(f for f in self._facts if f.relation in sub_schema)
+        return Instance(sub_schema, kept)
+
+    def restrict_to_schema(self, sub: DatabaseSchema) -> "Instance":
+        """The sub-instance over the relations of *sub* (all must exist here)."""
+        return self.restrict(sub.relation_names())
+
+    def expand_schema(self, extra: DatabaseSchema) -> "Instance":
+        """Same facts, wider schema (adds empty relations)."""
+        return Instance(self.schema.union(extra), self._facts)
+
+    def set_relation(
+        self, name: str, tuples: Iterable[tuple]
+    ) -> "Instance":
+        """Replace relation *name*'s extent wholesale."""
+        arity = self.schema[name]
+        new_facts = set(f for f in self._facts if f.relation != name)
+        for t in tuples:
+            t = tuple(t)
+            if len(t) != arity:
+                raise SchemaError(
+                    f"tuple {t!r} has arity {len(t)}, relation {name} needs {arity}"
+                )
+            new_facts.add(Fact(name, t))
+        return Instance(self.schema, new_facts)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Instance":
+        """Rename relations in both schema and facts."""
+        new_schema = self.schema.rename(mapping)
+        new_facts = [
+            f.rename(mapping.get(f.relation, f.relation)) for f in self._facts
+        ]
+        return Instance(new_schema, new_facts)
+
+    def apply(self, h: Permutation) -> "Instance":
+        """Apply a dom-permutation to every fact: the instance ``h(I)``."""
+        return Instance(self.schema, (f.apply(h) for f in self._facts))
+
+    # -- order and equality -------------------------------------------------------
+
+    def issubset(self, other: "Instance") -> bool:
+        """Containment of fact sets (``I ⊆ J``); schemas need not match."""
+        return self._facts <= other._facts
+
+    def __le__(self, other: "Instance") -> bool:
+        return self.issubset(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return self.schema == other.schema and self._facts == other._facts
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def same_facts(self, other: "Instance") -> bool:
+        """Equality of fact sets ignoring schema differences."""
+        return self._facts == other._facts
+
+    def __repr__(self) -> str:
+        if not self._facts:
+            return f"Instance(∅ over {list(self.schema)})"
+        shown = ", ".join(repr(f) for f in sorted(self._facts))
+        return f"Instance({{{shown}}})"
+
+
+def instance(schema: DatabaseSchema, **relations: Iterable[Iterable[Value]]) -> Instance:
+    """Convenience constructor: ``instance(sch, S=[(1,2)], T=[(2,3)])``."""
+    return Instance.from_dict(schema, relations)

@@ -1,0 +1,137 @@
+"""Multisets of facts — the message buffers of Section 3.
+
+The paper is explicit that message buffers are *multisets*: "buf maps
+every node to a finite multiset of facts over Smsg", delivery removes one
+occurrence ("multiset difference"), and sending is "multiset union".
+
+:class:`FactMultiset` is immutable, like :class:`~repro.db.instance.Instance`,
+so configurations can share buffers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator
+
+from .fact import Fact
+
+
+class FactMultiset:
+    """An immutable finite multiset of facts."""
+
+    __slots__ = ("_counts", "_hash")
+
+    def __init__(self, facts: Iterable[Fact] = ()):
+        counts = Counter()
+        for f in facts:
+            if not isinstance(f, Fact):
+                raise TypeError(f"multiset elements must be Facts, got {f!r}")
+            counts[f] += 1
+        object.__setattr__(self, "_counts", counts)
+        object.__setattr__(
+            self, "_hash", hash(frozenset(counts.items()))
+        )
+
+    def __setattr__(self, name, value):
+        raise AttributeError("FactMultiset is immutable")
+
+    @classmethod
+    def empty(cls) -> "FactMultiset":
+        """The empty multiset."""
+        return _EMPTY
+
+    # -- queries ---------------------------------------------------------------
+
+    def count(self, f: Fact) -> int:
+        """Multiplicity of *f*."""
+        return self._counts.get(f, 0)
+
+    def __contains__(self, f: Fact) -> bool:
+        return self._counts.get(f, 0) > 0
+
+    def __len__(self) -> int:
+        """Total number of occurrences."""
+        return sum(self._counts.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._counts)
+
+    def __iter__(self) -> Iterator[Fact]:
+        """Iterate occurrences (duplicates repeated), in sorted order."""
+        for f in sorted(self._counts):
+            for _ in range(self._counts[f]):
+                yield f
+
+    def distinct(self) -> tuple[Fact, ...]:
+        """The distinct facts present, sorted."""
+        return tuple(sorted(self._counts))
+
+    def contains_multiset(self, other: "FactMultiset") -> bool:
+        """Multiset containment: every fact of *other* with ≥ multiplicity."""
+        return all(self.count(f) >= n for f, n in other._counts.items())
+
+    # -- algebra -----------------------------------------------------------------
+
+    def add(self, f: Fact, times: int = 1) -> "FactMultiset":
+        """Self with *times* extra occurrences of *f*."""
+        if times < 0:
+            raise ValueError("cannot add a negative number of occurrences")
+        new = Counter(self._counts)
+        new[f] += times
+        return _from_counter(new)
+
+    def union(self, other: "FactMultiset | Iterable[Fact]") -> "FactMultiset":
+        """Multiset union (multiplicities add), as in message sending."""
+        if not isinstance(other, FactMultiset):
+            other = FactMultiset(other)
+        new = Counter(self._counts)
+        for f, n in other._counts.items():
+            new[f] += n
+        return _from_counter(new)
+
+    def remove(self, f: Fact, times: int = 1) -> "FactMultiset":
+        """Self with *times* occurrences of *f* removed (must exist)."""
+        if self._counts.get(f, 0) < times:
+            raise KeyError(f"cannot remove {times} x {f!r}: only {self.count(f)} present")
+        new = Counter(self._counts)
+        new[f] -= times
+        if new[f] == 0:
+            del new[f]
+        return _from_counter(new)
+
+    def difference(self, other: "FactMultiset") -> "FactMultiset":
+        """Multiset difference (multiplicities subtract, floored at 0)."""
+        new = Counter(self._counts)
+        for f, n in other._counts.items():
+            new[f] -= n
+            if new[f] <= 0:
+                del new[f]
+        return _from_counter(new)
+
+    # -- value semantics -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FactMultiset):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        if not self._counts:
+            return "FactMultiset(∅)"
+        inner = ", ".join(
+            f"{f!r}x{n}" if n > 1 else repr(f) for f, n in sorted(self._counts.items())
+        )
+        return f"FactMultiset({{{inner}}})"
+
+
+def _from_counter(counts: Counter) -> FactMultiset:
+    ms = FactMultiset.__new__(FactMultiset)
+    object.__setattr__(ms, "_counts", counts)
+    object.__setattr__(ms, "_hash", hash(frozenset(counts.items())))
+    return ms
+
+
+_EMPTY = FactMultiset()

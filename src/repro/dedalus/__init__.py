@@ -1,0 +1,79 @@
+"""Dedalus: Datalog in time (Section 8), and the Theorem 18 TM simulation.
+
+Temporal Datalog with deductive / inductive (@next) / asynchronous
+(@async) rules, timestamp entanglement via the reserved ``now``
+variable, a seeded interpreter with eventual-consistency detection,
+word structures, deterministic Turing machines, and the Theorem 18
+compiler from Turing machines to Dedalus programs.
+"""
+
+from .ast import NOW, NOW_RELATION, DedalusRule, RuleKind
+from .compile_tm import accepts, compile_tm
+from .distributed import LINK_RELATION, localize, node_view, place
+from .interp import DedalusInterpreter, DedalusTrace, run_program, temporal_input
+from .parser import parse_dedalus_rule, parse_dedalus_rules
+from .program import DedalusProgram
+from .tm import (
+    BLANK,
+    LEFT,
+    RIGHT,
+    STAY,
+    STOCK_MACHINES,
+    TMResult,
+    TuringMachine,
+    tm_anbn,
+    tm_counter,
+    tm_ends_with_b,
+    tm_even_length,
+)
+from .word import (
+    SPURIOUS_VARIANTS,
+    letter_relation,
+    with_branching_tape,
+    with_double_label,
+    with_extra_begin,
+    with_phantom_element,
+    with_unlabeled_tape_cell,
+    word_schema,
+    word_structure,
+)
+
+__all__ = [
+    "BLANK",
+    "DedalusInterpreter",
+    "DedalusProgram",
+    "DedalusRule",
+    "DedalusTrace",
+    "LINK_RELATION",
+    "LEFT",
+    "NOW",
+    "NOW_RELATION",
+    "RIGHT",
+    "RuleKind",
+    "SPURIOUS_VARIANTS",
+    "STAY",
+    "STOCK_MACHINES",
+    "TMResult",
+    "TuringMachine",
+    "accepts",
+    "compile_tm",
+    "letter_relation",
+    "localize",
+    "node_view",
+    "parse_dedalus_rule",
+    "parse_dedalus_rules",
+    "place",
+    "run_program",
+    "temporal_input",
+    "tm_anbn",
+    "tm_counter",
+    "tm_ends_with_b",
+    "tm_even_length",
+    "with_branching_tape",
+    "with_double_label",
+    "with_extra_begin",
+    "with_phantom_element",
+    "with_unlabeled_tape_cell",
+    "word_schema",
+    "word_structure",
+]

@@ -1,0 +1,86 @@
+"""Dedalus rules: deductive, inductive, and asynchronous (Section 8).
+
+"Dedalus is a temporal version of Datalog with negation where the last
+position of each predicate carries a timestamp.  All subgoals of any
+rule must be joined on this timestamp.  The timestamp of the head of
+the rule can either be the timestamp of the body (a 'deductive rule'),
+or it can be the successor timestamp (an 'inductive rule')."  Async
+rules derive facts at a nondeterministic later timestamp.
+
+We factor the timestamp out of the syntax: predicates are written
+without their timestamp argument (it is implied and always joined), and
+the reserved variable ``now`` exposes the current timestamp for
+*entanglement* — "timestamp values can also occur as data values".
+The paper's
+
+    TapeExt(x, n, n+1) ← q(x, n), a(x, n), End(x, n), ¬ExtNext(x, n)
+
+is written here as
+
+    TapeExt(x, now) @next :- q(x), a(x), End(x), not ExtNext(x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..lang.ast import Atom, Literal, Rule, Var
+
+#: The reserved variable exposing the current timestamp.
+NOW = Var("now")
+
+#: The reserved unary relation binding ``now`` during evaluation.
+NOW_RELATION = "Now"
+
+
+class RuleKind(Enum):
+    """When the head of a rule becomes true relative to its body."""
+
+    DEDUCTIVE = "deductive"   # same timestep
+    INDUCTIVE = "inductive"   # next timestep (@next)
+    ASYNC = "async"           # some later timestep (@async)
+
+
+@dataclass(frozen=True)
+class DedalusRule:
+    """A Dedalus rule: an atemporal rule plus a temporal kind."""
+
+    rule: Rule
+    kind: RuleKind
+
+    @property
+    def head(self) -> Atom:
+        return self.rule.head
+
+    @property
+    def body(self) -> tuple[Literal, ...]:
+        return self.rule.body
+
+    def uses_now(self) -> bool:
+        """Does the rule mention the reserved ``now`` variable?"""
+        return NOW in self.rule.variables()
+
+    def is_entangled(self) -> bool:
+        """Does ``now`` occur in a *data* position of the head?
+
+        This is the paper's "entanglement" feature — the feature that
+        lets Dedalus name unboundedly many new things (Theorem 18's
+        tape extension) and puts it beyond PTIME.
+        """
+        return NOW in self.head.free_vars()
+
+    def evaluation_rule(self) -> Rule:
+        """The rule as evaluated: ``now`` bound via the Now relation."""
+        if not self.uses_now():
+            return self.rule
+        extra = Literal(Atom(NOW_RELATION, (NOW,)), positive=True)
+        return Rule(self.rule.head, self.rule.body + (extra,))
+
+    def __repr__(self) -> str:
+        tag = {"deductive": "", "inductive": " @next", "async": " @async"}[
+            self.kind.value
+        ]
+        body = ", ".join(repr(lit) for lit in self.body)
+        arrow = f" :- {body}" if body else ""
+        return f"{self.head!r}{tag}{arrow}."

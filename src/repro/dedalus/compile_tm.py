@@ -1,0 +1,200 @@
+"""Theorem 18: compiling a Turing machine to a Dedalus program.
+
+"For every Turing machine M, the query Q_M is expressible in an
+eventually consistent way by a Dedalus program."
+
+The compiler follows the proof sketch step by step:
+
+1. **Persistence** — input facts can arrive at any timestamp, so every
+   EDB relation E is persisted into a twin ``E_p``
+   (``E_p(x̄) :- E(x̄)``; ``E_p(x̄) @next :- E_p(x̄)``).
+2. **Word-structure detection** — ``Word()`` holds when a Begin-to-End
+   path exists in Tape with every element labeled (plain Datalog).
+3. **Spurious-tuple detection** — the proof's cases (a)–(d), in
+   stratified Datalog, gated on ``Word()``; ``Accept`` follows from
+   ``Spurious`` (the monotone escape of Q_M's definition).
+4. **Simulation** — ``sim_c``/``st_q`` predicates carry the tape
+   content and head position on the input region; the tape is extended
+   *to the right using timestamp entanglement*: the rule
+
+       TapeExt(x, now) @next :- st_q(x), CIn_c(x), End_p(x), not ExtNext(x).
+
+   creates a fresh cell named by the current timestamp, exactly the
+   paper's ``TapeExt(x, n, n+1) ← q(x, n), a(x, n), End(x, n),
+   ¬ExtNext(x, n)``.  Extension cells get their own predicate families
+   (``ext_c``/``stx_q``) so timestamp values that happen to collide
+   with input cell names cannot be confused — the proof's explicit
+   worry.
+
+Acceptance: the 0-ary ``Accept`` relation, persisted once derived; the
+run stabilizes because accepting (and rejecting) configurations stop
+producing head predicates, so the inductive base reaches a fixpoint —
+eventual consistency in the paper's sense.
+"""
+
+from __future__ import annotations
+
+from .program import DedalusProgram
+from .tm import BLANK, LEFT, RIGHT, STAY, TuringMachine
+from .word import letter_relation, word_schema
+
+
+def _sym(symbol: str) -> str:
+    return letter_relation(symbol)
+
+
+def compile_tm(machine: TuringMachine) -> DedalusProgram:
+    """Compile *machine* into the Theorem 18 Dedalus program.
+
+    The program's EDB schema is the word schema of the machine's input
+    alphabet; its ``Accept`` relation is the query answer.
+    """
+    sigma = sorted(machine.input_alphabet)
+    tape_alpha = sorted(machine.tape_alphabet)
+    states = sorted(machine.states)
+    edb = word_schema(machine.input_alphabet)
+
+    lines: list[str] = []
+    add = lines.append
+
+    # -- 1. persistence of the EDB into twins -----------------------------
+    for rel in edb.relation_names():
+        arity = edb[rel]
+        xs = ", ".join(f"x{i + 1}" for i in range(arity))
+        add(f"{rel}_p({xs}) :- {rel}({xs}).")
+        add(f"{rel}_p({xs}) @next :- {rel}_p({xs}).")
+
+    # -- 2. word-structure detection --------------------------------------
+    for a in sigma:
+        add(f"Labeled(x) :- {_sym(a)}_p(x).")
+    add("Reach(x) :- Begin_p(x), Labeled(x).")
+    add("Reach(y) :- Reach(x), Tape_p(x, y), Labeled(y).")
+    add("Word() :- Reach(x), End_p(x).")
+
+    # -- 3. spurious-tuple detection (cases a-d), gated on Word -----------
+    add("OnTape(x) :- Tape_p(x, y).")
+    add("OnTape(y) :- Tape_p(x, y).")
+    add("Adom(x) :- Tape_p(x, y).")
+    add("Adom(y) :- Tape_p(x, y).")
+    add("Adom(x) :- Begin_p(x).")
+    add("Adom(x) :- End_p(x).")
+    for a in sigma:
+        add(f"Adom(x) :- {_sym(a)}_p(x).")
+    add("TapeReach(x) :- Begin_p(x).")
+    add("TapeReach(y) :- TapeReach(x), Tape_p(x, y).")
+    # (a) more than one Begin or End
+    add("Spurious() :- Word(), Begin_p(x), Begin_p(y), x != y.")
+    add("Spurious() :- Word(), End_p(x), End_p(y), x != y.")
+    # (b) doubly-labeled element
+    for i, a in enumerate(sigma):
+        for b in sigma[i + 1:]:
+            add(f"Spurious() :- Word(), {_sym(a)}_p(x), {_sym(b)}_p(x).")
+    # (c) tape not a clean successor chain from Begin to End
+    add("Spurious() :- Word(), Tape_p(x, y), Tape_p(x, z), y != z.")
+    add("Spurious() :- Word(), Tape_p(y, x), Tape_p(z, x), y != z.")
+    add("Spurious() :- Word(), OnTape(x), not TapeReach(x).")
+    add("Spurious() :- Word(), End_p(x), Tape_p(x, y).")
+    add("Spurious() :- Word(), Begin_p(x), Tape_p(y, x).")
+    # (d) phantom elements
+    add("Spurious() :- Word(), Adom(x), not Labeled(x).")
+    add("Spurious() :- Word(), Adom(x), not OnTape(x).")
+    add("RunOK() :- Word(), not Spurious().")
+
+    # -- acceptance (monotone escape + persistence) ------------------------
+    add("Accept() :- Spurious().")
+    add("Accept() @next :- Accept().")
+
+    # -- 4. simulation ------------------------------------------------------
+    # start: copy input letters to the simulation region, head at Begin.
+    add("Started() @next :- RunOK().")
+    add("Started() @next :- Started().")
+    for a in sigma:
+        add(f"sim_{_sym(a)}(x) @next :- RunOK(), not Started(), {_sym(a)}_p(x).")
+    add(
+        f"st_{machine.start}(x) @next :- RunOK(), not Started(), Begin_p(x)."
+    )
+
+    # derived geometry of the extension region
+    add("ExtNext(x) :- TapeExt(x, y).")
+    add("ExtCell(y) :- TapeExt(x, y).")
+    add("TapeExt(x, y) @next :- TapeExt(x, y).")
+    for c in tape_alpha:
+        add(f"AnySymExt(x) :- ext_{_sym(c)}(x).")
+
+    # head location predicates and cell-content views
+    for q in states:
+        add(f"HeadIn(x) :- st_{q}(x).")
+        add(f"HeadExt(x) :- stx_{q}(x).")
+    for c in tape_alpha:
+        add(f"CIn_{_sym(c)}(x) :- sim_{_sym(c)}(x).")
+        add(f"CExt_{_sym(c)}(x) :- ext_{_sym(c)}(x).")
+    add(f"CExt_{_sym(BLANK)}(x) :- ExtCell(x), not AnySymExt(x).")
+
+    # acceptance from accepting head states
+    for q in sorted(machine.accept):
+        add(f"Accept() :- st_{q}(x).")
+        add(f"Accept() :- stx_{q}(x).")
+
+    # symbol persistence away from the head
+    for c in tape_alpha:
+        add(f"sim_{_sym(c)}(y) @next :- sim_{_sym(c)}(y), RunOK(), not HeadIn(y).")
+        add(f"ext_{_sym(c)}(y) @next :- ext_{_sym(c)}(y), RunOK(), not HeadExt(y).")
+
+    # transitions
+    for (q, c), (q2, b, move) in sorted(machine.delta.items()):
+        g_in = f"st_{q}(x), CIn_{_sym(c)}(x), RunOK()"
+        g_ext = f"stx_{q}(x), CExt_{_sym(c)}(x), RunOK()"
+        # write
+        add(f"sim_{_sym(b)}(x) @next :- {g_in}.")
+        add(f"ext_{_sym(b)}(x) @next :- {g_ext}.")
+        if move == RIGHT:
+            add(f"st_{q2}(y) @next :- {g_in}, Tape_p(x, y).")
+            add(f"stx_{q2}(y) @next :- {g_in}, TapeExt(x, y).")
+            add(f"TapeExt(x, now) @next :- {g_in}, End_p(x), not ExtNext(x).")
+            add(f"stx_{q2}(now) @next :- {g_in}, End_p(x), not ExtNext(x).")
+            add(f"stx_{q2}(y) @next :- {g_ext}, TapeExt(x, y), ExtCell(y).")
+            add(f"TapeExt(x, now) @next :- {g_ext}, not ExtNext(x).")
+            add(f"stx_{q2}(now) @next :- {g_ext}, not ExtNext(x).")
+        elif move == LEFT:
+            add(f"st_{q2}(y) @next :- {g_in}, Tape_p(y, x).")
+            add(f"st_{q2}(x) @next :- {g_in}, Begin_p(x).")  # clamp
+            add(f"stx_{q2}(y) @next :- {g_ext}, TapeExt(y, x), ExtCell(y).")
+            add(f"st_{q2}(y) @next :- {g_ext}, TapeExt(y, x), End_p(y).")
+        else:  # STAY
+            add(f"st_{q2}(x) @next :- {g_in}.")
+            add(f"stx_{q2}(x) @next :- {g_ext}.")
+
+    # Declare the full predicate families: some members are read by
+    # transition guards but never derived (e.g. the start state on the
+    # extension tape) — their extent is simply always empty.
+    extra_idb: dict[str, int] = {}
+    for q in states:
+        extra_idb[f"st_{q}"] = 1
+        extra_idb[f"stx_{q}"] = 1
+    for c in tape_alpha:
+        extra_idb[f"sim_{_sym(c)}"] = 1
+        extra_idb[f"ext_{_sym(c)}"] = 1
+    return DedalusProgram.parse("\n".join(lines), edb, extra_idb)
+
+
+def accepts(
+    machine: TuringMachine,
+    edb,
+    max_steps: int = 2_000,
+    seed: int = 0,
+) -> tuple[bool | None, "object"]:
+    """Run the compiled program; return (accepted, trace).
+
+    *accepted* is None when the run did not stabilize within the step
+    budget (e.g. the machine diverges on the input).
+    """
+    from .interp import DedalusInterpreter
+
+    program = compile_tm(machine)
+    trace = DedalusInterpreter(program).run(edb, max_steps=max_steps, seed=seed)
+    if trace.stable:
+        return trace.holds_eventually("Accept"), trace
+    # Unstable runs may still have settled Accept (it persists).
+    if trace.final().relation("Accept"):
+        return True, trace
+    return None, trace

@@ -1,0 +1,177 @@
+"""Distributed Dedalus via location specifiers (Section 8, closing remark).
+
+"Distribution is not built in Dedalus and must be simulated using data
+elements serving as location specifiers.  The above theorem can be
+extended to a distributed setting where different peers send around
+their input data to their peers.  The receiving peer treats these
+messages as EDB facts.  This works without coordination since the
+program is monotone in the EDB relations.  More generally, it seems one
+can define a syntactic class of 'oblivious' Dedalus programs in analogy
+to our notion of oblivious transducers.  The restriction would amount
+to disallowing joins on location specifiers."
+
+:func:`localize` implements exactly this transform:
+
+* every relation gains a leading *location* column;
+* user rules become single-location ("oblivious": one location variable
+  per rule, never joined against data — the paper's restriction);
+* each broadcast EDB relation is persisted (``R_loc`` twins) and
+  shipped to neighbours by an ``@async`` rule over the ``Link``
+  relation, whose nondeterministic arrival timestamps model the
+  asynchronous network;
+* the topology is data: ``Link(v, w)`` facts, one per directed edge.
+
+Running the localized program on the single-machine interpreter *is*
+the distributed execution — the locations partition the state exactly
+as a transducer network's configuration would.
+"""
+
+from __future__ import annotations
+
+from ..db.fact import Fact
+from ..db.instance import Instance
+from ..db.schema import DatabaseSchema, SchemaError
+from ..lang.ast import Atom, Literal, Rule, Var
+from ..net.network import Network
+from ..net.partition import HorizontalPartition
+from .ast import DedalusRule, RuleKind
+from .program import DedalusProgram
+
+LINK_RELATION = "Link"
+LOC_SUFFIX = "_loc"
+LOCATION_VAR = Var("loc")
+
+
+def localize(
+    program: DedalusProgram,
+    broadcast: set[str] | None = None,
+) -> DedalusProgram:
+    """The location-tagged, network-shipping version of *program*.
+
+    *broadcast* selects which EDB relations are flooded to peers
+    (default: all of them).  The result's EDB schema is the original
+    one with a leading location column on every relation, plus
+    ``Link/2``.
+    """
+    if broadcast is None:
+        broadcast = set(program.edb_schema.relation_names())
+    unknown = broadcast - set(program.edb_schema.relation_names())
+    if unknown:
+        raise SchemaError(f"cannot broadcast non-EDB relations {sorted(unknown)}")
+
+    edb: dict[str, int] = {LINK_RELATION: 2}
+    for name in program.edb_schema.relation_names():
+        edb[name] = program.edb_schema[name] + 1
+
+    rules: list[DedalusRule] = []
+
+    def loc_atom(atom: Atom, twin: bool) -> Atom:
+        name = atom.relation + (LOC_SUFFIX if twin else "")
+        return Atom(name, (LOCATION_VAR,) + atom.terms)
+
+    # Persist the topology: Link facts arrive once (at t=0) but shipping
+    # rules must keep firing as copies hop across the network.
+    la, lb = Var("la"), Var("lb")
+    link_twin = Atom(LINK_RELATION + LOC_SUFFIX, (la, lb))
+    link_raw = Atom(LINK_RELATION, (la, lb))
+    rules.append(
+        DedalusRule(Rule(link_twin, (Literal(link_raw),)), RuleKind.DEDUCTIVE)
+    )
+    rules.append(
+        DedalusRule(Rule(link_twin, (Literal(link_twin),)), RuleKind.INDUCTIVE)
+    )
+
+    # Persist every EDB relation into a location-tagged twin, and ship
+    # broadcast relations to the neighbours.
+    for name in program.edb_schema.relation_names():
+        arity = program.edb_schema[name]
+        xs = tuple(Var(f"x{i + 1}") for i in range(arity))
+        raw = Atom(name, (LOCATION_VAR,) + xs)
+        twin = Atom(name + LOC_SUFFIX, (LOCATION_VAR,) + xs)
+        rules.append(DedalusRule(Rule(twin, (Literal(raw),)), RuleKind.DEDUCTIVE))
+        rules.append(DedalusRule(Rule(twin, (Literal(twin),)), RuleKind.INDUCTIVE))
+        if name in broadcast:
+            here = Var("here")
+            there = Var("there")
+            source = Atom(name + LOC_SUFFIX, (here,) + xs)
+            target = Atom(name + LOC_SUFFIX, (there,) + xs)
+            link = Atom(LINK_RELATION + LOC_SUFFIX, (here, there))
+            # Send-once ledger: a peer records what it already shipped on
+            # each edge (purely local knowledge), so the async rule stops
+            # firing once every fact has been sent everywhere — without
+            # this the run would never stabilize.  Classic gossip dedup.
+            sent = Atom("Sent_" + name, (here, there) + xs)
+            rules.append(
+                DedalusRule(
+                    Rule(
+                        target,
+                        (
+                            Literal(source),
+                            Literal(link),
+                            Literal(sent, positive=False),
+                        ),
+                    ),
+                    RuleKind.ASYNC,
+                )
+            )
+            rules.append(
+                DedalusRule(
+                    Rule(sent, (Literal(source), Literal(link))),
+                    RuleKind.INDUCTIVE,
+                )
+            )
+            rules.append(
+                DedalusRule(Rule(sent, (Literal(sent),)), RuleKind.INDUCTIVE)
+            )
+
+    # Localize the user rules: one location variable everywhere (the
+    # "oblivious Dedalus" restriction: no joins on location specifiers).
+    for drule in program.rules:
+        head = loc_atom(drule.head, twin=False)
+        body: list[Literal] = []
+        bound = False
+        for lit in drule.body:
+            if isinstance(lit.atom, Atom):
+                twin = lit.atom.relation in program.edb_schema
+                body.append(Literal(loc_atom(lit.atom, twin), lit.positive))
+                bound = bound or lit.positive
+            else:
+                body.append(lit)
+        if not bound:
+            raise SchemaError(
+                f"cannot localize rule with no positive relational atom: {drule!r}"
+            )
+        rules.append(DedalusRule(Rule(head, tuple(body)), drule.kind))
+
+    return DedalusProgram(tuple(rules), DatabaseSchema(edb))
+
+
+def place(
+    partition: HorizontalPartition,
+    network: Network,
+) -> Instance:
+    """The localized EDB: partition fragments tagged with their node,
+    plus ``Link`` facts for both directions of every network edge."""
+    schema: dict[str, int] = {LINK_RELATION: 2}
+    facts: set[Fact] = set()
+    for edge in network.edges:
+        a, b = tuple(edge)
+        facts.add(Fact(LINK_RELATION, (a, b)))
+        facts.add(Fact(LINK_RELATION, (b, a)))
+    for node in network.sorted_nodes():
+        fragment = partition.fragment(node)
+        for f in fragment.facts():
+            schema.setdefault(f.relation, f.arity + 1)
+            facts.add(Fact(f.relation, (node,) + f.values))
+        for name in fragment.schema.relation_names():
+            schema.setdefault(name, fragment.schema[name] + 1)
+    return Instance(DatabaseSchema(schema), facts)
+
+
+def node_view(state: Instance, relation: str, node) -> frozenset:
+    """The tuples of a localized relation at one node (location stripped)."""
+    if relation not in state.schema:
+        return frozenset()
+    return frozenset(
+        row[1:] for row in state.relation(relation) if row[0] == node
+    )

@@ -1,0 +1,220 @@
+"""The Dedalus temporal interpreter.
+
+Semantics per timestep t = 0, 1, 2, ...:
+
+1. the *base* at t = EDB facts with timestamp t (temporal input)
+   ∪ facts derived for t by inductive rules at t−1
+   ∪ async-rule facts whose (seeded-random) arrival timestamp is t;
+2. the *state* S_t = stratified fixpoint of the deductive rules over
+   the base, with the reserved ``Now`` relation holding {t};
+3. inductive rules fire on S_t producing base facts for t+1; async
+   rules fire producing facts scheduled at t+1+delay, delay drawn from
+   a seeded RNG (eventual delivery is guaranteed — delays are bounded).
+
+The run stops at *stabilization* — the base repeats, no arrivals are
+pending, and the state (minus ``Now``) repeats — which is exactly the
+paper's eventual consistency: ∃n ∀m ≥ n: Π(I)|m = Π(I)|n.  Programs
+that never stabilize exhaust ``max_steps`` and are reported unstable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from collections.abc import Mapping
+
+from ..db.fact import Fact
+from ..db.instance import Instance
+from ..db.schema import DatabaseSchema
+from ..lang.datalog import fire_rule
+from ..lang.stratified import StratifiedProgram, stratified_fixpoint
+from .ast import NOW_RELATION, DedalusRule
+from .program import DedalusProgram
+
+
+@dataclass
+class DedalusTrace:
+    """The (truncated) trace of a Dedalus run."""
+
+    states: dict[int, Instance]
+    stabilized_at: int | None
+    steps: int
+
+    @property
+    def stable(self) -> bool:
+        return self.stabilized_at is not None
+
+    def final(self) -> Instance:
+        """The last computed state."""
+        return self.states[max(self.states)]
+
+    def holds_eventually(self, relation: str) -> bool:
+        """Is *relation* nonempty in the stabilized state?"""
+        return bool(self.final().relation(relation))
+
+    def first_time(self, relation: str) -> int | None:
+        """The first timestep at which *relation* is nonempty."""
+        for t in sorted(self.states):
+            if self.states[t].relation(relation):
+                return t
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"DedalusTrace(steps={self.steps}, "
+            f"stabilized_at={self.stabilized_at})"
+        )
+
+
+def temporal_input(
+    instance: Instance, arrivals: Mapping[Fact, int] | None = None
+) -> dict[int, frozenset[Fact]]:
+    """Build a temporal EDB: each fact tagged with an arrival timestamp.
+
+    With no *arrivals* mapping, everything arrives at time 0.  The
+    Theorem 18 benches use staggered arrivals to exercise "input facts
+    can arrive at any timestamp".
+    """
+    out: dict[int, set[Fact]] = {}
+    for f in instance.facts():
+        t = 0 if arrivals is None else arrivals.get(f, 0)
+        if t < 0:
+            raise ValueError(f"negative timestamp for {f!r}")
+        out.setdefault(t, set()).add(f)
+    return {t: frozenset(facts) for t, facts in out.items()}
+
+
+class DedalusInterpreter:
+    """Evaluates a :class:`~repro.dedalus.program.DedalusProgram`."""
+
+    def __init__(self, program: DedalusProgram):
+        self.program = program
+        self._full_schema = program.schema.union(
+            DatabaseSchema({NOW_RELATION: 1})
+        )
+        deductive = program.deductive_rules()
+        self._deductive_heads = {r.head.relation for r in deductive}
+        pseudo_edb = {
+            name: self._full_schema[name]
+            for name in self._full_schema
+            if name not in self._deductive_heads
+        }
+        self._deductive_program = (
+            StratifiedProgram(deductive, DatabaseSchema(pseudo_edb))
+            if deductive
+            else None
+        )
+
+    # -- single pieces -------------------------------------------------------
+
+    def deductive_closure(self, base: frozenset[Fact], t: int) -> Instance:
+        """S_t: the stratified model of the deductive rules over *base*."""
+        facts = set(base)
+        facts.add(Fact(NOW_RELATION, (t,)))
+        instance = Instance(self._full_schema, facts)
+        if self._deductive_program is None:
+            return instance
+        result = stratified_fixpoint(self._deductive_program, instance)
+        # stratified_fixpoint works over its own schema; re-expand.
+        return Instance(self._full_schema, result.facts())
+
+    def _fire_temporal(
+        self, rules: tuple[DedalusRule, ...], state: Instance
+    ) -> set[Fact]:
+        relations = {
+            name: state.relation(name) for name in state.schema.relation_names()
+        }
+        domain = state.active_domain()
+        out: set[Fact] = set()
+        for drule in rules:
+            rule = drule.evaluation_rule()
+            sources = [
+                relations.get(atom.relation, frozenset())
+                for atom in rule.positive_body_atoms()
+            ]
+            for row in fire_rule(rule, sources, relations, domain):
+                out.add(Fact(rule.head.relation, row))
+        return out
+
+    # -- the run -----------------------------------------------------------------
+
+    def run(
+        self,
+        edb: Mapping[int, frozenset[Fact]] | Instance,
+        max_steps: int = 500,
+        seed: int = 0,
+        max_async_delay: int = 3,
+        keep_trace: bool = True,
+    ) -> DedalusTrace:
+        """Run the program on a temporal EDB until stabilization.
+
+        *edb* maps timestamps to fact sets (or is a plain instance,
+        arriving entirely at time 0).
+        """
+        if isinstance(edb, Instance):
+            edb = temporal_input(edb)
+        for t, facts in edb.items():
+            for f in facts:
+                if f.relation not in self.program.edb_schema:
+                    raise ValueError(f"EDB fact {f!r} outside the EDB schema")
+
+        rng = random.Random(seed)
+        last_edb_time = max(edb, default=-1)
+        pending_async: dict[int, set[Fact]] = {}
+        carryover: frozenset[Fact] = frozenset()
+        states: dict[int, Instance] = {}
+        previous_base: frozenset[Fact] | None = None
+        previous_state: frozenset[Fact] | None = None
+        stabilized_at: int | None = None
+
+        t = 0
+        while t < max_steps:
+            base = set(carryover)
+            base |= edb.get(t, frozenset())
+            base |= pending_async.pop(t, set())
+            base_frozen = frozenset(base)
+
+            state = self.deductive_closure(base_frozen, t)
+            if keep_trace:
+                states[t] = state
+            else:
+                states.clear()
+                states[t] = state
+
+            carryover = frozenset(
+                self._fire_temporal(self.program.inductive_rules(), state)
+            )
+            for f in self._fire_temporal(self.program.async_rules(), state):
+                arrival = t + 1 + rng.randrange(max_async_delay + 1)
+                pending_async.setdefault(arrival, set()).add(f)
+
+            state_minus_now = frozenset(
+                f for f in state.facts() if f.relation != NOW_RELATION
+            )
+            quiet = (
+                t > last_edb_time
+                and not pending_async
+                and previous_base == base_frozen
+                and previous_state == state_minus_now
+            )
+            if quiet:
+                stabilized_at = t
+                break
+            previous_base = base_frozen
+            previous_state = state_minus_now
+            t += 1
+
+        return DedalusTrace(
+            states=states,
+            stabilized_at=stabilized_at,
+            steps=t,
+        )
+
+
+def run_program(
+    program: DedalusProgram,
+    edb: Mapping[int, frozenset[Fact]] | Instance,
+    **kwargs,
+) -> DedalusTrace:
+    """Convenience one-shot runner."""
+    return DedalusInterpreter(program).run(edb, **kwargs)

@@ -1,0 +1,67 @@
+"""Text syntax for Dedalus programs.
+
+A Dedalus rule is an ordinary rule whose head may carry a temporal tag::
+
+    Counter(x) @next :- Counter(x).          % inductive (persistence)
+    Reach(y)         :- Reach(x), Edge(x,y). % deductive
+    Msg(x) @async    :- Queue(x).            % asynchronous
+
+The reserved variable ``now`` may appear anywhere a term may; the
+reserved relation name ``Now`` may not be used by programs.
+"""
+
+from __future__ import annotations
+
+from ..lang.parser import ParseError, _Parser
+from .ast import NOW_RELATION, DedalusRule, RuleKind
+
+_TAGS = {"next": RuleKind.INDUCTIVE, "async": RuleKind.ASYNC}
+
+
+class _DedalusParser(_Parser):
+    def parse_dedalus_rule(self) -> DedalusRule:
+        head = self.parse_atom()
+        kind = RuleKind.DEDUCTIVE
+        if self.accept("PUNCT", "@"):
+            tag = self.expect("IDENT")
+            if tag.value not in _TAGS:
+                raise ParseError(
+                    f"unknown temporal tag @{tag.value}", self.text, tag.pos
+                )
+            kind = _TAGS[tag.value]
+        body = []
+        if self.accept("PUNCT", ":-") or self.accept("PUNCT", "<-"):
+            body.append(self.parse_literal())
+            while self.accept("PUNCT", ","):
+                body.append(self.parse_literal())
+        self.expect("PUNCT", ".")
+        from ..lang.ast import Rule
+
+        rule = Rule(head, tuple(body))
+        if head.relation == NOW_RELATION:
+            raise ParseError(
+                f"relation name {NOW_RELATION!r} is reserved", self.text, 0
+            )
+        return DedalusRule(rule, kind)
+
+    def parse_dedalus_program(self) -> tuple[DedalusRule, ...]:
+        rules = []
+        while self.peek().kind != "END":
+            rules.append(self.parse_dedalus_rule())
+        return tuple(rules)
+
+
+def parse_dedalus_rule(text: str) -> DedalusRule:
+    """Parse one Dedalus rule."""
+    parser = _DedalusParser(text)
+    rule = parser.parse_dedalus_rule()
+    parser.finish()
+    return rule
+
+
+def parse_dedalus_rules(text: str) -> tuple[DedalusRule, ...]:
+    """Parse a Dedalus rule block."""
+    parser = _DedalusParser(text)
+    rules = parser.parse_dedalus_program()
+    parser.finish()
+    return rules

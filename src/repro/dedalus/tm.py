@@ -1,0 +1,224 @@
+"""Deterministic Turing machines (the object of Theorem 18).
+
+A reference implementation: a direct TM runner used to cross-validate
+the Dedalus simulation (the Dedalus trace must accept exactly when the
+TM does).  Accepting states halt; a configuration with no applicable
+transition in a non-accepting state halts rejecting.
+
+The library ships the machines the benches use:
+
+* :func:`tm_even_length` — accepts strings of even length (linear time);
+* :func:`tm_anbn` — accepts a^n b^n (quadratic time);
+* :func:`tm_ends_with_b` — accepts strings ending in b (linear, uses
+  the tape extension when scanning past the end);
+* :func:`tm_counter` — runs Θ(2^n) steps on inputs of length n+1
+  before accepting (the concrete witness for the Section 8 claim that
+  Dedalus is not bounded by PTIME).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: The blank tape symbol.
+BLANK = "blank"
+
+#: Head movements.
+LEFT, RIGHT, STAY = "L", "R", "S"
+
+
+@dataclass(frozen=True)
+class TMResult:
+    """Outcome of a direct TM run."""
+
+    accepted: bool | None  # None: step budget exhausted
+    steps: int
+    tape: tuple[str, ...] = field(default=())
+
+
+class TuringMachine:
+    """A deterministic single-tape Turing machine.
+
+    The tape is right-infinite (position 0 is the leftmost cell; moving
+    left off the tape clamps, matching the Dedalus simulation's Begin
+    clamp).  *delta* maps ``(state, symbol)`` to
+    ``(state, symbol, move)``.  Accept states must have no outgoing
+    transitions (acceptance halts).
+    """
+
+    def __init__(
+        self,
+        states: set[str],
+        input_alphabet: set[str],
+        delta: dict[tuple[str, str], tuple[str, str, str]],
+        start: str,
+        accept: set[str],
+        name: str = "tm",
+    ):
+        if not set(accept) <= set(states):
+            raise ValueError("accept states must be states")
+        if start not in states:
+            raise ValueError("start state must be a state")
+        for (q, a), (q2, b, move) in delta.items():
+            if q not in states or q2 not in states:
+                raise ValueError(f"unknown state in transition ({q}, {a})")
+            if q in accept:
+                raise ValueError(f"accepting state {q!r} must halt")
+            if move not in (LEFT, RIGHT, STAY):
+                raise ValueError(f"bad move {move!r}")
+        self.states = frozenset(states)
+        self.input_alphabet = frozenset(input_alphabet)
+        if BLANK in self.input_alphabet:
+            raise ValueError("the blank symbol cannot be an input letter")
+        self.delta = dict(delta)
+        self.start = start
+        self.accept = frozenset(accept)
+        self.name = name
+
+    @property
+    def tape_alphabet(self) -> frozenset[str]:
+        """Input letters plus everything the machine can write, plus blank."""
+        symbols = set(self.input_alphabet) | {BLANK}
+        for (q, a), (q2, b, move) in self.delta.items():
+            symbols.add(a)
+            symbols.add(b)
+        return frozenset(symbols)
+
+    def run(self, word: str | list[str], max_steps: int = 100_000) -> TMResult:
+        """Run the machine on *word* (a string of 1-char letters or a list)."""
+        tape = list(word)
+        if not tape:
+            tape = [BLANK]
+        state = self.start
+        head = 0
+        for step in range(max_steps):
+            if state in self.accept:
+                return TMResult(True, step, tuple(tape))
+            symbol = tape[head] if head < len(tape) else BLANK
+            key = (state, symbol)
+            if key not in self.delta:
+                return TMResult(False, step, tuple(tape))
+            state, write, move = self.delta[key]
+            while head >= len(tape):
+                tape.append(BLANK)
+            tape[head] = write
+            if move == RIGHT:
+                head += 1
+                if head == len(tape):
+                    tape.append(BLANK)
+            elif move == LEFT:
+                head = max(0, head - 1)
+        return TMResult(None, max_steps, tuple(tape))
+
+    def __repr__(self) -> str:
+        return (
+            f"TuringMachine({self.name!r}, {len(self.states)} states, "
+            f"{len(self.delta)} transitions)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Stock machines
+# ---------------------------------------------------------------------------
+
+
+def tm_even_length(alphabet: set[str] | None = None) -> TuringMachine:
+    """Accepts strings of even length: toggle parity scanning right."""
+    alphabet = alphabet or {"a", "b"}
+    delta = {}
+    for a in alphabet:
+        delta[("even", a)] = ("odd", a, RIGHT)
+        delta[("odd", a)] = ("even", a, RIGHT)
+    delta[("even", BLANK)] = ("yes", BLANK, STAY)
+    return TuringMachine(
+        states={"even", "odd", "yes"},
+        input_alphabet=alphabet,
+        delta=delta,
+        start="even",
+        accept={"yes"},
+        name="even_length",
+    )
+
+
+def tm_ends_with_b() -> TuringMachine:
+    """Accepts strings over {a, b} whose last letter is b."""
+    delta = {
+        ("scan", "a"): ("scan", "a", RIGHT),
+        ("scan", "b"): ("scan", "b", RIGHT),
+        ("scan", BLANK): ("back", BLANK, LEFT),
+        ("back", "b"): ("yes", "b", STAY),
+    }
+    return TuringMachine(
+        states={"scan", "back", "yes"},
+        input_alphabet={"a", "b"},
+        delta=delta,
+        start="scan",
+        accept={"yes"},
+        name="ends_with_b",
+    )
+
+
+def tm_anbn() -> TuringMachine:
+    """Accepts a^n b^n (n ≥ 1): mark pairs with X/Y, the classic drill."""
+    delta = {
+        # find the leftmost unmarked a, mark it X
+        ("s0", "a"): ("s1", "X", RIGHT),
+        ("s0", "Y"): ("s3", "Y", RIGHT),
+        # scan right past a's and Y's to the first b
+        ("s1", "a"): ("s1", "a", RIGHT),
+        ("s1", "Y"): ("s1", "Y", RIGHT),
+        ("s1", "b"): ("s2", "Y", LEFT),
+        # scan back left to the X, then step right
+        ("s2", "a"): ("s2", "a", LEFT),
+        ("s2", "Y"): ("s2", "Y", LEFT),
+        ("s2", "X"): ("s0", "X", RIGHT),
+        # verify only Y's remain
+        ("s3", "Y"): ("s3", "Y", RIGHT),
+        ("s3", BLANK): ("yes", BLANK, STAY),
+    }
+    return TuringMachine(
+        states={"s0", "s1", "s2", "s3", "yes"},
+        input_alphabet={"a", "b"},
+        delta=delta,
+        start="s0",
+        accept={"yes"},
+        name="anbn",
+    )
+
+
+def tm_counter() -> TuringMachine:
+    """Runs Θ(2^n) steps on 'm' + 'z'*n: a binary counter with end marker.
+
+    Input words: marker m followed by n zeros (letters {m, z}).  The
+    machine counts through all n-bit values by repeated increment
+    (LSB adjacent to the marker), accepting on overflow after ~2^(n+1)
+    head moves.
+    """
+    delta = {
+        # from the marker, step right and increment
+        ("start", "m"): ("inc", "m", RIGHT),
+        # increment with carry: o -> z carry on; z -> o done
+        ("inc", "o"): ("inc", "z", RIGHT),
+        ("inc", "z"): ("ret", "o", LEFT),
+        ("inc", BLANK): ("yes", BLANK, STAY),  # overflow past the end
+        # return to the marker
+        ("ret", "z"): ("ret", "z", LEFT),
+        ("ret", "o"): ("ret", "o", LEFT),
+        ("ret", "m"): ("inc", "m", RIGHT),
+    }
+    return TuringMachine(
+        states={"start", "inc", "ret", "yes"},
+        input_alphabet={"m", "z"},
+        delta=delta,
+        start="start",
+        accept={"yes"},
+        name="counter",
+    )
+
+
+STOCK_MACHINES = {
+    "even_length": tm_even_length,
+    "ends_with_b": tm_ends_with_b,
+    "anbn": tm_anbn,
+    "counter": tm_counter,
+}

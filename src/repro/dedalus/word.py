@@ -1,0 +1,114 @@
+"""Word structures: strings as database instances (Section 8).
+
+"Recall that any string s = a1 ... ap over Σ can be presented as an
+instance I_s over S_Σ.  We consider only strings of length at least
+two.  Then I_s consists of the facts Tape(1, 2), ..., Tape(p−1, p),
+Begin(1), End(p), a1(1), ..., ap(p)."
+
+Letters map to relation names via :func:`letter_relation` (the letter
+itself when it is an identifier, a ``ltr_`` escape otherwise), so
+machines with tape alphabets like {m, z, o} work unchanged.
+
+The module also builds the *spurious* variants the monotonicity clause
+of Q_M requires (Theorem 18's second bullet): instances that contain a
+word structure but are not one.
+"""
+
+from __future__ import annotations
+
+from ..db.fact import Fact
+from ..db.instance import Instance
+from ..db.schema import DatabaseSchema
+
+
+def letter_relation(letter: str) -> str:
+    """The relation name representing tape letter *letter*."""
+    if letter.isidentifier():
+        return letter
+    return "ltr_" + "_".join(str(ord(c)) for c in letter)
+
+
+def word_schema(alphabet: set[str] | frozenset[str]) -> DatabaseSchema:
+    """S_Σ: Tape/2, Begin/1, End/1 and one unary relation per letter."""
+    arities = {"Tape": 2, "Begin": 1, "End": 1}
+    for letter in alphabet:
+        name = letter_relation(letter)
+        if name in arities:
+            raise ValueError(f"letter {letter!r} collides with {name!r}")
+        arities[name] = 1
+    return DatabaseSchema(arities)
+
+
+def word_structure(
+    word: str | list[str], alphabet: set[str] | frozenset[str] | None = None
+) -> Instance:
+    """The instance I_s for string *word* (length ≥ 2, positions 1..p)."""
+    letters = list(word)
+    if len(letters) < 2:
+        raise ValueError("the paper considers only strings of length ≥ 2")
+    if alphabet is None:
+        alphabet = set(letters)
+    missing = set(letters) - set(alphabet)
+    if missing:
+        raise ValueError(f"letters {missing} outside the alphabet")
+    schema = word_schema(alphabet)
+    facts = [Fact("Begin", (1,)), Fact("End", (len(letters),))]
+    for i in range(1, len(letters)):
+        facts.append(Fact("Tape", (i, i + 1)))
+    for i, letter in enumerate(letters, start=1):
+        facts.append(Fact(letter_relation(letter), (i,)))
+    return Instance(schema, facts)
+
+
+# ---------------------------------------------------------------------------
+# Spurious variants (Theorem 18, detection cases (a)–(d))
+# ---------------------------------------------------------------------------
+
+
+def with_extra_begin(base: Instance, position: int = 99) -> Instance:
+    """(a) a second Begin element."""
+    return base.with_facts(
+        [Fact("Begin", (position,)), _any_label(base, position)]
+    )
+
+
+def with_double_label(base: Instance, alphabet: set[str]) -> Instance:
+    """(b) some element labeled by two different letters."""
+    letters = sorted(alphabet)
+    if len(letters) < 2:
+        raise ValueError("need two letters to double-label")
+    return base.with_facts([Fact(letter_relation(letters[0]), (1,)),
+                            Fact(letter_relation(letters[1]), (1,))])
+
+
+def with_branching_tape(base: Instance, position: int = 99) -> Instance:
+    """(c) an element with tape out-degree two."""
+    return base.with_facts(
+        [Fact("Tape", (1, position)), _any_label(base, position)]
+    )
+
+
+def with_phantom_element(base: Instance, position: int = 99) -> Instance:
+    """(d) a labeled element that is not on the tape."""
+    return base.with_facts([_any_label(base, position)])
+
+
+def with_unlabeled_tape_cell(base: Instance, position: int = 99) -> Instance:
+    """(d') an element on the tape that is not labeled."""
+    end = max(v for (v,) in base.relation("End"))
+    return base.with_facts([Fact("Tape", (end, position))])
+
+
+def _any_label(base: Instance, position: int) -> Fact:
+    for name in base.schema.relation_names():
+        if name not in ("Tape", "Begin", "End") and base.schema[name] == 1:
+            return Fact(name, (position,))
+    raise ValueError("no letter relation found")
+
+
+SPURIOUS_VARIANTS = {
+    "extra_begin": with_extra_begin,
+    "branching_tape": with_branching_tape,
+    "phantom_element": with_phantom_element,
+    "unlabeled_tape_cell": with_unlabeled_tape_cell,
+}

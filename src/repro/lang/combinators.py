@@ -1,0 +1,180 @@
+"""Generic query combinators.
+
+Semantic building blocks used by the transducer↔language bridges: they
+combine :class:`~repro.lang.query.Query` objects of *any* language L
+into new queries.  When the components are FO, each combinator is
+FO-expressible (union, conjunction with a closed formula, the
+transducer update formula), so using them does not silently leave the
+FO fragment — they just spare us re-deriving formulas syntactically.
+"""
+
+from __future__ import annotations
+
+from ..db.instance import Instance
+from ..db.schema import DatabaseSchema
+from .query import Query
+
+
+class RelationQuery(Query):
+    """The query that returns relation *name* verbatim."""
+
+    def __init__(self, name: str, input_schema: DatabaseSchema):
+        self.name = name
+        self.arity = input_schema[name]
+        self.input_schema = input_schema
+
+    def __call__(self, instance: Instance) -> frozenset[tuple]:
+        if self.name not in instance.schema:
+            return frozenset()
+        return instance.relation(self.name)
+
+    def relations(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def is_monotone_syntactic(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"RelationQuery({self.name})"
+
+
+class UnionQuery(Query):
+    """The union of same-arity queries."""
+
+    def __init__(self, *parts: Query):
+        if not parts:
+            raise ValueError("UnionQuery needs at least one part")
+        arities = {q.arity for q in parts}
+        if len(arities) != 1:
+            raise ValueError(f"mixed arities in union: {arities}")
+        self.parts = tuple(parts)
+        self.arity = parts[0].arity
+        self.input_schema = parts[0].input_schema
+        for q in parts[1:]:
+            self.input_schema = self.input_schema.union(q.input_schema)
+
+    def __call__(self, instance: Instance) -> frozenset[tuple]:
+        out: frozenset[tuple] = frozenset()
+        for q in self.parts:
+            out |= q(instance)
+        return out
+
+    def relations(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for q in self.parts:
+            out |= q.relations()
+        return out
+
+    def is_monotone_syntactic(self) -> bool:
+        return all(q.is_monotone_syntactic() for q in self.parts)
+
+    def __repr__(self) -> str:
+        return f"UnionQuery({', '.join(repr(q) for q in self.parts)})"
+
+
+class NonemptyQuery(Query):
+    """The boolean (0-ary) query "is Q's answer nonempty?"."""
+
+    def __init__(self, base: Query):
+        self.base = base
+        self.arity = 0
+        self.input_schema = base.input_schema
+
+    def __call__(self, instance: Instance) -> frozenset[tuple]:
+        return frozenset([()]) if self.base(instance) else frozenset()
+
+    def relations(self) -> frozenset[str]:
+        return self.base.relations()
+
+    def is_monotone_syntactic(self) -> bool:
+        return self.base.is_monotone_syntactic()
+
+    def __repr__(self) -> str:
+        return f"NonemptyQuery({self.base!r})"
+
+
+class EmptinessQuery(Query):
+    """The boolean query "is Q's answer empty?" (non-monotone)."""
+
+    def __init__(self, base: Query):
+        self.base = base
+        self.arity = 0
+        self.input_schema = base.input_schema
+
+    def __call__(self, instance: Instance) -> frozenset[tuple]:
+        return frozenset() if self.base(instance) else frozenset([()])
+
+    def relations(self) -> frozenset[str]:
+        return self.base.relations()
+
+    def __repr__(self) -> str:
+        return f"EmptinessQuery({self.base!r})"
+
+
+class UpdateQuery(Query):
+    """The transducer memory-update formula as a query.
+
+    ``(ins \\ del) ∪ (ins ∩ del ∩ old) ∪ (old \\ (ins ∪ del))`` where
+    *old* is the current extent of relation *relation*.  Used by the
+    transducer→while bridge to express one memory step inside a while
+    program.
+    """
+
+    def __init__(self, relation: str, ins: Query, delete: Query,
+                 input_schema: DatabaseSchema):
+        if ins.arity != delete.arity or ins.arity != input_schema[relation]:
+            raise ValueError("arity mismatch in UpdateQuery")
+        self.relation = relation
+        self.ins = ins
+        self.delete = delete
+        self.arity = ins.arity
+        self.input_schema = input_schema
+
+    def __call__(self, instance: Instance) -> frozenset[tuple]:
+        inserted = self.ins(instance)
+        deleted = self.delete(instance)
+        old = (
+            instance.relation(self.relation)
+            if self.relation in instance.schema
+            else frozenset()
+        )
+        return (
+            (inserted - deleted)
+            | (inserted & deleted & old)
+            | (old - (inserted | deleted))
+        )
+
+    def relations(self) -> frozenset[str]:
+        return self.ins.relations() | self.delete.relations() | {self.relation}
+
+    def __repr__(self) -> str:
+        return f"UpdateQuery({self.relation})"
+
+
+class ConstantQuery(Query):
+    """A query returning a fixed relation regardless of input.
+
+    Only generic for the 0-ary relations {} and {()}; used for boolean
+    signalling (e.g. "raise this flag unconditionally").
+    """
+
+    def __init__(self, tuples: frozenset, arity: int,
+                 input_schema: DatabaseSchema):
+        self.tuples = frozenset(tuple(t) for t in tuples)
+        for t in self.tuples:
+            if len(t) != arity:
+                raise ValueError(f"tuple {t!r} does not have arity {arity}")
+        self.arity = arity
+        self.input_schema = input_schema
+
+    def __call__(self, instance: Instance) -> frozenset[tuple]:
+        return self.tuples
+
+    def relations(self) -> frozenset[str]:
+        return frozenset()
+
+    def is_monotone_syntactic(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"ConstantQuery({set(self.tuples)!r})"

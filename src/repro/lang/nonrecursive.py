@@ -1,0 +1,85 @@
+"""Nonrecursive Datalog with negation — equivalent to FO / relational algebra.
+
+Section 2: FO "is equivalent in expressive power to the relational
+algebra, as well as to recursion-free Datalog with negation".  The
+class here validates nonrecursiveness on top of stratified evaluation;
+Corollary 14(3) uses *positive* nonrecursive Datalog transducers
+(:attr:`NonrecursiveProgram.is_positive`).
+"""
+
+from __future__ import annotations
+
+from ..db.instance import Instance
+from ..db.schema import DatabaseSchema, SchemaError
+from .ast import Rule
+from .datalog import DatalogError
+from .query import Query
+from .stratified import StratifiedProgram, stratified_fixpoint
+
+
+class NonrecursiveProgram(StratifiedProgram):
+    """A stratified program whose dependency graph is acyclic."""
+
+    def __init__(self, rules: tuple[Rule, ...], edb_schema: DatabaseSchema):
+        super().__init__(rules, edb_schema)
+        if not self.is_nonrecursive():
+            raise DatalogError("program is recursive")
+
+    @classmethod
+    def parse(cls, text: str, edb_schema: DatabaseSchema) -> "NonrecursiveProgram":
+        from .parser import parse_rules
+
+        return cls(parse_rules(text), edb_schema)
+
+    @property
+    def is_positive(self) -> bool:
+        """True when no rule uses a negated relational atom (UCQ-like).
+
+        Nonequalities are tolerated, matching the Datalog convention in
+        :mod:`repro.lang.datalog`.
+        """
+        return all(not rule.negative_body_atoms() for rule in self.rules)
+
+
+class NonrecursiveQuery(Query):
+    """The query of a nonrecursive program's output relation.
+
+    Nonrecursive Datalog with negation has exactly FO power, so this is
+    the "nonrecursive-Datalog-transducer" local language of Theorem 6(5)
+    and Corollary 14(3).
+    """
+
+    def __init__(self, program: NonrecursiveProgram, output: str):
+        if output not in program.idb_schema:
+            raise SchemaError(f"output relation {output!r} is not IDB")
+        self.program = program
+        self.output = output
+        self.arity = program.idb_schema[output]
+        self.input_schema = program.edb_schema
+
+    @classmethod
+    def parse(
+        cls, text: str, output: str, edb_schema: DatabaseSchema
+    ) -> "NonrecursiveQuery":
+        return cls(NonrecursiveProgram.parse(text, edb_schema), output)
+
+    def __call__(self, instance: Instance) -> frozenset[tuple]:
+        instance = instance.restrict(
+            [n for n in self.program.edb_schema if n in instance.schema]
+        ).expand_schema(self.program.edb_schema)
+        return stratified_fixpoint(self.program, instance).relation(self.output)
+
+    def relations(self) -> frozenset[str]:
+        # Only EDB relations are externally visible reads.
+        return frozenset(
+            name
+            for rule in self.program.rules
+            for name in rule.body_relations()
+            if name in self.program.edb_schema
+        )
+
+    def is_monotone_syntactic(self) -> bool:
+        return self.program.is_positive
+
+    def __repr__(self) -> str:
+        return f"NonrecursiveQuery({self.output}, {self.program!r})"

@@ -1,0 +1,347 @@
+"""Concrete syntax for FO formulas and rules.
+
+Conventions (matching the paper's notation as closely as ASCII allows):
+
+* A relation name is any identifier immediately followed by ``(`` —
+  so ``done(v, w)`` parses with ``done`` as relation and ``v``, ``w``
+  as variables, exactly like the paper writes it.
+* A bare identifier is a variable.
+* Constants are single- or double-quoted strings, or integer literals.
+* Formulas::
+
+      S(x, y) & ~T(y, x)
+      exists z: S(x, z) & S(z, y)
+      forall x: R(x) -> S(x)
+      x = y,  x != y
+
+  Precedence (loosest first): quantifiers, ``->``, ``|``/``or``,
+  ``&``/``and``, ``~``/``not``.  Quantifier scope extends as far right
+  as possible.
+* Rules::
+
+      T(x, y) :- S(x, z), T(z, y), not Bad(x), x != y.
+      Ready() :- Done(x).
+
+  ``<-`` is accepted as a synonym for ``:-``.  A fact is a body-less
+  rule ``R('a', 'b').``  A program is a sequence of rules; ``%`` and
+  ``#`` start line comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ast import (
+    And,
+    Atom,
+    Const,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Literal,
+    Not,
+    Or,
+    Rule,
+    Term,
+    Var,
+)
+
+_KEYWORDS = {"not", "and", "or", "exists", "forall"}
+
+
+class ParseError(ValueError):
+    """Raised on malformed formula or rule text."""
+
+    def __init__(self, message: str, text: str, pos: int):
+        line = text.count("\n", 0, pos) + 1
+        col = pos - (text.rfind("\n", 0, pos) + 1) + 1
+        super().__init__(f"{message} at line {line}, column {col}")
+        self.pos = pos
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # IDENT NUMBER STRING PUNCT END
+    value: str
+    pos: int
+
+
+_PUNCT = [":-", "<-", "!=", "->", "(", ")", ",", ".", "=", "&", "|", "~", "!", ":", "@"]
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c in " \t\r\n":
+            i += 1
+            continue
+        if c in "%#":
+            j = text.find("\n", i)
+            i = n if j < 0 else j + 1
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(_Token("IDENT", text[i:j], i))
+            i = j
+            continue
+        if c.isdigit() or (c == "-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and text[j].isdigit():
+                j += 1
+            tokens.append(_Token("NUMBER", text[i:j], i))
+            i = j
+            continue
+        if c in "'\"":
+            j = text.find(c, i + 1)
+            if j < 0:
+                raise ParseError("unterminated string literal", text, i)
+            tokens.append(_Token("STRING", text[i + 1 : j], i))
+            i = j + 1
+            continue
+        for punct in _PUNCT:
+            if text.startswith(punct, i):
+                tokens.append(_Token("PUNCT", punct, i))
+                i += len(punct)
+                break
+        else:
+            raise ParseError(f"unexpected character {c!r}", text, i)
+    tokens.append(_Token("END", "", n))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def next(self) -> _Token:
+        tok = self.tokens[self.index]
+        self.index += 1
+        return tok
+
+    def accept(self, kind: str, value: str | None = None) -> _Token | None:
+        tok = self.peek()
+        if tok.kind == kind and (value is None or tok.value == value):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, value: str | None = None) -> _Token:
+        tok = self.accept(kind, value)
+        if tok is None:
+            got = self.peek()
+            want = value if value is not None else kind
+            raise ParseError(f"expected {want!r}, got {got.value!r}", self.text, got.pos)
+        return tok
+
+    def at_keyword(self, word: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "IDENT" and tok.value == word
+
+    # -- terms ----------------------------------------------------------------
+
+    def parse_term(self) -> Term:
+        tok = self.peek()
+        if tok.kind == "NUMBER":
+            self.next()
+            return Const(int(tok.value))
+        if tok.kind == "STRING":
+            self.next()
+            return Const(tok.value)
+        if tok.kind == "IDENT":
+            if tok.value in _KEYWORDS:
+                raise ParseError(f"keyword {tok.value!r} used as term", self.text, tok.pos)
+            self.next()
+            return Var(tok.value)
+        raise ParseError(f"expected a term, got {tok.value!r}", self.text, tok.pos)
+
+    def parse_term_list(self) -> tuple[Term, ...]:
+        self.expect("PUNCT", "(")
+        terms: list[Term] = []
+        if not self.accept("PUNCT", ")"):
+            terms.append(self.parse_term())
+            while self.accept("PUNCT", ","):
+                terms.append(self.parse_term())
+            self.expect("PUNCT", ")")
+        return tuple(terms)
+
+    # -- formulas ----------------------------------------------------------------
+
+    def parse_formula(self) -> Formula:
+        return self._implication()
+
+    def _quantified(self) -> Formula | None:
+        for word, node in (("exists", Exists), ("forall", Forall)):
+            if self.at_keyword(word):
+                nxt = self.tokens[self.index + 1]
+                # Must be followed by variable(s) then ':'
+                if nxt.kind != "IDENT":
+                    break
+                self.next()
+                variables = [Var(self.expect("IDENT").value)]
+                while self.accept("PUNCT", ","):
+                    variables.append(Var(self.expect("IDENT").value))
+                self.expect("PUNCT", ":")
+                body = self._implication()
+                return node(tuple(variables), body)
+        return None
+
+    def _implication(self) -> Formula:
+        q = self._quantified()
+        if q is not None:
+            return q
+        left = self._disjunction()
+        if self.accept("PUNCT", "->"):
+            right = self._implication()
+            return Or((Not(left), right))
+        return left
+
+    def _disjunction(self) -> Formula:
+        parts = [self._conjunction()]
+        while True:
+            if self.accept("PUNCT", "|"):
+                parts.append(self._conjunction())
+            elif self.at_keyword("or"):
+                self.next()
+                parts.append(self._conjunction())
+            else:
+                break
+        return parts[0] if len(parts) == 1 else Or(tuple(parts))
+
+    def _conjunction(self) -> Formula:
+        parts = [self._unary()]
+        while True:
+            if self.accept("PUNCT", "&"):
+                parts.append(self._unary())
+            elif self.at_keyword("and"):
+                self.next()
+                parts.append(self._unary())
+            else:
+                break
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+    def _unary(self) -> Formula:
+        if self.accept("PUNCT", "~") or self.accept("PUNCT", "!"):
+            return Not(self._unary())
+        if self.at_keyword("not"):
+            self.next()
+            return Not(self._unary())
+        q = self._quantified()
+        if q is not None:
+            return q
+        if self.accept("PUNCT", "("):
+            inner = self._implication()
+            self.expect("PUNCT", ")")
+            return inner
+        return self._atomic()
+
+    def _atomic(self) -> Formula:
+        tok = self.peek()
+        if tok.kind == "IDENT" and tok.value not in _KEYWORDS:
+            nxt = self.tokens[self.index + 1]
+            if nxt.kind == "PUNCT" and nxt.value == "(":
+                name = self.next().value
+                return Atom(name, self.parse_term_list())
+        # otherwise an (in)equality between terms
+        left = self.parse_term()
+        if self.accept("PUNCT", "="):
+            return Eq(left, self.parse_term())
+        if self.accept("PUNCT", "!="):
+            return Not(Eq(left, self.parse_term()))
+        bad = self.peek()
+        raise ParseError(f"expected '=' or '!=', got {bad.value!r}", self.text, bad.pos)
+
+    # -- rules -------------------------------------------------------------------
+
+    def parse_atom(self) -> Atom:
+        tok = self.expect("IDENT")
+        if tok.value in _KEYWORDS:
+            raise ParseError(f"keyword {tok.value!r} used as relation", self.text, tok.pos)
+        return Atom(tok.value, self.parse_term_list())
+
+    def parse_literal(self) -> Literal:
+        if self.at_keyword("not"):
+            self.next()
+            return Literal(self.parse_atom(), positive=False)
+        if self.accept("PUNCT", "~") or self.accept("PUNCT", "!"):
+            return Literal(self.parse_atom(), positive=False)
+        tok = self.peek()
+        if tok.kind == "IDENT" and tok.value not in _KEYWORDS:
+            nxt = self.tokens[self.index + 1]
+            if nxt.kind == "PUNCT" and nxt.value == "(":
+                return Literal(self.parse_atom(), positive=True)
+        left = self.parse_term()
+        if self.accept("PUNCT", "="):
+            return Literal(Eq(left, self.parse_term()), positive=True)
+        if self.accept("PUNCT", "!="):
+            return Literal(Eq(left, self.parse_term()), positive=False)
+        bad = self.peek()
+        raise ParseError(f"expected a literal, got {bad.value!r}", self.text, bad.pos)
+
+    def parse_rule(self) -> Rule:
+        head = self.parse_atom()
+        body: list[Literal] = []
+        if self.accept("PUNCT", ":-") or self.accept("PUNCT", "<-"):
+            body.append(self.parse_literal())
+            while self.accept("PUNCT", ","):
+                body.append(self.parse_literal())
+        self.expect("PUNCT", ".")
+        return Rule(head, tuple(body))
+
+    def parse_program(self) -> tuple[Rule, ...]:
+        rules: list[Rule] = []
+        while self.peek().kind != "END":
+            rules.append(self.parse_rule())
+        return tuple(rules)
+
+    def finish(self) -> None:
+        tok = self.peek()
+        if tok.kind != "END":
+            raise ParseError(f"trailing input {tok.value!r}", self.text, tok.pos)
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse a single FO formula."""
+    parser = _Parser(text)
+    formula = parser.parse_formula()
+    parser.finish()
+    return formula
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule (trailing ``.`` required)."""
+    parser = _Parser(text)
+    rule = parser.parse_rule()
+    parser.finish()
+    return rule
+
+
+def parse_rules(text: str) -> tuple[Rule, ...]:
+    """Parse a whole rule program."""
+    parser = _Parser(text)
+    rules = parser.parse_program()
+    parser.finish()
+    return rules
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single term (variable or constant)."""
+    parser = _Parser(text)
+    term = parser.parse_term()
+    parser.finish()
+    return term

@@ -1,0 +1,224 @@
+"""Stratified Datalog (negation allowed across strata).
+
+The local language of Dedalus (Section 8: "the local language is
+stratified Datalog") and one of the paper's stock query languages.
+
+A program stratifies when no IDB relation depends negatively on itself
+through the dependency graph.  We compute stratum numbers by the
+classical iterative algorithm and evaluate stratum by stratum, treating
+lower strata as EDB and running the semi-naive engine within each
+stratum.
+"""
+
+from __future__ import annotations
+
+from ..db.instance import Instance
+from ..db.schema import DatabaseSchema, SchemaError
+from .ast import Atom, Rule
+from .datalog import (
+    DatalogError,
+    Relations,
+    _program_constants_rules,
+    fire_rule,
+)
+from .query import Query
+
+
+class StratificationError(DatalogError):
+    """Raised when a program has no stratification."""
+
+
+class StratifiedProgram:
+    """A stratified Datalog program with negation.
+
+    Negative literals over EDB relations are always fine; negative
+    literals over IDB relations force a strictly lower stratum.
+    """
+
+    def __init__(self, rules: tuple[Rule, ...], edb_schema: DatabaseSchema):
+        self.rules = tuple(rules)
+        self.edb_schema = edb_schema
+        idb: dict[str, int] = {}
+        for rule in self.rules:
+            rule.check_safe()
+            if rule.head.relation in edb_schema:
+                raise DatalogError(
+                    f"rule head {rule.head.relation!r} is an EDB relation"
+                )
+            arity = idb.setdefault(rule.head.relation, len(rule.head.terms))
+            if arity != len(rule.head.terms):
+                raise DatalogError(f"inconsistent arity for {rule.head.relation!r}")
+        for rule in self.rules:
+            for atom in rule.positive_body_atoms() + rule.negative_body_atoms():
+                if atom.relation in edb_schema:
+                    expected = edb_schema[atom.relation]
+                elif atom.relation in idb:
+                    expected = idb[atom.relation]
+                else:
+                    raise DatalogError(
+                        f"relation {atom.relation!r} is neither EDB nor IDB"
+                    )
+                if len(atom.terms) != expected:
+                    raise DatalogError(f"arity mismatch on {atom!r}")
+        self.idb_schema = DatabaseSchema(idb)
+        self.strata = self._stratify()
+
+    @classmethod
+    def parse(cls, text: str, edb_schema: DatabaseSchema) -> "StratifiedProgram":
+        from .parser import parse_rules
+
+        return cls(parse_rules(text), edb_schema)
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        return self.edb_schema.union(self.idb_schema)
+
+    def _stratify(self) -> list[list[Rule]]:
+        """Assign stratum numbers; raise if negation is cyclic."""
+        idb_names = list(self.idb_schema)
+        stratum = {name: 0 for name in idb_names}
+        bound = len(idb_names)
+        changed = True
+        while changed:
+            changed = False
+            for rule in self.rules:
+                head = rule.head.relation
+                for atom in rule.positive_body_atoms():
+                    if atom.relation in stratum:
+                        if stratum[head] < stratum[atom.relation]:
+                            stratum[head] = stratum[atom.relation]
+                            changed = True
+                for atom in rule.negative_body_atoms():
+                    if atom.relation in stratum:
+                        if stratum[head] < stratum[atom.relation] + 1:
+                            stratum[head] = stratum[atom.relation] + 1
+                            changed = True
+                if stratum[head] > bound:
+                    raise StratificationError(
+                        "program is not stratifiable (negation through recursion)"
+                    )
+        levels = sorted(set(stratum.values()))
+        layers: list[list[Rule]] = []
+        for level in levels:
+            layer = [r for r in self.rules if stratum[r.head.relation] == level]
+            if layer:
+                layers.append(layer)
+        self.stratum_of = stratum
+        return layers
+
+    def is_nonrecursive(self) -> bool:
+        """True when no IDB relation depends (positively or negatively) on
+        itself transitively — the 'nonrecursive Datalog' fragment."""
+        edges: dict[str, set[str]] = {name: set() for name in self.idb_schema}
+        for rule in self.rules:
+            deps = rule.body_relations() & set(self.idb_schema)
+            edges[rule.head.relation] |= deps
+        # cycle detection by DFS
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {name: WHITE for name in edges}
+
+        def dfs(name: str) -> bool:
+            color[name] = GRAY
+            for nxt in edges[name]:
+                if color[nxt] == GRAY:
+                    return False
+                if color[nxt] == WHITE and not dfs(nxt):
+                    return False
+            color[name] = BLACK
+            return True
+
+        return all(dfs(name) for name in edges if color[name] == WHITE)
+
+    def __repr__(self) -> str:
+        return (
+            f"StratifiedProgram({len(self.rules)} rules, "
+            f"{len(self.strata)} strata, idb={list(self.idb_schema)})"
+        )
+
+
+def stratified_fixpoint(program: StratifiedProgram, instance: Instance) -> Instance:
+    """Evaluate the perfect (stratified) model of *program* on *instance*."""
+    domain = instance.active_domain() | _program_constants_rules(program.rules)
+    relations: dict[str, frozenset] = {
+        name: instance.relation(name) if name in instance.schema else frozenset()
+        for name in program.schema.relation_names()
+    }
+    for layer in program.strata:
+        _layer_fixpoint(layer, relations, domain, program.idb_schema)
+    result = Instance.empty(program.schema)
+    for name in program.schema.relation_names():
+        result = result.set_relation(name, relations[name])
+    return result
+
+
+def _layer_fixpoint(
+    layer: list[Rule],
+    relations: dict[str, frozenset],
+    domain: frozenset,
+    idb_schema: DatabaseSchema,
+) -> None:
+    """Semi-naive fixpoint of one stratum, updating *relations* in place."""
+    layer_heads = {rule.head.relation for rule in layer}
+    delta: dict[str, set] = {name: set() for name in layer_heads}
+    for rule in layer:
+        sources = [
+            relations.get(atom.relation, frozenset())
+            for atom in rule.positive_body_atoms()
+        ]
+        for row in fire_rule(rule, sources, relations, domain):
+            if row not in relations[rule.head.relation]:
+                delta[rule.head.relation].add(row)
+    for name in layer_heads:
+        relations[name] = relations[name] | frozenset(delta[name])
+    while any(delta.values()):
+        new_delta: dict[str, set] = {name: set() for name in layer_heads}
+        for rule in layer:
+            atoms = rule.positive_body_atoms()
+            recursive_positions = [
+                i for i, atom in enumerate(atoms) if atom.relation in layer_heads
+            ]
+            for pos in recursive_positions:
+                if not delta.get(atoms[pos].relation):
+                    continue
+                sources = [
+                    frozenset(delta[atom.relation]) if i == pos
+                    else relations.get(atom.relation, frozenset())
+                    for i, atom in enumerate(atoms)
+                ]
+                for row in fire_rule(rule, sources, relations, domain):
+                    if row not in relations[rule.head.relation]:
+                        new_delta[rule.head.relation].add(row)
+        for name in layer_heads:
+            relations[name] = relations[name] | frozenset(new_delta[name])
+        delta = new_delta
+
+
+class StratifiedQuery(Query):
+    """The query computed by a stratified program's output relation."""
+
+    def __init__(self, program: StratifiedProgram, output: str):
+        if output not in program.idb_schema:
+            raise SchemaError(f"output relation {output!r} is not IDB")
+        self.program = program
+        self.output = output
+        self.arity = program.idb_schema[output]
+        self.input_schema = program.edb_schema
+
+    @classmethod
+    def parse(cls, text: str, output: str, edb_schema: DatabaseSchema) -> "StratifiedQuery":
+        return cls(StratifiedProgram.parse(text, edb_schema), output)
+
+    def __call__(self, instance: Instance) -> frozenset[tuple]:
+        instance = instance.restrict(
+            [n for n in self.program.edb_schema if n in instance.schema]
+        ).expand_schema(self.program.edb_schema)
+        return stratified_fixpoint(self.program, instance).relation(self.output)
+
+    def relations(self) -> frozenset[str]:
+        return frozenset(self.program.edb_schema.relation_names())
+
+    def is_monotone_syntactic(self) -> bool:
+        return all(rule.is_positive() for rule in self.program.rules)
+
+    def __repr__(self) -> str:
+        return f"StratifiedQuery({self.output}, {self.program!r})"

@@ -1,0 +1,92 @@
+"""Unions of conjunctive queries, with and without negation (UCQ, UCQ¬).
+
+Proposition 7 of the paper: every query distributedly computable by an
+FO-transducer is computable by a UCQ¬-transducer (and obliviously so
+for monotone queries).  The classes here give those fragments a direct
+syntactic home: a UCQ¬ query is a set of single rules with a shared
+head; a UCQ query additionally forbids negation.
+"""
+
+from __future__ import annotations
+
+from ..db.instance import Instance
+from ..db.schema import DatabaseSchema
+from .ast import Atom, Rule
+from .datalog import DatalogError, fire_rule, _program_constants_rules
+from .query import Query
+
+
+class UCQNegQuery(Query):
+    """A union of conjunctive queries with negation (UCQ¬).
+
+    Constructed from rules that all share the same head relation and
+    arity; each rule is one disjunct.  Bodies may use negated atoms and
+    (in)equalities.  Evaluation is single-pass (no fixpoint), so the
+    head name is merely a label: a body atom with the same name reads
+    the *input* relation of that name — exactly the reading transducer
+    insert queries need (``insert T(x,y) :- T(x,z), T(z,y)`` joins the
+    current T).
+    """
+
+    negation_allowed = True
+
+    def __init__(self, rules: tuple[Rule, ...], input_schema: DatabaseSchema):
+        if not rules:
+            raise DatalogError("a UCQ needs at least one rule")
+        head = rules[0].head.relation
+        arity = len(rules[0].head.terms)
+        for rule in rules:
+            rule.check_safe()
+            if rule.head.relation != head or len(rule.head.terms) != arity:
+                raise DatalogError("all UCQ rules must share one head")
+            for name in rule.body_relations():
+                if name not in input_schema:
+                    raise DatalogError(f"relation {name!r} outside input schema")
+            if not self.negation_allowed and rule.negative_body_atoms():
+                raise DatalogError(f"negated atom in UCQ rule: {rule!r}")
+        self.rules = tuple(rules)
+        self.output = head
+        self.arity = arity
+        self.input_schema = input_schema
+
+    @classmethod
+    def parse(cls, text: str, input_schema: DatabaseSchema) -> "UCQNegQuery":
+        from .parser import parse_rules
+
+        return cls(parse_rules(text), input_schema)
+
+    def __call__(self, instance: Instance) -> frozenset[tuple]:
+        domain = instance.active_domain() | _program_constants_rules(self.rules)
+        relations = {
+            name: instance.relation(name) if name in instance.schema else frozenset()
+            for name in self.input_schema.relation_names()
+        }
+        out: set[tuple] = set()
+        for rule in self.rules:
+            sources = [
+                relations.get(atom.relation, frozenset())
+                for atom in rule.positive_body_atoms()
+            ]
+            out |= fire_rule(rule, sources, relations, domain)
+        return frozenset(out)
+
+    def relations(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for rule in self.rules:
+            out |= rule.body_relations()
+        return out
+
+    def is_monotone_syntactic(self) -> bool:
+        return all(not rule.negative_body_atoms() for rule in self.rules)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.output}, {len(self.rules)} disjuncts)"
+
+
+class UCQQuery(UCQNegQuery):
+    """A union of conjunctive queries (no negated atoms): always monotone."""
+
+    negation_allowed = False
+
+    def is_monotone_syntactic(self) -> bool:
+        return True

@@ -1,0 +1,179 @@
+"""The *while* query language: FO plus assignment and while-loops.
+
+Section 2: "while is the query language obtained from FO by adding
+assignment statements and while-loops".  Theorem 6(3) characterizes
+FO-transducer-computable queries as exactly the while-expressible ones,
+so an executable *while* is needed to validate that equivalence (bench
+E07).
+
+A program declares working relations (its variables), runs a sequence
+of statements, and designates one relation as output:
+
+* ``Assign(R, query)`` — ``R := Q(current database)``;
+* ``While(condition, body)`` — loop while the condition query returns a
+  nonempty relation;
+* ``WhileChange(body)`` — loop until the whole database is unchanged
+  (a convenience form; expressible with ``While`` and scratch
+  relations, provided directly to keep programs readable).
+
+The semantics is inflationary nowhere: assignment replaces the target
+relation wholesale, exactly like the transducer ``R := Q`` idiom the
+paper notes (use Q for insertion and R for deletion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..db.instance import Instance
+from ..db.schema import DatabaseSchema, SchemaError
+from .query import Query, QueryUndefined
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``target := query``; target must be a working relation."""
+
+    target: str
+    query: Query
+
+
+@dataclass(frozen=True)
+class While:
+    """Loop while *condition* (a query) evaluates nonempty."""
+
+    condition: Query
+    body: tuple["Statement", ...]
+
+
+@dataclass(frozen=True)
+class WhileChange:
+    """Loop until an iteration leaves the database unchanged."""
+
+    body: tuple["Statement", ...]
+
+
+Statement = Union[Assign, While, WhileChange]
+
+
+class WhileProgramDiverged(QueryUndefined):
+    """The program exceeded its step budget — treated as undefined.
+
+    *while* expresses *partial* queries; a diverging run means the query
+    is undefined on that input.  A step budget makes this detectable.
+    """
+
+
+class WhileProgram:
+    """A while program over an input schema with extra working relations."""
+
+    def __init__(
+        self,
+        input_schema: DatabaseSchema,
+        work_schema: DatabaseSchema,
+        body: tuple[Statement, ...],
+        output: str,
+        max_steps: int = 100_000,
+    ):
+        if not input_schema.disjoint_from(work_schema):
+            raise SchemaError("working relations must not shadow input relations")
+        full = input_schema.union(work_schema)
+        if output not in full:
+            raise SchemaError(f"output relation {output!r} not declared")
+        self._check_statements(body, work_schema, full)
+        self.input_schema = input_schema
+        self.work_schema = work_schema
+        self.body = tuple(body)
+        self.output = output
+        self.max_steps = max_steps
+
+    @staticmethod
+    def _check_statements(
+        statements: tuple[Statement, ...],
+        work_schema: DatabaseSchema,
+        full: DatabaseSchema,
+    ) -> None:
+        for stmt in statements:
+            if isinstance(stmt, Assign):
+                if stmt.target not in work_schema:
+                    raise SchemaError(
+                        f"assignment target {stmt.target!r} is not a working relation"
+                    )
+                if stmt.query.arity != work_schema[stmt.target]:
+                    raise SchemaError(
+                        f"query arity {stmt.query.arity} does not match "
+                        f"{stmt.target!r}/{work_schema[stmt.target]}"
+                    )
+            elif isinstance(stmt, While):
+                WhileProgram._check_statements(stmt.body, work_schema, full)
+            elif isinstance(stmt, WhileChange):
+                WhileProgram._check_statements(stmt.body, work_schema, full)
+            else:
+                raise TypeError(f"not a statement: {stmt!r}")
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        return self.input_schema.union(self.work_schema)
+
+    def run(self, instance: Instance) -> Instance:
+        """Run the program, returning the final full database."""
+        database = instance.restrict(
+            [n for n in self.input_schema if n in instance.schema]
+        ).expand_schema(self.schema)
+        budget = [self.max_steps]
+        database = self._run_block(self.body, database, budget)
+        return database
+
+    def _run_block(
+        self, statements: tuple[Statement, ...], database: Instance, budget: list[int]
+    ) -> Instance:
+        for stmt in statements:
+            budget[0] -= 1
+            if budget[0] <= 0:
+                raise WhileProgramDiverged(
+                    f"exceeded {self.max_steps} steps; query undefined on this input"
+                )
+            if isinstance(stmt, Assign):
+                database = database.set_relation(stmt.target, stmt.query(database))
+            elif isinstance(stmt, While):
+                while stmt.condition(database):
+                    database = self._run_block(stmt.body, database, budget)
+            elif isinstance(stmt, WhileChange):
+                while True:
+                    before = database
+                    database = self._run_block(stmt.body, database, budget)
+                    if database == before:
+                        break
+        return database
+
+
+class WhileQuery(Query):
+    """The (partial) query computed by a while program's output relation."""
+
+    def __init__(self, program: WhileProgram):
+        self.program = program
+        self.arity = program.schema[program.output]
+        self.input_schema = program.input_schema
+
+    def __call__(self, instance: Instance) -> frozenset[tuple]:
+        return self.program.run(instance).relation(self.program.output)
+
+    def relations(self) -> frozenset[str]:
+        out: set[str] = set()
+
+        def visit(statements: tuple[Statement, ...]) -> None:
+            for stmt in statements:
+                if isinstance(stmt, Assign):
+                    out.update(stmt.query.relations())
+                elif isinstance(stmt, While):
+                    out.update(stmt.condition.relations())
+                    visit(stmt.body)
+                elif isinstance(stmt, WhileChange):
+                    visit(stmt.body)
+
+        visit(self.program.body)
+        return frozenset(out)
+
+    def __repr__(self) -> str:
+        return f"WhileQuery(output={self.program.output!r})"

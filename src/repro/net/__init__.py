@@ -1,0 +1,104 @@
+"""Transducer networks: topology, configurations, runs, semantic checkers.
+
+Implements Sections 3–5 of the paper: networks as finite connected
+undirected graphs, configurations with multiset message buffers,
+heartbeat/delivery transitions, fair runs with exact convergence
+detection, horizontal partitions, and the semantic property checkers
+(consistency, network-topology independence, coordination-freeness).
+"""
+
+from .config import Configuration, initial_configuration
+from .consistency import (
+    ConsistencyReport,
+    RunObservation,
+    TopologyIndependenceReport,
+    check_consistency,
+    check_topology_independence,
+    computed_output,
+    observe_runs,
+)
+from .coordination import (
+    CoordinationFreenessReport,
+    check_coordination_free_on,
+    full_replication_suffices,
+    heartbeat_output,
+)
+from .network import (
+    Network,
+    NetworkError,
+    Node,
+    clique,
+    grid,
+    line,
+    r4_ring,
+    r4_with_chord,
+    random_connected,
+    ring,
+    single,
+    standard_topologies,
+    star,
+)
+from .partition import (
+    HorizontalPartition,
+    all_at_one,
+    enumerate_partitions,
+    full_replication,
+    random_partition,
+    round_robin,
+    sample_partitions,
+)
+from .run import (
+    RunResult,
+    RunStats,
+    is_converged,
+    run_fair,
+    run_fifo_rounds,
+    run_heartbeat_only,
+)
+from .transition import GlobalTransition, deliver, general_transition, heartbeat
+
+__all__ = [
+    "Configuration",
+    "ConsistencyReport",
+    "CoordinationFreenessReport",
+    "GlobalTransition",
+    "HorizontalPartition",
+    "Network",
+    "NetworkError",
+    "Node",
+    "RunObservation",
+    "RunResult",
+    "RunStats",
+    "TopologyIndependenceReport",
+    "all_at_one",
+    "check_consistency",
+    "check_coordination_free_on",
+    "check_topology_independence",
+    "clique",
+    "computed_output",
+    "deliver",
+    "enumerate_partitions",
+    "full_replication",
+    "full_replication_suffices",
+    "general_transition",
+    "grid",
+    "heartbeat",
+    "heartbeat_output",
+    "initial_configuration",
+    "is_converged",
+    "line",
+    "observe_runs",
+    "r4_ring",
+    "r4_with_chord",
+    "random_connected",
+    "random_partition",
+    "ring",
+    "round_robin",
+    "run_fair",
+    "run_fifo_rounds",
+    "run_heartbeat_only",
+    "sample_partitions",
+    "single",
+    "standard_topologies",
+    "star",
+]

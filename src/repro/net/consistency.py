@@ -1,0 +1,194 @@
+"""Consistency and network-topology independence (Section 4).
+
+"A transducer network (N, Π) is *consistent* if for every instance I of
+Sin, all fair runs on all possible horizontal partitions of I have the
+same output."  A consistent network *computes* Q if that common output
+is always Q(I).  A transducer is *network-topology independent* when
+(N, Π) is consistent for every network N and computes the same query
+regardless of N.
+
+Both properties quantify over all instances, partitions and fair runs —
+undecidable in general — so the checkers here enumerate/sample per the
+substitution rules in DESIGN.md §2 and return evidence-carrying
+reports: a counterexample found is a genuine refutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..db.instance import Instance
+from ..core.transducer import Transducer
+from .network import Network, single, standard_topologies
+from .partition import HorizontalPartition, sample_partitions
+from .run import RunResult, run_fair
+
+
+@dataclass
+class RunObservation:
+    """One observed run: where it came from and what it output."""
+
+    network: Network
+    partition: HorizontalPartition
+    seed: int
+    result: RunResult
+
+
+@dataclass
+class ConsistencyReport:
+    """Evidence gathered by :func:`check_consistency`."""
+
+    consistent: bool
+    outputs: list[frozenset] = field(default_factory=list)
+    observations: list[RunObservation] = field(default_factory=list)
+    unconverged: int = 0
+
+    @property
+    def distinct_outputs(self) -> list[frozenset]:
+        seen: list[frozenset] = []
+        for out in self.outputs:
+            if out not in seen:
+                seen.append(out)
+        return seen
+
+    def witness_pair(self) -> tuple[RunObservation, RunObservation] | None:
+        """Two observations with different outputs, if any."""
+        for i, a in enumerate(self.observations):
+            for b in self.observations[i + 1 :]:
+                if a.result.output != b.result.output:
+                    return (a, b)
+        return None
+
+
+def observe_runs(
+    network: Network,
+    transducer: Transducer,
+    instance: Instance,
+    partitions: list[HorizontalPartition] | None = None,
+    partition_count: int = 5,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    max_steps: int = 20_000,
+) -> list[RunObservation]:
+    """Run (N, Π) on several partitions × schedules and record outputs."""
+    if partitions is None:
+        partitions = sample_partitions(instance, network, partition_count)
+    observations = []
+    for partition in partitions:
+        for seed in seeds:
+            result = run_fair(
+                network, transducer, partition, seed=seed, max_steps=max_steps
+            )
+            observations.append(
+                RunObservation(network, partition, seed, result)
+            )
+    return observations
+
+
+def check_consistency(
+    network: Network,
+    transducer: Transducer,
+    instance: Instance,
+    partitions: list[HorizontalPartition] | None = None,
+    partition_count: int = 5,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    max_steps: int = 20_000,
+) -> ConsistencyReport:
+    """Empirical consistency check of (N, Π) on one instance.
+
+    Consistency fails definitively if two fair runs produced different
+    outputs; it is supported (not proved) when all sampled runs agree.
+    """
+    observations = observe_runs(
+        network,
+        transducer,
+        instance,
+        partitions,
+        partition_count,
+        seeds,
+        max_steps,
+    )
+    outputs = [obs.result.output for obs in observations]
+    unconverged = sum(1 for obs in observations if not obs.result.converged)
+    consistent = len(set(outputs)) <= 1
+    return ConsistencyReport(
+        consistent=consistent,
+        outputs=outputs,
+        observations=observations,
+        unconverged=unconverged,
+    )
+
+
+def computed_output(
+    network: Network,
+    transducer: Transducer,
+    instance: Instance,
+    seed: int = 0,
+    max_steps: int = 20_000,
+) -> frozenset:
+    """The output of one canonical fair run (full replication, given seed).
+
+    For a consistent network this *is* the computed query's answer.
+    """
+    partitions = sample_partitions(instance, network, 1)
+    result = run_fair(
+        network, transducer, partitions[0], seed=seed, max_steps=max_steps
+    )
+    return result.output
+
+
+@dataclass
+class TopologyIndependenceReport:
+    """Evidence gathered by :func:`check_topology_independence`."""
+
+    independent: bool
+    per_network: dict[str, frozenset] = field(default_factory=dict)
+    inconsistent_networks: list[str] = field(default_factory=list)
+
+    def distinct_outputs(self) -> list[frozenset]:
+        seen: list[frozenset] = []
+        for out in self.per_network.values():
+            if out not in seen:
+                seen.append(out)
+        return seen
+
+
+def check_topology_independence(
+    transducer: Transducer,
+    instance: Instance,
+    networks: list[Network] | None = None,
+    partition_count: int = 3,
+    seeds: tuple[int, ...] = (0, 1),
+    max_steps: int = 20_000,
+) -> TopologyIndependenceReport:
+    """Empirically check network-topology independence on one instance.
+
+    Every sampled network must be internally consistent, and all
+    networks must agree on the output.  The single-node network is
+    always included — Example 4 fails exactly there.
+    """
+    if networks is None:
+        networks = standard_topologies(4)
+    if not any(len(net) == 1 for net in networks):
+        networks = [single()] + list(networks)
+    per_network: dict[str, frozenset] = {}
+    inconsistent: list[str] = []
+    for network in networks:
+        report = check_consistency(
+            network,
+            transducer,
+            instance,
+            partition_count=partition_count,
+            seeds=seeds,
+            max_steps=max_steps,
+        )
+        if not report.consistent:
+            inconsistent.append(network.name)
+            continue
+        per_network[network.name] = report.outputs[0]
+    outputs = set(per_network.values())
+    independent = not inconsistent and len(outputs) <= 1
+    return TopologyIndependenceReport(
+        independent=independent,
+        per_network=per_network,
+        inconsistent_networks=inconsistent,
+    )

@@ -1,0 +1,135 @@
+"""Coordination-freeness (Section 5).
+
+"We call Π coordination-free on N if for every instance I of Sin,
+there exists a horizontal partition H of I on N and a run ρ of (N, Π)
+on H, in which a quiescence point is already reached by only performing
+heartbeat transitions."  Π is coordination-free when this holds on
+every network.
+
+Operationally: Π is coordination-free on N for instance I iff some
+partition H lets round-robin heartbeats alone already produce the full
+answer Q(I) (for a consistent network the output can never exceed Q(I),
+and outputs accumulate monotonically, so reaching Q(I) by heartbeats
+*is* reaching a quiescence point of a fair completion).
+
+The existential over partitions is discharged by trying the named
+special partitions first (full replication is the witness for every
+oblivious transducer — Prop. 11's proof) and then sampling; for tiny
+instances the check can be exhaustive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..db.instance import Instance
+from ..core.transducer import Transducer
+from .network import Network
+from .partition import (
+    HorizontalPartition,
+    enumerate_partitions,
+    full_replication,
+    sample_partitions,
+)
+from .run import run_heartbeat_only
+
+
+@dataclass
+class CoordinationFreenessReport:
+    """The verdict for one (network, instance) pair."""
+
+    coordination_free: bool
+    witness: HorizontalPartition | None
+    expected_output: frozenset
+    partitions_tried: int
+    exhaustive: bool
+
+    def __repr__(self) -> str:
+        status = "free" if self.coordination_free else "NOT free"
+        how = "exhaustive" if self.exhaustive else "sampled"
+        return (
+            f"CoordinationFreenessReport({status}, tried={self.partitions_tried} "
+            f"[{how}])"
+        )
+
+
+def heartbeat_output(
+    network: Network,
+    transducer: Transducer,
+    partition: HorizontalPartition,
+    max_rounds: int = 1_000,
+) -> frozenset:
+    """The output reachable by heartbeat transitions alone on *partition*."""
+    return run_heartbeat_only(network, transducer, partition, max_rounds).output
+
+
+def check_coordination_free_on(
+    network: Network,
+    transducer: Transducer,
+    instance: Instance,
+    expected_output: frozenset,
+    exhaustive_limit: int = 4_096,
+    sample_count: int = 12,
+    max_rounds: int = 1_000,
+) -> CoordinationFreenessReport:
+    """Search for a witness partition on *network* for *instance*.
+
+    *expected_output* must be Q(I) for the query Q the network computes
+    (obtain it via :func:`repro.net.consistency.computed_output`).
+
+    When the space of partitions is small enough the search is
+    exhaustive, making a negative verdict a proof (for this instance and
+    round bound); otherwise a negative verdict only reports that no
+    sampled partition works.
+    """
+    nodes = len(network)
+    space = (2**nodes - 1) ** max(len(instance), 1)
+    exhaustive = space <= exhaustive_limit
+
+    if exhaustive:
+        candidates = enumerate_partitions(instance, network)
+    else:
+        candidates = iter(
+            sample_partitions(instance, network, sample_count)
+        )
+
+    tried = 0
+    for partition in candidates:
+        tried += 1
+        output = heartbeat_output(network, transducer, partition, max_rounds)
+        if output == expected_output:
+            return CoordinationFreenessReport(
+                coordination_free=True,
+                witness=partition,
+                expected_output=expected_output,
+                partitions_tried=tried,
+                exhaustive=exhaustive,
+            )
+    return CoordinationFreenessReport(
+        coordination_free=False,
+        witness=None,
+        expected_output=expected_output,
+        partitions_tried=tried,
+        exhaustive=exhaustive,
+    )
+
+
+def full_replication_suffices(
+    network: Network,
+    transducer: Transducer,
+    instance: Instance,
+    expected_output: frozenset,
+    max_rounds: int = 1_000,
+) -> bool:
+    """Does the everything-everywhere partition reach Q(I) without messages?
+
+    True for every oblivious transducer (the proof of Proposition 11);
+    *not* necessary for coordination-freeness in general — the
+    A/B-nonempty transducer of Section 5 is the counterexample, which
+    bench E11 exercises.
+    """
+    partition = full_replication(instance, network)
+    return (
+        heartbeat_output(network, transducer, partition, max_rounds)
+        == expected_output
+    )

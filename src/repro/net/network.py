@@ -1,0 +1,230 @@
+"""Networks: finite connected undirected graphs over dom (Section 3).
+
+"A network is a finite, connected, undirected graph over a set of
+vertices V ⊂ dom. ... We stress again that a network must be connected.
+This is important to make it possible for flow of information to reach
+every node."
+
+Includes the standard topology constructors used by the experiments,
+the four-node ring R4 of Theorem 16's proof, and its chord-extended
+variant R4' (ring plus the shortcut 2–4).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Iterable
+
+Node = Hashable
+
+
+class NetworkError(ValueError):
+    """Raised on malformed networks (disconnected, self-loops, ...)."""
+
+
+class Network:
+    """An immutable finite connected undirected graph."""
+
+    __slots__ = ("_nodes", "_edges", "_adjacency", "name")
+
+    def __init__(
+        self,
+        nodes: Iterable[Node],
+        edges: Iterable[tuple[Node, Node]],
+        name: str = "network",
+    ):
+        node_set = frozenset(nodes)
+        if not node_set:
+            raise NetworkError("a network needs at least one node")
+        edge_set = set()
+        adjacency: dict[Node, set[Node]] = {v: set() for v in node_set}
+        for a, b in edges:
+            if a == b:
+                raise NetworkError(f"self-loop on {a!r}")
+            if a not in node_set or b not in node_set:
+                raise NetworkError(f"edge ({a!r}, {b!r}) uses unknown node")
+            edge_set.add(frozenset((a, b)))
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        object.__setattr__(self, "_nodes", node_set)
+        object.__setattr__(self, "_edges", frozenset(edge_set))
+        object.__setattr__(
+            self,
+            "_adjacency",
+            {v: frozenset(neigh) for v, neigh in adjacency.items()},
+        )
+        object.__setattr__(self, "name", name)
+        if not self._is_connected():
+            raise NetworkError("network must be connected")
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Network is immutable")
+
+    def _is_connected(self) -> bool:
+        start = next(iter(self._nodes))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            v = frontier.pop()
+            for w in self._adjacency[v]:
+                if w not in seen:
+                    seen.add(w)
+                    frontier.append(w)
+        return seen == self._nodes
+
+    # -- views ------------------------------------------------------------
+
+    @property
+    def nodes(self) -> frozenset:
+        """The vertex set V (a subset of dom)."""
+        return self._nodes
+
+    @property
+    def edges(self) -> frozenset:
+        """The undirected edges, as 2-element frozensets."""
+        return self._edges
+
+    def sorted_nodes(self) -> list[Node]:
+        """Nodes in a deterministic order (by repr)."""
+        return sorted(self._nodes, key=repr)
+
+    def neighbors(self, node: Node) -> frozenset:
+        """The neighbours of *node*."""
+        try:
+            return self._adjacency[node]
+        except KeyError:
+            raise NetworkError(f"unknown node {node!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._nodes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Network):
+            return NotImplemented
+        return self._nodes == other._nodes and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._nodes, self._edges))
+
+    def __repr__(self) -> str:
+        return f"Network({self.name!r}, n={len(self._nodes)}, m={len(self._edges)})"
+
+
+def _names(n: int, prefix: str) -> list[str]:
+    return [f"{prefix}{i + 1}" for i in range(n)]
+
+
+def single(name: str = "n1") -> Network:
+    """The one-node network (the base case of several proofs)."""
+    return Network([name], [], name="single")
+
+
+def line(n: int, prefix: str = "n") -> Network:
+    """A path n1 – n2 – ... – nN."""
+    if n < 1:
+        raise NetworkError("line needs at least one node")
+    nodes = _names(n, prefix)
+    return Network(nodes, zip(nodes, nodes[1:]), name=f"line{n}")
+
+
+def ring(n: int, prefix: str = "n") -> Network:
+    """A cycle n1 – n2 – ... – nN – n1 (n ≥ 3)."""
+    if n < 3:
+        raise NetworkError("ring needs at least three nodes")
+    nodes = _names(n, prefix)
+    edges = list(zip(nodes, nodes[1:])) + [(nodes[-1], nodes[0])]
+    return Network(nodes, edges, name=f"ring{n}")
+
+
+def star(n: int, prefix: str = "n") -> Network:
+    """A hub n1 connected to n2..nN."""
+    if n < 1:
+        raise NetworkError("star needs at least one node")
+    nodes = _names(n, prefix)
+    return Network(nodes, ((nodes[0], v) for v in nodes[1:]), name=f"star{n}")
+
+
+def clique(n: int, prefix: str = "n") -> Network:
+    """The complete graph on n nodes."""
+    if n < 1:
+        raise NetworkError("clique needs at least one node")
+    nodes = _names(n, prefix)
+    edges = [
+        (nodes[i], nodes[j]) for i in range(n) for j in range(i + 1, n)
+    ]
+    return Network(nodes, edges, name=f"clique{n}")
+
+
+def grid(rows: int, cols: int, prefix: str = "g") -> Network:
+    """A rows × cols grid."""
+    if rows < 1 or cols < 1:
+        raise NetworkError("grid needs positive dimensions")
+    name = lambda r, c: f"{prefix}{r + 1}_{c + 1}"  # noqa: E731
+    nodes = [name(r, c) for r in range(rows) for c in range(cols)]
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                edges.append((name(r, c), name(r + 1, c)))
+            if c + 1 < cols:
+                edges.append((name(r, c), name(r, c + 1)))
+    return Network(nodes, edges, name=f"grid{rows}x{cols}")
+
+
+def random_connected(n: int, extra_edge_prob: float, seed: int, prefix: str = "n") -> Network:
+    """A random connected graph: a random spanning tree plus extra edges."""
+    if n < 1:
+        raise NetworkError("need at least one node")
+    rng = random.Random(seed)
+    nodes = _names(n, prefix)
+    shuffled = nodes[:]
+    rng.shuffle(shuffled)
+    edges = [
+        (shuffled[i], shuffled[rng.randrange(i)]) for i in range(1, n)
+    ]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < extra_edge_prob:
+                edges.append((nodes[i], nodes[j]))
+    return Network(nodes, edges, name=f"random{n}_seed{seed}")
+
+
+def r4_ring() -> Network:
+    """The four-node ring 1–2–3–4–1 from the proof of Theorem 16."""
+    return Network(
+        ["v1", "v2", "v3", "v4"],
+        [("v1", "v2"), ("v2", "v3"), ("v3", "v4"), ("v4", "v1")],
+        name="R4",
+    )
+
+
+def r4_with_chord() -> Network:
+    """R4 plus the shortcut 2–4 (the network R' of Theorem 16's proof)."""
+    return Network(
+        ["v1", "v2", "v3", "v4"],
+        [
+            ("v1", "v2"),
+            ("v2", "v3"),
+            ("v3", "v4"),
+            ("v4", "v1"),
+            ("v2", "v4"),
+        ],
+        name="R4_chord",
+    )
+
+
+def standard_topologies(n: int) -> list[Network]:
+    """The topology suite used by network-topology-independence checks."""
+    out: list[Network] = [single()]
+    if n >= 2:
+        out.append(line(2))
+    if n >= 3:
+        out.extend([line(3), ring(3), star(3)])
+    if n >= 4:
+        out.extend([line(4), ring(4), star(4), clique(4)])
+    if n >= 5:
+        out.extend([ring(5), star(5)])
+    return [net for net in out if len(net) <= n]

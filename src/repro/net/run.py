@@ -1,0 +1,333 @@
+"""Runs of transducer networks: fair schedules, convergence, replay.
+
+The paper's runs are *infinite* fair sequences of heartbeat and
+delivery transitions; the output of a run is the union of the outputs
+of its transitions, and Proposition 1 guarantees a quiescence point.
+A simulator must truncate: we run until the system is *converged* — no
+reachable future transition can change any node state or produce new
+output — which implies the output quiescence point has passed.  The
+convergence test is exact (a closure computation over the finitely many
+circulating facts, valid because local queries cannot invent values —
+the same argument as Proposition 1), so truncation never cuts off
+output for converging systems; systems that churn forever hit the step
+budget and are reported unconverged.
+
+Three run strategies:
+
+* :func:`run_fair` — seeded random fair scheduling (the workhorse);
+* :func:`run_heartbeat_only` — only heartbeat transitions, used by the
+  coordination-freeness definition of Section 5;
+* :func:`run_fifo_rounds` — the deterministic round-based fifo schedule
+  from the proof of Theorem 16, with the option of ignoring a set of
+  nodes (the "mimicked" run ρ' on the chord network).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..db.fact import Fact
+from ..core.transducer import Transducer
+from .config import Configuration, initial_configuration
+from .network import Network, Node
+from .partition import HorizontalPartition
+from .transition import GlobalTransition, deliver, heartbeat
+
+
+@dataclass
+class RunStats:
+    """Counts accumulated over a run."""
+
+    steps: int = 0
+    heartbeats: int = 0
+    deliveries: int = 0
+    facts_sent: int = 0
+
+    def record(self, transition: GlobalTransition) -> None:
+        self.steps += 1
+        if transition.kind == "heartbeat":
+            self.heartbeats += 1
+        else:
+            self.deliveries += 1
+        self.facts_sent += len(transition.sent_facts)
+
+
+@dataclass
+class RunResult:
+    """The outcome of a (truncated) run."""
+
+    config: Configuration
+    output: frozenset
+    outputs_by_node: dict[Node, frozenset]
+    converged: bool
+    stats: RunStats
+    quiescence_step: int = 0
+    trace: list[GlobalTransition] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult(|out|={len(self.output)}, converged={self.converged}, "
+            f"steps={self.stats.steps})"
+        )
+
+
+class _OutputTracker:
+    """Accumulates out(ρ) = ∪ out(τ) and the quiescence step."""
+
+    def __init__(self) -> None:
+        self.output: set = set()
+        self.by_node: dict[Node, set] = {}
+        self.quiescence_step = 0
+
+    def record(self, node: Node, produced: frozenset, step: int) -> None:
+        new = produced - self.output
+        if new:
+            self.output |= new
+            self.quiescence_step = step
+        self.by_node.setdefault(node, set()).update(produced)
+
+    def result_fields(self) -> tuple[frozenset, dict[Node, frozenset]]:
+        return (
+            frozenset(self.output),
+            {v: frozenset(s) for v, s in self.by_node.items()},
+        )
+
+
+def is_converged(
+    network: Network,
+    transducer: Transducer,
+    config: Configuration,
+    produced_output: frozenset,
+) -> bool:
+    """Exact convergence test: no future transition can change anything.
+
+    Simulates, without committing, every transition reachable from
+    *config*: heartbeats at every node and deliveries of every fact that
+    is buffered or could still be sent (the closure of the circulating
+    facts).  Because states are required to stay fixed, the closure is
+    finite and the test is sound and complete for the property "every
+    continuation of the run leaves all states unchanged and produces no
+    output outside *produced_output*".
+    """
+    pending: list[tuple[Node, Fact]] = []
+    seen: set[tuple[Node, Fact]] = set()
+
+    def push_sends(sender: Node, sent: frozenset[Fact]) -> bool:
+        for neighbor in network.neighbors(sender):
+            for f in sent:
+                key = (neighbor, f)
+                if key not in seen:
+                    seen.add(key)
+                    pending.append(key)
+        return True
+
+    for node in network.sorted_nodes():
+        local = transducer.heartbeat(config.state(node))
+        if local.new_state != local.state:
+            return False
+        if not local.output <= produced_output:
+            return False
+        push_sends(node, local.sent.facts())
+        for f in config.buffer(node).distinct():
+            key = (node, f)
+            if key not in seen:
+                seen.add(key)
+                pending.append(key)
+
+    while pending:
+        node, f = pending.pop()
+        local = transducer.deliver(config.state(node), f)
+        if local.new_state != local.state:
+            return False
+        if not local.output <= produced_output:
+            return False
+        push_sends(node, local.sent.facts())
+    return True
+
+
+def run_fair(
+    network: Network,
+    transducer: Transducer,
+    partition: HorizontalPartition,
+    seed: int = 0,
+    max_steps: int = 20_000,
+    deliver_bias: float = 0.75,
+    keep_trace: bool = False,
+    check_every: int | None = None,
+) -> RunResult:
+    """A seeded random fair run, truncated at convergence.
+
+    Fairness of the infinite completion is modelled by (i) uniform node
+    choice, so every node heartbeats infinitely often, and (ii) a
+    delivery bias, so buffered facts are eventually delivered.  The
+    truncation point is the exact convergence test, so for converging
+    transducers the returned output equals out(ρ) of any fair completion
+    of the prefix.
+    """
+    rng = random.Random(seed)
+    nodes = network.sorted_nodes()
+    config = initial_configuration(network, transducer, partition)
+    tracker = _OutputTracker()
+    stats = RunStats()
+    trace: list[GlobalTransition] = []
+    if check_every is None:
+        check_every = max(8, 4 * len(nodes))
+    converged = is_converged(network, transducer, config, frozenset())
+
+    steps_since_check = 0
+    while not converged and stats.steps < max_steps:
+        node = rng.choice(nodes)
+        buffer = config.buffer(node)
+        if buffer and rng.random() < deliver_bias:
+            choices = buffer.distinct()
+            f = choices[rng.randrange(len(choices))]
+            transition = deliver(network, transducer, config, node, f)
+        else:
+            transition = heartbeat(network, transducer, config, node)
+        config = transition.after
+        stats.record(transition)
+        tracker.record(node, transition.output, stats.steps)
+        if keep_trace:
+            trace.append(transition)
+        steps_since_check += 1
+        if steps_since_check >= check_every or config.buffers_empty():
+            steps_since_check = 0
+            converged = is_converged(
+                network, transducer, config, frozenset(tracker.output)
+            )
+
+    if not converged:
+        converged = is_converged(
+            network, transducer, config, frozenset(tracker.output)
+        )
+    output, by_node = tracker.result_fields()
+    return RunResult(
+        config=config,
+        output=output,
+        outputs_by_node=by_node,
+        converged=converged,
+        stats=stats,
+        quiescence_step=tracker.quiescence_step,
+        trace=trace,
+    )
+
+
+def run_heartbeat_only(
+    network: Network,
+    transducer: Transducer,
+    partition: HorizontalPartition,
+    max_rounds: int = 1_000,
+) -> RunResult:
+    """Round-robin heartbeat transitions only (no deliveries ever).
+
+    Used by the coordination-freeness definition: the run stops when the
+    global state vector repeats (further heartbeats cannot produce new
+    output, since transitions are deterministic functions of state).
+    Messages are still sent into buffers, faithfully — they are simply
+    never read within this prefix.
+    """
+    nodes = network.sorted_nodes()
+    config = initial_configuration(network, transducer, partition)
+    tracker = _OutputTracker()
+    stats = RunStats()
+    seen_states = {config.states_key()}
+    converged = False
+    for _ in range(max_rounds):
+        for node in nodes:
+            transition = heartbeat(network, transducer, config, node)
+            config = transition.after
+            stats.record(transition)
+            tracker.record(node, transition.output, stats.steps)
+        key = config.states_key()
+        if key in seen_states:
+            converged = True
+            break
+        seen_states.add(key)
+    output, by_node = tracker.result_fields()
+    return RunResult(
+        config=config,
+        output=output,
+        outputs_by_node=by_node,
+        converged=converged,
+        stats=stats,
+        quiescence_step=tracker.quiescence_step,
+    )
+
+
+def run_fifo_rounds(
+    network: Network,
+    transducer: Transducer,
+    partition: HorizontalPartition,
+    max_rounds: int = 2_000,
+    skip_nodes: frozenset | None = None,
+    keep_trace: bool = False,
+) -> RunResult:
+    """The deterministic fifo round schedule of Theorem 16's proof.
+
+    Each round: every (non-skipped) node heartbeats, in sorted order;
+    then, if some buffer is nonempty, every node with a nonempty fifo
+    delivers its *oldest* buffered fact; otherwise every node heartbeats
+    a second time.  *skip_nodes* realizes the proof's run ρ' where node
+    3 is "ignored completely".  Stops at convergence (skipped nodes
+    excluded from the test's scope by simply never acting).
+    """
+    skip = skip_nodes or frozenset()
+    nodes = [v for v in network.sorted_nodes() if v not in skip]
+    config = initial_configuration(network, transducer, partition)
+    fifo: dict[Node, list[Fact]] = {v: [] for v in network.sorted_nodes()}
+    tracker = _OutputTracker()
+    stats = RunStats()
+    trace: list[GlobalTransition] = []
+
+    def commit(transition: GlobalTransition) -> None:
+        nonlocal config
+        sent = sorted(transition.sent_facts)
+        if sent:
+            for neighbor in network.neighbors(transition.node):
+                fifo[neighbor].extend(sent)
+        config = transition.after
+        stats.record(transition)
+        tracker.record(transition.node, transition.output, stats.steps)
+        if keep_trace:
+            trace.append(transition)
+
+    converged = False
+    for _ in range(max_rounds):
+        for node in nodes:
+            commit(heartbeat(network, transducer, config, node))
+        if any(fifo[v] for v in nodes):
+            for node in nodes:
+                if fifo[node]:
+                    f = fifo[node].pop(0)
+                    commit(deliver(network, transducer, config, node, f))
+        else:
+            for node in nodes:
+                commit(heartbeat(network, transducer, config, node))
+        if not skip and is_converged(
+            network, transducer, config, frozenset(tracker.output)
+        ):
+            converged = True
+            break
+        if skip and all(not fifo[v] for v in nodes):
+            # With skipped nodes we stop once the active part is quiet:
+            # states stable under heartbeat and no pending fifo messages.
+            stable = all(
+                transducer.heartbeat(config.state(v)).new_state == config.state(v)
+                and transducer.heartbeat(config.state(v)).output
+                <= frozenset(tracker.output)
+                for v in nodes
+            )
+            if stable:
+                converged = True
+                break
+    output, by_node = tracker.result_fields()
+    return RunResult(
+        config=config,
+        output=output,
+        outputs_by_node=by_node,
+        converged=converged,
+        stats=stats,
+        quiescence_step=tracker.quiescence_step,
+        trace=trace,
+    )

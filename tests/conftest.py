@@ -1,0 +1,62 @@
+"""Shared fixtures: schemas, instances, transducers, networks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Instance, schema, instance
+from repro.net import line, ring, single, star
+
+
+@pytest.fixture
+def s2():
+    """A schema with one binary relation S."""
+    return schema(S=2)
+
+
+@pytest.fixture
+def s1():
+    """A schema with one unary relation S."""
+    return schema(S=1)
+
+
+@pytest.fixture
+def chain_instance(s2):
+    """S = a chain 1→2→3→4."""
+    return instance(s2, S=[(1, 2), (2, 3), (3, 4)])
+
+
+@pytest.fixture
+def small_set(s1):
+    """S = {1, 2, 3}."""
+    return instance(s1, S=[(1,), (2,), (3,)])
+
+
+@pytest.fixture
+def empty2(s2):
+    return Instance.empty(s2)
+
+
+@pytest.fixture
+def net1():
+    return single()
+
+
+@pytest.fixture
+def net2():
+    return line(2)
+
+
+@pytest.fixture
+def net3_line():
+    return line(3)
+
+
+@pytest.fixture
+def net4_ring():
+    return ring(4)
+
+
+@pytest.fixture
+def net4_star():
+    return star(4)

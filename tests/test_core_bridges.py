@@ -1,0 +1,229 @@
+"""Theorem 6(5) Datalog bridge and Lemma 5(3)/Theorem 6(3) while bridge."""
+
+import pytest
+
+from repro.core import (
+    datalog_to_transducer,
+    is_inflationary,
+    is_oblivious,
+    is_monotone,
+    transducer_to_datalog,
+    transducer_to_while,
+    transitive_closure_transducer,
+    while_to_transducer,
+)
+from repro.db import DatabaseSchema, Instance, instance, schema
+from repro.lang import (
+    Assign,
+    DatalogProgram,
+    DatalogQuery,
+    UCQQuery,
+    WhileChange,
+    WhileProgram,
+    WhileQuery,
+)
+from repro.net import full_replication, line, round_robin, run_fair, single
+
+TC_TEXT = "T(x,y) :- S(x,y). T(x,y) :- S(x,z), T(z,y)."
+
+
+@pytest.fixture
+def s2():
+    return schema(S=2)
+
+
+@pytest.fixture
+def I(s2):
+    return instance(s2, S=[(1, 2), (2, 3), (3, 4)])
+
+
+@pytest.fixture
+def tc_query(s2):
+    return DatalogQuery.parse(TC_TEXT, "T", s2)
+
+
+class TestDatalogToTransducer:
+    def test_result_is_oblivious_inflationary_monotone(self, s2):
+        p = DatalogProgram.parse(TC_TEXT, s2)
+        t = datalog_to_transducer(p, "T")
+        assert is_oblivious(t)
+        assert is_inflationary(t)
+        assert is_monotone(t)
+
+    def test_computes_same_query_distributed(self, s2, I, tc_query):
+        p = DatalogProgram.parse(TC_TEXT, s2)
+        t = datalog_to_transducer(p, "T")
+        net = line(3)
+        result = run_fair(net, t, round_robin(I, net), seed=0)
+        assert result.output == tc_query(I)
+
+    def test_single_node(self, s2, I, tc_query):
+        p = DatalogProgram.parse(TC_TEXT, s2)
+        t = datalog_to_transducer(p, "T")
+        result = run_fair(single(), t, full_replication(I, single()), seed=0)
+        assert result.output == tc_query(I)
+
+    def test_multi_idb_program(self):
+        sch = schema(E=2)
+        text = """
+        Even(x, y) :- E(x, y).
+        Even(x, y) :- Odd(x, z), E(z, y).
+        Odd(x, y) :- E(x, z), Even(z, y).
+        """
+        p = DatalogProgram.parse(text, sch)
+        t = datalog_to_transducer(p, "Odd")
+        I = instance(sch, E=[(1, 2), (2, 3), (3, 4)])
+        net = line(2)
+        result = run_fair(net, t, round_robin(I, net), seed=0)
+        assert result.output == DatalogQuery(p, "Odd")(I)
+
+    def test_unknown_output_rejected(self, s2):
+        p = DatalogProgram.parse(TC_TEXT, s2)
+        with pytest.raises(Exception):
+            datalog_to_transducer(p, "Nope")
+
+
+class TestTransducerToDatalog:
+    def test_round_trip_preserves_query(self, s2, I, tc_query):
+        p = DatalogProgram.parse(TC_TEXT, s2)
+        t = datalog_to_transducer(p, "T")
+        back = transducer_to_datalog(t)
+        assert back(I) == tc_query(I)
+
+    def test_round_trip_on_several_instances(self, s2, tc_query):
+        p = DatalogProgram.parse(TC_TEXT, s2)
+        back = transducer_to_datalog(datalog_to_transducer(p, "T"))
+        for facts in ([], [(1, 1)], [(1, 2), (2, 1)], [(1, 2), (3, 4)]):
+            inst = instance(s2, S=facts)
+            assert back(inst) == tc_query(inst)
+
+    def test_example3_transducer_roundtrips(self, s2, I, tc_query):
+        """Example 3's hand-written transducer is also a Datalog program."""
+        back = transducer_to_datalog(transitive_closure_transducer())
+        assert back(I) == tc_query(I)
+
+    def test_non_oblivious_rejected(self):
+        from repro.core import emptiness_transducer
+
+        with pytest.raises(ValueError):
+            transducer_to_datalog(emptiness_transducer())
+
+
+class TestWhileToTransducer:
+    def make_tc_while(self, s2):
+        work = DatabaseSchema({"T": 2})
+        step = UCQQuery.parse(
+            "T(x,y) :- S(x,y). T(x,y) :- T(x,z), S(z,y).", s2.union(work)
+        )
+        return WhileProgram(s2, work, (WhileChange((Assign("T", step),)),), "T")
+
+    def test_single_node_equals_while_semantics(self, s2, I):
+        prog = self.make_tc_while(s2)
+        t = while_to_transducer(prog)
+        direct = WhileQuery(prog)(I)
+        result = run_fair(single(), t, full_replication(I, single()), seed=0,
+                          max_steps=10_000)
+        assert result.converged
+        assert result.output == direct
+
+    def test_empty_input(self, s2):
+        prog = self.make_tc_while(s2)
+        t = while_to_transducer(prog)
+        empty = Instance.empty(s2)
+        result = run_fair(single(), t, full_replication(empty, single()), seed=0)
+        assert result.output == frozenset()
+
+    def test_straight_line_program(self, s2, I):
+        work = DatabaseSchema({"R": 2})
+        q = UCQQuery.parse("R(y,x) :- S(x,y).", s2.union(work))
+        prog = WhileProgram(s2, work, (Assign("R", q),), "R")
+        t = while_to_transducer(prog)
+        result = run_fair(single(), t, full_replication(I, single()), seed=0)
+        assert result.output == frozenset({(b, a) for (a, b) in I.relation("S")})
+
+
+class TestTransducerToWhile:
+    def test_tc_transducer_as_while_program(self, s2, I, tc_query):
+        prog = transducer_to_while(transitive_closure_transducer())
+        full_input = Instance(
+            s2.union(schema(Id=1, All=1)),
+            I.facts()
+            | {f for f in instance(schema(Id=1, All=1),
+                                   Id=[("n1",)], All=[("n1",)]).facts()},
+        )
+        got = WhileQuery(prog)(full_input)
+        assert got == tc_query(I)
+
+    def test_round_trip_while_to_transducer_to_while(self, s2, I):
+        base = self_prog = TestWhileToTransducer().make_tc_while(s2)
+        t = while_to_transducer(self_prog)
+        back = transducer_to_while(t)
+        full_input = Instance(
+            s2.union(schema(Id=1, All=1)),
+            I.facts()
+            | {f for f in instance(schema(Id=1, All=1),
+                                   Id=[("n1",)], All=[("n1",)]).facts()},
+        )
+        direct = WhileQuery(base)(I)
+        assert WhileQuery(back)(full_input) == direct
+
+
+class TestTheorem64ContinuousWhile:
+    """The faithful Thm 6(4) construction: restart-on-new-fact."""
+
+    def make_prog(self, s2):
+        work = DatabaseSchema({"T": 2})
+        step = UCQQuery.parse(
+            "T(x,y) :- S(x,y). T(x,y) :- T(x,z), S(z,y).", s2.union(work)
+        )
+        return WhileProgram(s2, work, (WhileChange((Assign("T", step),)),), "T")
+
+    def test_oblivious_but_not_inflationary(self, s2):
+        from repro.core import continuous_while_transducer, is_oblivious
+
+        t = continuous_while_transducer(self.make_prog(s2))
+        assert is_oblivious(t)
+        assert not is_inflationary(t)  # "we use deletion to start afresh"
+
+    def test_computes_monotone_while_query(self, s2, I):
+        from repro.core import continuous_while_transducer
+
+        prog = self.make_prog(s2)
+        t = continuous_while_transducer(prog)
+        expected = WhileQuery(prog)(I)
+        from repro.net import ring
+
+        for net in (line(2), ring(3)):
+            for partition in (round_robin(I, net), full_replication(I, net)):
+                result = run_fair(net, t, partition, seed=0, max_steps=100_000)
+                assert result.converged
+                assert result.output == expected
+
+    def test_restart_only_on_novel_facts(self, s2, I):
+        """Duplicate deliveries never wipe the machine (else it would
+        never converge under flooding)."""
+        from repro.core import continuous_while_transducer
+
+        t = continuous_while_transducer(self.make_prog(s2))
+        net = line(2)
+        result = run_fair(net, t, round_robin(I, net), seed=3,
+                          max_steps=100_000, keep_trace=True)
+        assert result.converged
+        # after convergence the machine sits at its halt PC everywhere
+        for v in net.nodes:
+            state = result.config.state(v)
+            halt_pcs = [
+                rel for rel in t.schema.memory
+                if rel.startswith("Pc_") and state.relation(rel)
+            ]
+            assert len(halt_pcs) == 1
+
+    def test_single_node(self, s2, I):
+        from repro.core import continuous_while_transducer
+
+        prog = self.make_prog(s2)
+        t = continuous_while_transducer(prog)
+        result = run_fair(single(), t, full_replication(I, single()),
+                          seed=0, max_steps=50_000)
+        assert result.converged
+        assert result.output == WhileQuery(prog)(I)

@@ -1,0 +1,133 @@
+"""The rule-based transducer builder DSL."""
+
+import pytest
+
+from repro.core import build_transducer, is_inflationary, is_oblivious
+from repro.db import Instance, SchemaError, instance, schema
+from repro.lang import FOQuery
+
+
+class TestRoleTagging:
+    def test_send_insert_delete_out(self):
+        t = build_transducer(
+            inputs={"S": 1},
+            messages={"M": 1},
+            memory={"R": 1, "Old": 1},
+            output_arity=1,
+            rules="""
+                send M(x)     :- S(x).
+                insert R(x)   :- M(x).
+                delete Old(x) :- R(x).
+                out(x)        :- R(x).
+            """,
+        )
+        assert not t.send_queries["M"].is_empty_syntactic()
+        assert not t.insert_queries["R"].is_empty_syntactic()
+        assert not t.delete_queries["Old"].is_empty_syntactic()
+        assert not t.output_query.is_empty_syntactic()
+
+    def test_multiple_rules_form_union(self):
+        t = build_transducer(
+            inputs={"S": 1, "T": 1},
+            memory={"R": 1},
+            output_arity=0,
+            rules="""
+                insert R(x) :- S(x).
+                insert R(x) :- T(x).
+            """,
+        )
+        inst = (
+            t.make_state(
+                instance(schema(S=1, T=1), S=[(1,)], T=[(2,)]),
+                "v",
+                frozenset({"v"}),
+            )
+        )
+        result = t.heartbeat(inst)
+        assert result.new_state.relation("R") == frozenset({(1,), (2,)})
+
+    def test_untagged_head_rejected(self):
+        with pytest.raises(SchemaError):
+            build_transducer(
+                inputs={"S": 1},
+                memory={"R": 1},
+                rules="R(x) :- S(x).",
+            )
+
+    def test_undeclared_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            build_transducer(
+                inputs={"S": 1},
+                rules="send M(x) :- S(x).",
+            )
+
+    def test_head_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            build_transducer(
+                inputs={"S": 1},
+                messages={"M": 2},
+                rules="send M(x) :- S(x).",
+            )
+
+    def test_out_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            build_transducer(
+                inputs={"S": 1},
+                output_arity=2,
+                rules="out(x) :- S(x).",
+            )
+
+
+class TestOverrides:
+    def test_query_object_override(self):
+        sch = schema(S=1, Id=1, All=1)
+        q = FOQuery.parse("not (exists x: S(x))", "", sch)
+        t = build_transducer(inputs={"S": 1}, output_arity=0, output=q)
+        state = t.make_state(Instance.empty(schema(S=1)), "v", frozenset({"v"}))
+        assert t.heartbeat(state).output == frozenset({()})
+
+    def test_clash_between_rules_and_override_rejected(self):
+        sch = schema(S=1, Id=1, All=1, M=1)
+        q = FOQuery.parse("S(x)", "x", sch)
+        with pytest.raises(SchemaError):
+            build_transducer(
+                inputs={"S": 1},
+                messages={"M": 1},
+                rules="send M(x) :- S(x).",
+                send={"M": q},
+            )
+
+    def test_output_clash_rejected(self):
+        sch = schema(S=1, Id=1, All=1)
+        q = FOQuery.parse("S(x)", "x", sch)
+        with pytest.raises(SchemaError):
+            build_transducer(
+                inputs={"S": 1},
+                output_arity=1,
+                rules="out(x) :- S(x).",
+                output=q,
+            )
+
+
+class TestSystemRelationsInRules:
+    def test_id_and_all_usable(self):
+        t = build_transducer(
+            inputs={"S": 1},
+            messages={"M": 1},
+            output_arity=0,
+            rules="send M(v) :- Id(v).",
+        )
+        assert not is_oblivious(t)
+
+    def test_oblivious_when_unused(self):
+        t = build_transducer(
+            inputs={"S": 1},
+            messages={"M": 1},
+            output_arity=1,
+            rules="""
+                send M(x) :- S(x).
+                out(x)    :- M(x).
+            """,
+        )
+        assert is_oblivious(t)
+        assert is_inflationary(t)

@@ -1,0 +1,186 @@
+"""Lemma 5 and Theorem 6 constructions."""
+
+import pytest
+
+from repro.core import (
+    collect_then_apply_transducer,
+    continuous_apply_transducer,
+    flooding_transducer,
+    is_inflationary,
+    is_monotone,
+    is_oblivious,
+    multicast_transducer,
+)
+from repro.core.constructions import READY_RELATION, STORE_PREFIX
+from repro.db import Instance, instance, schema
+from repro.lang import DatalogQuery, FOQuery
+from repro.net import (
+    full_replication,
+    initial_configuration,
+    line,
+    ring,
+    round_robin,
+    run_fair,
+    single,
+    star,
+)
+
+
+@pytest.fixture
+def s2():
+    return schema(S=2)
+
+
+@pytest.fixture
+def I(s2):
+    return instance(s2, S=[(1, 2), (2, 3)])
+
+
+class TestLemma52Flooding:
+    def test_oblivious_inflationary_monotone(self, s2):
+        t = flooding_transducer(s2)
+        assert is_oblivious(t)
+        assert is_inflationary(t)
+        assert is_monotone(t)
+
+    @pytest.mark.parametrize("make_net", [lambda: line(2), lambda: line(3),
+                                          lambda: ring(3), lambda: star(4)])
+    def test_every_node_collects_everything(self, s2, I, make_net):
+        net = make_net()
+        t = flooding_transducer(s2)
+        result = run_fair(net, t, round_robin(I, net), seed=0)
+        assert result.converged
+        for v in net.sorted_nodes():
+            got = result.config.state(v).relation(STORE_PREFIX + "S")
+            assert got == I.relation("S")
+
+    def test_multi_relation_schema(self):
+        sch = schema(A=1, B=2)
+        I = instance(sch, A=[(1,)], B=[(2, 3)])
+        t = flooding_transducer(sch)
+        net = line(2)
+        result = run_fair(net, t, round_robin(I, net), seed=0)
+        for v in net.sorted_nodes():
+            state = result.config.state(v)
+            assert state.relation(STORE_PREFIX + "A") == I.relation("A")
+            assert state.relation(STORE_PREFIX + "B") == I.relation("B")
+
+
+class TestLemma51Multicast:
+    def test_inflationary_but_not_oblivious(self, s2):
+        t = multicast_transducer(s2)
+        assert is_inflationary(t)
+        assert not is_oblivious(t)
+
+    @pytest.mark.parametrize("make_net", [single, lambda: line(2), lambda: line(3),
+                                          lambda: ring(3)])
+    def test_ready_implies_full_collection(self, s2, I, make_net):
+        net = make_net()
+        t = multicast_transducer(s2)
+        result = run_fair(net, t, round_robin(I, net), seed=0, max_steps=100_000)
+        assert result.converged
+        for v in net.sorted_nodes():
+            state = result.config.state(v)
+            assert state.relation(READY_RELATION) == frozenset({()})
+            assert state.relation(STORE_PREFIX + "S") == I.relation("S")
+
+    def test_ready_never_early(self, s2, I):
+        """Ready must not precede full collection — checked along a trace."""
+        net = line(2)
+        t = multicast_transducer(s2)
+        result = run_fair(
+            net, t, round_robin(I, net), seed=3, max_steps=100_000, keep_trace=True
+        )
+        assert result.converged
+        for transition in result.trace:
+            state = transition.after.state(transition.node)
+            if state.relation(READY_RELATION):
+                assert state.relation(STORE_PREFIX + "S") == I.relation("S")
+
+    def test_empty_input_still_gets_ready(self, s2):
+        net = line(2)
+        t = multicast_transducer(s2)
+        empty = Instance.empty(s2)
+        result = run_fair(net, t, full_replication(empty, net), seed=0,
+                          max_steps=100_000)
+        assert result.converged
+        for v in net.sorted_nodes():
+            assert result.config.state(v).relation(READY_RELATION)
+
+
+class TestTheorem61CollectThenApply:
+    def test_non_monotone_query_computed(self, s2, I):
+        # emptiness: the canonical non-monotone query
+        q = FOQuery.parse("not (exists x, y: S(x, y))", "", s2)
+        t = collect_then_apply_transducer(q)
+        net = line(2)
+        assert run_fair(net, t, round_robin(I, net), seed=0,
+                        max_steps=100_000).output == frozenset()
+        empty = Instance.empty(s2)
+        assert run_fair(net, t, full_replication(empty, net), seed=0,
+                        max_steps=100_000).output == frozenset({()})
+
+    def test_difference_query(self):
+        sch = schema(A=1, B=1)
+        q = FOQuery.parse("A(x) & ~B(x)", "x", sch)
+        t = collect_then_apply_transducer(q)
+        I = instance(sch, A=[(1,), (2,)], B=[(2,)])
+        net = line(2)
+        result = run_fair(net, t, round_robin(I, net), seed=0, max_steps=100_000)
+        assert result.output == frozenset({(1,)})
+
+    def test_consistent_across_partitions_and_seeds(self, s2):
+        q = FOQuery.parse("S(x, y) & ~S(y, x)", "x, y", s2)
+        t = collect_then_apply_transducer(q)
+        I = instance(s2, S=[(1, 2), (2, 1), (2, 3)])
+        net = line(2)
+        outputs = set()
+        for partition in (full_replication(I, net), round_robin(I, net)):
+            for seed in (0, 1):
+                outputs.add(
+                    run_fair(net, t, partition, seed=seed,
+                             max_steps=100_000).output
+                )
+        assert outputs == {frozenset({(2, 3)})}
+
+
+class TestTheorem62ContinuousApply:
+    def test_oblivious_monotone(self, s2):
+        tc = DatalogQuery.parse(
+            "T(x,y) :- S(x,y). T(x,y) :- S(x,z), T(z,y).", "T", s2
+        )
+        t = continuous_apply_transducer(tc)
+        assert is_oblivious(t)
+        assert is_inflationary(t)
+        assert is_monotone(t)
+
+    def test_tc_computed(self, s2, I):
+        tc = DatalogQuery.parse(
+            "T(x,y) :- S(x,y). T(x,y) :- S(x,z), T(z,y).", "T", s2
+        )
+        t = continuous_apply_transducer(tc)
+        net = ring(3)
+        result = run_fair(net, t, round_robin(I, net), seed=0)
+        assert result.output == frozenset({(1, 2), (2, 3), (1, 3)})
+
+    def test_no_incorrect_intermediate_output(self, s2, I):
+        """Monotone Q on partial input only under-approximates Q(I)."""
+        tc = DatalogQuery.parse(
+            "T(x,y) :- S(x,y). T(x,y) :- S(x,z), T(z,y).", "T", s2
+        )
+        t = continuous_apply_transducer(tc)
+        net = line(3)
+        expected = frozenset({(1, 2), (2, 3), (1, 3)})
+        result = run_fair(net, t, round_robin(I, net), seed=2, keep_trace=True)
+        running: set = set()
+        for transition in result.trace:
+            running |= transition.output
+            assert frozenset(running) <= expected
+
+    def test_initial_configuration_shape(self, s2, I):
+        t = flooding_transducer(s2)
+        net = line(2)
+        config = initial_configuration(net, t, round_robin(I, net))
+        for v in net.nodes:
+            assert not config.buffer(v)
+            assert config.state(v).relation(STORE_PREFIX + "S") == frozenset()

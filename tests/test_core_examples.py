@@ -1,0 +1,238 @@
+"""The paper's worked examples behave exactly as claimed."""
+
+import pytest
+
+from repro.core import (
+    ab_nonempty_transducer,
+    emptiness_transducer,
+    first_element_transducer,
+    is_inflationary,
+    is_oblivious,
+    ping_identity_transducer,
+    relay_identity_transducer,
+    transitive_closure_transducer,
+    uses_all,
+    uses_id,
+)
+from repro.db import Instance, instance, schema
+from repro.net import (
+    all_at_one,
+    check_consistency,
+    full_replication,
+    line,
+    round_robin,
+    run_fair,
+    run_heartbeat_only,
+    single,
+)
+
+
+class TestExample2FirstElement:
+    """Not consistent: order of delivery decides the output."""
+
+    def test_inconsistent_across_schedules(self):
+        t = first_element_transducer()
+        I = instance(schema(S=1), S=[(1,), (2,)])
+        net = line(2)
+        outputs = {
+            run_fair(net, t, all_at_one(I, net), seed=seed).output
+            for seed in range(12)
+        }
+        assert len(outputs) >= 2  # the Example 2 claim
+
+    def test_single_node_produces_nothing(self):
+        t = first_element_transducer()
+        I = instance(schema(S=1), S=[(1,), (2,)])
+        result = run_fair(single(), t, full_replication(I, single()), seed=0)
+        assert result.output == frozenset()
+
+    def test_each_node_outputs_at_most_one(self):
+        t = first_element_transducer()
+        I = instance(schema(S=1), S=[(1,), (2,), (3,)])
+        net = line(2)
+        result = run_fair(net, t, all_at_one(I, net), seed=5)
+        for node_output in result.outputs_by_node.values():
+            assert len(node_output) <= 1
+
+
+class TestExample3TransitiveClosure:
+    def test_properties(self):
+        t = transitive_closure_transducer()
+        assert is_oblivious(t)
+        assert is_inflationary(t)
+
+    def test_computes_tc_on_all_partitions(self):
+        t = transitive_closure_transducer()
+        I = instance(schema(S=2), S=[(1, 2), (2, 3), (4, 1)])
+        expected = frozenset(
+            {(1, 2), (2, 3), (1, 3), (4, 1), (4, 2), (4, 3)}
+        )
+        net = line(3)
+        for partition in (
+            full_replication(I, net),
+            all_at_one(I, net),
+            round_robin(I, net),
+        ):
+            result = run_fair(net, t, partition, seed=1)
+            assert result.output == expected
+            assert result.converged
+
+    def test_consistent(self):
+        t = transitive_closure_transducer()
+        I = instance(schema(S=2), S=[(1, 2), (2, 3)])
+        report = check_consistency(line(2), t, I, seeds=(0, 1, 2))
+        assert report.consistent
+
+    def test_single_node(self):
+        t = transitive_closure_transducer()
+        I = instance(schema(S=2), S=[(1, 2), (2, 3)])
+        result = run_fair(single(), t, full_replication(I, single()), seed=0)
+        assert result.output == frozenset({(1, 2), (2, 3), (1, 3)})
+
+
+class TestExample4RelayIdentity:
+    """Consistent on each network, but 1-node and 2-node disagree."""
+
+    def test_multi_node_computes_identity(self):
+        t = relay_identity_transducer()
+        I = instance(schema(S=1), S=[(1,), (2,)])
+        net = line(2)
+        result = run_fair(net, t, round_robin(I, net), seed=0)
+        assert result.output == frozenset({(1,), (2,)})
+
+    def test_single_node_computes_empty(self):
+        t = relay_identity_transducer()
+        I = instance(schema(S=1), S=[(1,), (2,)])
+        result = run_fair(single(), t, full_replication(I, single()), seed=0)
+        assert result.output == frozenset()
+
+    def test_hence_not_topology_independent(self):
+        t = relay_identity_transducer()
+        I = instance(schema(S=1), S=[(1,)])
+        multi = run_fair(line(2), t, round_robin(I, line(2)), seed=0).output
+        solo = run_fair(single(), t, full_replication(I, single()), seed=0).output
+        assert multi != solo
+
+
+class TestSection5ABNonempty:
+    def setup_method(self):
+        self.t = ab_nonempty_transducer()
+        self.sch = schema(A=1, B=1)
+
+    def run_on(self, I, net, partition, seed=0):
+        return run_fair(net, self.t, partition, seed=seed)
+
+    def test_true_when_a_nonempty(self):
+        I = instance(self.sch, A=[(1,)])
+        net = line(2)
+        assert self.run_on(I, net, round_robin(I, net)).output == frozenset({()})
+
+    def test_true_when_both_nonempty(self):
+        I = instance(self.sch, A=[(1,)], B=[(2,)])
+        net = line(2)
+        for seed in range(4):
+            got = self.run_on(I, net, full_replication(I, net), seed).output
+            assert got == frozenset({()})
+
+    def test_false_when_both_empty(self):
+        I = Instance.empty(self.sch)
+        net = line(2)
+        assert self.run_on(I, net, full_replication(I, net)).output == frozenset()
+
+    def test_single_node_direct(self):
+        I = instance(self.sch, B=[(1,)])
+        got = self.run_on(I, single(), full_replication(I, single())).output
+        assert got == frozenset({()})
+
+    def test_full_replication_needs_communication(self):
+        """The paper's point: with both A and B nonempty everywhere,
+        heartbeats alone never output."""
+        I = instance(self.sch, A=[(1,)], B=[(2,)])
+        net = line(2)
+        hb = run_heartbeat_only(net, self.t, full_replication(I, net))
+        assert hb.output == frozenset()
+
+    def test_separated_partition_needs_no_communication(self):
+        """...but the A-here/B-there partition settles by heartbeats."""
+        I = instance(self.sch, A=[(1,)], B=[(2,)])
+        net = line(2)
+        nodes = net.sorted_nodes()
+        from repro.net import HorizontalPartition
+
+        split = HorizontalPartition(
+            I,
+            {
+                nodes[0]: instance(self.sch, A=[(1,)]),
+                nodes[1]: instance(self.sch, B=[(2,)]),
+            },
+        )
+        hb = run_heartbeat_only(net, self.t, split)
+        assert hb.output == frozenset({()})
+
+
+class TestExample10Emptiness:
+    def setup_method(self):
+        self.t = emptiness_transducer()
+        self.sch = schema(S=1)
+
+    def test_true_on_empty(self):
+        I = Instance.empty(self.sch)
+        net = line(3)
+        result = run_fair(net, self.t, full_replication(I, net), seed=0)
+        assert result.output == frozenset({()})
+
+    def test_false_on_nonempty(self):
+        I = instance(self.sch, S=[(1,)])
+        net = line(3)
+        for partition in (full_replication(I, net), all_at_one(I, net)):
+            result = run_fair(net, self.t, partition, seed=0)
+            assert result.output == frozenset()
+
+    def test_single_node(self):
+        I = Instance.empty(self.sch)
+        result = run_fair(single(), self.t, full_replication(I, single()), seed=0)
+        assert result.output == frozenset({()})
+
+    def test_needs_communication_on_two_nodes(self):
+        """No partition of the empty instance lets heartbeats answer."""
+        I = Instance.empty(self.sch)
+        net = line(2)
+        hb = run_heartbeat_only(net, self.t, full_replication(I, net))
+        assert hb.output == frozenset()
+
+    def test_uses_both_system_relations(self):
+        assert uses_id(self.t)
+        assert uses_all(self.t)
+
+
+class TestExample15PingIdentity:
+    def setup_method(self):
+        self.t = ping_identity_transducer()
+        self.sch = schema(S=1)
+
+    def test_uses_all_but_not_id(self):
+        assert uses_all(self.t)
+        assert not uses_id(self.t)
+
+    def test_identity_on_single_node(self):
+        I = instance(self.sch, S=[(1,), (2,)])
+        result = run_fair(single(), self.t, full_replication(I, single()), seed=0)
+        assert result.output == frozenset({(1,), (2,)})
+
+    def test_identity_on_two_nodes(self):
+        I = instance(self.sch, S=[(1,), (2,)])
+        net = line(2)
+        result = run_fair(net, self.t, round_robin(I, net), seed=0)
+        assert result.output == frozenset({(1,), (2,)})
+
+    def test_not_coordination_free_on_multi_node(self):
+        """Communication is required regardless of the partition."""
+        I = instance(self.sch, S=[(1,)])
+        net = line(2)
+        for partition in (
+            full_replication(I, net),
+            all_at_one(I, net),
+            round_robin(I, net),
+        ):
+            hb = run_heartbeat_only(net, self.t, partition)
+            assert hb.output == frozenset()

@@ -1,0 +1,111 @@
+"""Corollary 8: the linear-order protocol and the parity application."""
+
+import pytest
+
+from repro.core import (
+    check_strict_total_order,
+    ordering_transducer,
+    parity_transducer,
+)
+from repro.db import Instance, instance, schema
+from repro.net import full_replication, line, ring, round_robin, run_fair, single
+
+
+@pytest.fixture
+def s1():
+    return schema(S=1)
+
+
+class TestOrderChecker:
+    def test_valid_total_order(self):
+        less = frozenset({(1, 2), (2, 3), (1, 3)})
+        assert check_strict_total_order(less, frozenset({1, 2, 3}))
+
+    def test_missing_pair_fails(self):
+        assert not check_strict_total_order(
+            frozenset({(1, 2)}), frozenset({1, 2, 3})
+        )
+
+    def test_cycle_fails(self):
+        less = frozenset({(1, 2), (2, 1)})
+        assert not check_strict_total_order(less, frozenset({1, 2}))
+
+    def test_reflexive_fails(self):
+        less = frozenset({(1, 1), (1, 2)})
+        assert not check_strict_total_order(less, frozenset({1, 2}))
+
+    def test_nontransitive_fails(self):
+        less = frozenset({(1, 2), (2, 3), (3, 1)})
+        assert not check_strict_total_order(less, frozenset({1, 2, 3}))
+
+    def test_empty_set_trivially_ordered(self):
+        assert check_strict_total_order(frozenset(), frozenset())
+
+
+class TestOrderingProtocol:
+    @pytest.mark.parametrize("make_net", [lambda: line(2), lambda: ring(3)])
+    def test_builds_total_order_at_every_node(self, s1, make_net):
+        net = make_net()
+        I = instance(s1, S=[(1,), (2,), (3,)])
+        t = ordering_transducer(s1)
+        result = run_fair(net, t, round_robin(I, net), seed=2, max_steps=300_000)
+        assert result.converged
+        for v in net.sorted_nodes():
+            state = result.config.state(v)
+            elements = frozenset(x for (x,) in state.relation("Rcvd"))
+            assert elements == I.active_domain()
+            assert check_strict_total_order(state.relation("Less"), elements)
+
+    def test_orders_may_differ_between_nodes(self, s1):
+        """Different nodes may receive elements in different orders."""
+        net = line(2)
+        I = instance(s1, S=[(1,), (2,), (3,), (4,)])
+        t = ordering_transducer(s1)
+        orders = set()
+        for seed in range(6):
+            result = run_fair(net, t, round_robin(I, net), seed=seed,
+                              max_steps=300_000)
+            for v in net.sorted_nodes():
+                orders.add(result.config.state(v).relation("Less"))
+        assert len(orders) >= 2
+
+    def test_single_node_builds_nothing(self, s1):
+        net = single()
+        I = instance(s1, S=[(1,), (2,)])
+        t = ordering_transducer(s1)
+        result = run_fair(net, t, full_replication(I, net), seed=0,
+                          max_steps=100_000)
+        assert result.config.state("n1").relation("Less") == frozenset()
+
+
+class TestParityViaOrder:
+    @pytest.mark.parametrize("size,even", [(0, True), (1, False), (2, True),
+                                           (3, False), (4, True)])
+    def test_parity_correct(self, s1, size, even):
+        net = line(2)
+        I = instance(s1, S=[(i,) for i in range(size)])
+        t = parity_transducer()
+        result = run_fair(net, t, round_robin(I, net), seed=0,
+                          max_steps=500_000)
+        assert result.converged
+        assert bool(result.output) is even
+
+    def test_parity_consistent_across_schedules(self, s1):
+        """Each run builds a different order but the same parity."""
+        net = line(2)
+        I = instance(s1, S=[(1,), (2,), (3,)])
+        t = parity_transducer()
+        outputs = {
+            run_fair(net, t, round_robin(I, net), seed=seed,
+                     max_steps=500_000).output
+            for seed in range(4)
+        }
+        assert outputs == {frozenset()}  # 3 elements: odd
+
+    def test_parity_needs_two_nodes(self, s1):
+        """Corollary 8's proviso: on one node the order never forms."""
+        I = instance(s1, S=[(1,), (2,)])
+        t = parity_transducer()
+        result = run_fair(single(), t, full_replication(I, single()), seed=0,
+                          max_steps=100_000)
+        assert result.output == frozenset()

@@ -1,0 +1,205 @@
+"""Proposition 7: FO power from UCQ¬-only transducers."""
+
+import pytest
+
+from repro.core import (
+    compile_fo_staged,
+    eliminate_forall,
+    is_inflationary,
+    is_monotone,
+    is_oblivious,
+    ucq_collect_then_apply_transducer,
+    ucq_continuous_transducer,
+    ucq_multicast_transducer,
+    uses_only_ucqneg,
+)
+from repro.core.constructions import READY_RELATION, STORE_PREFIX
+from repro.db import Instance, instance, schema
+from repro.lang import FOQuery, Forall, Not, Exists, parse_formula
+from repro.net import (
+    full_replication,
+    line,
+    ring,
+    round_robin,
+    run_fair,
+    run_heartbeat_only,
+    single,
+)
+
+S2 = schema(S=2)
+S1 = schema(S=1)
+
+
+class TestForallElimination:
+    def test_forall_rewritten(self):
+        f = parse_formula("forall x: S(x, x)")
+        g = eliminate_forall(f)
+        assert isinstance(g, Not)
+        assert isinstance(g.body, Exists)
+        assert isinstance(g.body.body, Not)
+
+    def test_equivalence_on_instances(self):
+        original = FOQuery.parse("forall y: S(x, y) -> S(y, x)", "x", S2)
+        rewritten = FOQuery(
+            eliminate_forall(original.formula), original.answer_vars, S2
+        )
+        for facts in ([], [(1, 2)], [(1, 2), (2, 1)], [(1, 1), (1, 2)]):
+            I = instance(S2, S=facts)
+            assert original(I) == rewritten(I)
+
+    def test_nested_quantifiers(self):
+        f = parse_formula("forall x: exists y: forall z: S(x, y) | S(y, z)")
+        g = eliminate_forall(f)
+        assert not any(
+            isinstance(node, Forall) for node in _walk(g)
+        )
+
+
+def _walk(formula):
+    yield formula
+    for attr in ("body", "parts"):
+        child = getattr(formula, attr, None)
+        if child is None:
+            continue
+        if isinstance(child, tuple):
+            for c in child:
+                yield from _walk(c)
+        else:
+            yield from _walk(child)
+
+
+class TestStagedCompilation:
+    @pytest.mark.parametrize("text,heads", [
+        ("S(x, y)", "x, y"),
+        ("S(x, y) & S(y, x)", "x, y"),
+        ("S(x, y) | S(y, x)", "x, y"),
+        ("S(x, y) & ~S(y, x)", "x, y"),
+        ("exists y: S(x, y)", "x"),
+        ("exists y: S(x, y) & ~S(y, y)", "x"),
+        ("forall y: S(y, y) -> S(x, y)", "x"),
+        ("not (exists x, y: S(x, y))", ""),
+        ("S(x, y) & x = y", "x, y"),
+        ("S(x, y) & x != y", "x, y"),
+    ])
+    def test_staged_equals_direct_fo(self, text, heads):
+        """Run the staged rules as a one-node transducer; compare to FO."""
+        query = FOQuery.parse(text, heads, S2)
+        transducer = ucq_collect_then_apply_transducer(query)
+        for facts in ([], [(1, 1)], [(1, 2)], [(1, 2), (2, 1)],
+                      [(1, 2), (2, 3), (3, 3)]):
+            I = instance(S2, S=facts)
+            expected = query(I)
+            result = run_fair(
+                single(), transducer, full_replication(I, single()),
+                seed=0, max_steps=100_000,
+            )
+            assert result.converged
+            assert result.output == expected, (text, facts)
+
+    def test_gating_required_for_negation(self):
+        query = FOQuery.parse("S(x, y) & ~S(y, x)", "x, y", S2)
+        with pytest.raises(ValueError):
+            compile_fo_staged(query, gated=False)
+
+    def test_ungated_allowed_for_positive(self):
+        query = FOQuery.parse("exists z: S(x, z) & S(z, y)", "x, y", S2)
+        compiled = compile_fo_staged(query, gated=False)
+        assert all(
+            not rel.startswith("FTick") for rel in compiled.memory
+        )
+
+
+class TestUCQMulticast:
+    def test_only_ucqneg_queries(self):
+        assert uses_only_ucqneg(ucq_multicast_transducer(S2))
+
+    def test_not_inflationary_but_correct(self):
+        """The UCQ¬ version trades inflation for assignment helpers."""
+        t = ucq_multicast_transducer(S2)
+        assert not is_inflationary(t)
+        I = instance(S2, S=[(1, 2), (2, 3)])
+        for net in (single(), line(2), ring(3)):
+            result = run_fair(net, t, round_robin(I, net), seed=0,
+                              max_steps=400_000)
+            assert result.converged
+            for v in net.nodes:
+                state = result.config.state(v)
+                assert state.relation(READY_RELATION)
+                assert state.relation(STORE_PREFIX + "S") == I.relation("S")
+
+    def test_ready_never_early(self):
+        t = ucq_multicast_transducer(S2)
+        I = instance(S2, S=[(1, 2), (2, 3)])
+        net = line(2)
+        result = run_fair(net, t, round_robin(I, net), seed=5,
+                          max_steps=400_000, keep_trace=True)
+        for transition in result.trace:
+            state = transition.after.state(transition.node)
+            if state.relation(READY_RELATION):
+                assert state.relation(STORE_PREFIX + "S") == I.relation("S")
+
+    def test_empty_input(self):
+        t = ucq_multicast_transducer(S2)
+        net = line(2)
+        result = run_fair(net, t, full_replication(Instance.empty(S2), net),
+                          seed=0, max_steps=100_000)
+        assert result.converged
+        for v in net.nodes:
+            assert result.config.state(v).relation(READY_RELATION)
+
+
+class TestUCQCollectThenApply:
+    def test_non_monotone_query_distributed(self):
+        query = FOQuery.parse("not (exists x: S(x))", "", S1)
+        t = ucq_collect_then_apply_transducer(query)
+        assert uses_only_ucqneg(t)
+        net = line(2)
+        empty = Instance.empty(S1)
+        nonempty = instance(S1, S=[(1,)])
+        assert run_fair(net, t, full_replication(empty, net), seed=0,
+                        max_steps=400_000).output == frozenset({()})
+        assert run_fair(net, t, round_robin(nonempty, net), seed=0,
+                        max_steps=400_000).output == frozenset()
+
+    def test_consistent_across_partitions(self):
+        query = FOQuery.parse("S(x, y) & ~S(y, x)", "x, y", S2)
+        t = ucq_collect_then_apply_transducer(query)
+        I = instance(S2, S=[(1, 2), (2, 1), (2, 3)])
+        net = line(2)
+        outputs = {
+            run_fair(net, t, p, seed=s, max_steps=400_000).output
+            for p in (full_replication(I, net), round_robin(I, net))
+            for s in (0, 1)
+        }
+        assert outputs == {frozenset({(2, 3)})}
+
+
+class TestUCQContinuous:
+    def test_oblivious_inflationary_monotone(self):
+        query = FOQuery.parse("exists z: S(x, z) & S(z, y)", "x, y", S2)
+        t = ucq_continuous_transducer(query)
+        assert uses_only_ucqneg(t)
+        assert is_oblivious(t)
+        assert is_inflationary(t)
+        assert is_monotone(t)
+
+    def test_computes_query(self):
+        query = FOQuery.parse("exists z: S(x, z) & S(z, y)", "x, y", S2)
+        t = ucq_continuous_transducer(query)
+        I = instance(S2, S=[(1, 2), (2, 3), (3, 4)])
+        for net in (line(2), ring(3)):
+            result = run_fair(net, t, round_robin(I, net), seed=0)
+            assert result.output == query(I)
+
+    def test_coordination_free_via_replication(self):
+        query = FOQuery.parse("S(x, y) | S(y, x)", "x, y", S2)
+        t = ucq_continuous_transducer(query)
+        I = instance(S2, S=[(1, 2)])
+        net = line(2)
+        hb = run_heartbeat_only(net, t, full_replication(I, net))
+        assert hb.output == query(I)
+
+    def test_rejects_negative_formula(self):
+        query = FOQuery.parse("S(x, y) & ~S(y, x)", "x, y", S2)
+        with pytest.raises(ValueError):
+            ucq_continuous_transducer(query)

@@ -1,0 +1,95 @@
+"""Query adaptors: InnerQuery, GatedQuery, TotalizedQuery."""
+
+import pytest
+
+from repro.core import GatedQuery, InnerQuery, TotalizedQuery
+from repro.db import instance, schema
+from repro.lang import FOQuery, QueryUndefined
+from repro.lang.query import PythonQuery
+
+
+@pytest.fixture
+def outer_schema():
+    return schema(S=2, Stored_S=2, Ready=0, Id=1, All=1)
+
+
+@pytest.fixture
+def inner_query():
+    return FOQuery.parse("S(x, y) & ~S(y, x)", "x, y", schema(S=2))
+
+
+class TestInnerQuery:
+    def test_single_source(self, outer_schema, inner_query):
+        q = InnerQuery(inner_query, {"S": ("Stored_S",)}, outer_schema)
+        I = instance(outer_schema, Stored_S=[(1, 2)], S=[(9, 9)])
+        # reads only Stored_S; the outer S relation is ignored
+        assert q(I) == frozenset({(1, 2)})
+
+    def test_union_of_sources(self, outer_schema, inner_query):
+        q = InnerQuery(
+            inner_query, {"S": ("S", "Stored_S")}, outer_schema
+        )
+        I = instance(outer_schema, S=[(1, 2)], Stored_S=[(2, 3)])
+        assert q(I) == frozenset({(1, 2), (2, 3)})
+
+    def test_missing_source_rejected(self, outer_schema, inner_query):
+        with pytest.raises(ValueError):
+            InnerQuery(inner_query, {}, outer_schema)
+
+    def test_arity_mismatch_rejected(self, inner_query):
+        bad_outer = schema(S=2, Stored_S=3)
+        with pytest.raises(ValueError):
+            InnerQuery(inner_query, {"S": ("Stored_S",)}, bad_outer)
+
+    def test_relations_reports_sources(self, outer_schema, inner_query):
+        q = InnerQuery(inner_query, {"S": ("Stored_S",)}, outer_schema)
+        assert q.relations() == frozenset({"Stored_S"})
+
+    def test_monotone_passthrough(self, outer_schema):
+        positive = FOQuery.parse("S(x, y)", "x, y", schema(S=2))
+        q = InnerQuery(positive, {"S": ("Stored_S",)}, outer_schema)
+        assert q.is_monotone_syntactic()
+
+
+class TestGatedQuery:
+    def test_closed_until_gate(self, outer_schema, inner_query):
+        inner = InnerQuery(inner_query, {"S": ("Stored_S",)}, outer_schema)
+        q = GatedQuery(inner, "Ready")
+        I = instance(outer_schema, Stored_S=[(1, 2)])
+        assert q(I) == frozenset()
+        opened = I.set_relation("Ready", [()])
+        assert q(opened) == frozenset({(1, 2)})
+
+    def test_gate_must_be_nullary(self, outer_schema, inner_query):
+        inner = InnerQuery(inner_query, {"S": ("Stored_S",)}, outer_schema)
+        with pytest.raises(ValueError):
+            GatedQuery(inner, "Id")
+
+    def test_gated_is_never_monotone(self, outer_schema):
+        positive = FOQuery.parse("S(x, y)", "x, y", schema(S=2))
+        inner = InnerQuery(positive, {"S": ("Stored_S",)}, outer_schema)
+        assert not GatedQuery(inner, "Ready").is_monotone_syntactic()
+
+    def test_relations_include_gate(self, outer_schema, inner_query):
+        inner = InnerQuery(inner_query, {"S": ("Stored_S",)}, outer_schema)
+        q = GatedQuery(inner, "Ready")
+        assert "Ready" in q.relations()
+
+
+class TestTotalizedQuery:
+    def test_passthrough_when_defined(self):
+        sch = schema(S=1)
+        base = FOQuery.parse("S(x)", "x", sch)
+        q = TotalizedQuery(base)
+        I = instance(sch, S=[(1,)])
+        assert q(I) == base(I)
+
+    def test_empty_when_undefined(self):
+        sch = schema(S=1)
+
+        def diverges(instance):
+            raise QueryUndefined("nope")
+
+        base = PythonQuery(diverges, 1, sch)
+        q = TotalizedQuery(base)
+        assert q(instance(sch, S=[(1,)])) == frozenset()

@@ -1,0 +1,66 @@
+"""Unit tests for repro.db.fact."""
+
+import pytest
+
+from repro.db import Fact, fact, facts
+from repro.db.values import Permutation
+
+
+class TestConstruction:
+    def test_basic(self):
+        f = fact("S", 1, 2)
+        assert f.relation == "S"
+        assert f.values == (1, 2)
+        assert f.arity == 2
+
+    def test_nullary(self):
+        f = fact("Ready")
+        assert f.arity == 0
+        assert f.values == ()
+
+    def test_rejects_non_atomic_values(self):
+        with pytest.raises(ValueError):
+            Fact("S", [(1, 2)])
+
+    def test_rejects_empty_relation_name(self):
+        with pytest.raises(ValueError):
+            Fact("", (1,))
+
+    def test_immutable(self):
+        f = fact("S", 1)
+        with pytest.raises(AttributeError):
+            f.relation = "T"
+
+
+class TestValueSemantics:
+    def test_equality(self):
+        assert fact("S", 1, 2) == fact("S", 1, 2)
+        assert fact("S", 1, 2) != fact("S", 2, 1)
+        assert fact("S", 1) != fact("T", 1)
+
+    def test_hash_consistent(self):
+        assert hash(fact("S", 1, 2)) == hash(fact("S", 1, 2))
+
+    def test_ordering_is_total_on_mixed_types(self):
+        mixed = [fact("S", 1), fact("S", "a"), fact("R", 2), fact("S", "a", 1)]
+        ordered = sorted(mixed)
+        assert sorted(ordered) == ordered  # stable / consistent
+
+    def test_repr(self):
+        assert repr(fact("S", 1, "a")) == "S(1, 'a')"
+
+
+class TestOperations:
+    def test_rename(self):
+        assert fact("S", 1, 2).rename("T") == fact("T", 1, 2)
+
+    def test_apply_permutation(self):
+        h = Permutation.swap(1, 2)
+        assert fact("S", 1, 2, 3).apply(h) == fact("S", 2, 1, 3)
+
+    def test_project(self):
+        assert fact("S", "a", "b", "c").project([2, 0]) == ("c", "a")
+
+    def test_facts_builder(self):
+        fs = facts("S", [(1, 2), (2, 3)])
+        assert fs == frozenset({fact("S", 1, 2), fact("S", 2, 3)})

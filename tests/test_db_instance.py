@@ -1,0 +1,140 @@
+"""Unit tests for repro.db.instance."""
+
+import pytest
+
+from repro.db import Instance, SchemaError, fact, instance, schema
+from repro.db.values import Permutation
+
+
+@pytest.fixture
+def sch():
+    return schema(S=2, T=1)
+
+
+@pytest.fixture
+def inst(sch):
+    return instance(sch, S=[(1, 2), (2, 3)], T=[(1,)])
+
+
+class TestConstruction:
+    def test_facts_round_trip(self, sch, inst):
+        assert fact("S", 1, 2) in inst
+        assert fact("T", 1) in inst
+        assert len(inst) == 3
+
+    def test_schema_violation_arity(self, sch):
+        with pytest.raises(SchemaError):
+            Instance(sch, [fact("S", 1)])
+
+    def test_schema_violation_unknown_relation(self, sch):
+        with pytest.raises(SchemaError):
+            Instance(sch, [fact("U", 1)])
+
+    def test_empty(self, sch):
+        empty = Instance.empty(sch)
+        assert len(empty) == 0
+        assert not empty
+
+    def test_immutable(self, inst):
+        with pytest.raises(AttributeError):
+            inst.schema = None
+
+
+class TestViews:
+    def test_relation_extent(self, inst):
+        assert inst.relation("S") == frozenset({(1, 2), (2, 3)})
+        assert inst.relation("T") == frozenset({(1,)})
+
+    def test_relation_unknown_raises(self, inst):
+        with pytest.raises(SchemaError):
+            inst.relation("U")
+
+    def test_relation_facts(self, inst):
+        assert inst.relation_facts("T") == frozenset({fact("T", 1)})
+
+    def test_is_empty(self, sch):
+        inst = instance(sch, S=[(1, 2)])
+        assert inst.is_empty("T")
+        assert not inst.is_empty("S")
+
+    def test_active_domain(self, inst):
+        assert inst.active_domain() == frozenset({1, 2, 3})
+
+    def test_iteration_sorted_deterministic(self, inst):
+        assert list(inst) == sorted(inst.facts())
+
+
+class TestAlgebra:
+    def test_union(self, sch):
+        a = instance(sch, S=[(1, 2)])
+        b = instance(sch, S=[(2, 3)], T=[(5,)])
+        u = a.union(b)
+        assert u.relation("S") == frozenset({(1, 2), (2, 3)})
+        assert u.relation("T") == frozenset({(5,)})
+
+    def test_union_merges_schemas(self):
+        a = instance(schema(S=1), S=[(1,)])
+        b = instance(schema(T=1), T=[(2,)])
+        u = a.union(b)
+        assert set(u.schema) == {"S", "T"}
+
+    def test_difference_and_intersection(self, sch):
+        a = instance(sch, S=[(1, 2), (2, 3)])
+        b = instance(sch, S=[(2, 3)])
+        assert a.difference(b).relation("S") == frozenset({(1, 2)})
+        assert a.intersection(b).relation("S") == frozenset({(2, 3)})
+
+    def test_with_without_facts(self, sch):
+        a = instance(sch, S=[(1, 2)])
+        bigger = a.with_facts([fact("T", 9)])
+        assert fact("T", 9) in bigger
+        smaller = bigger.without_facts([fact("S", 1, 2)])
+        assert fact("S", 1, 2) not in smaller
+
+    def test_restrict(self, inst):
+        sub = inst.restrict(["T"])
+        assert set(sub.schema) == {"T"}
+        assert len(sub) == 1
+
+    def test_expand_schema(self, sch):
+        a = instance(schema(S=2), S=[(1, 2)])
+        wide = a.expand_schema(schema(U=1))
+        assert "U" in wide.schema
+        assert wide.relation("U") == frozenset()
+
+    def test_set_relation_replaces(self, inst):
+        updated = inst.set_relation("T", [(7,), (8,)])
+        assert updated.relation("T") == frozenset({(7,), (8,)})
+        assert updated.relation("S") == inst.relation("S")
+
+    def test_set_relation_arity_checked(self, inst):
+        with pytest.raises(SchemaError):
+            inst.set_relation("T", [(1, 2)])
+
+    def test_rename(self, inst):
+        renamed = inst.rename({"S": "R"})
+        assert renamed.relation("R") == inst.relation("S")
+        assert "S" not in renamed.schema
+
+    def test_apply_permutation(self, sch):
+        a = instance(sch, S=[(1, 2)])
+        h = Permutation.swap(1, 2)
+        assert a.apply(h).relation("S") == frozenset({(2, 1)})
+
+
+class TestOrder:
+    def test_issubset(self, sch):
+        a = instance(sch, S=[(1, 2)])
+        b = instance(sch, S=[(1, 2), (2, 3)])
+        assert a.issubset(b)
+        assert a <= b
+        assert not b.issubset(a)
+
+    def test_equality_includes_schema(self):
+        a = instance(schema(S=1), S=[(1,)])
+        b = instance(schema(S=1, T=1), S=[(1,)])
+        assert a != b
+        assert a.same_facts(b)
+
+    def test_hashable(self, inst):
+        assert hash(inst) == hash(instance(inst.schema, S=[(1, 2), (2, 3)], T=[(1,)]))

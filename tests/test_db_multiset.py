@@ -1,0 +1,89 @@
+"""Unit tests for repro.db.multiset — the message-buffer semantics."""
+
+import pytest
+
+from repro.db import FactMultiset, fact
+
+
+@pytest.fixture
+def buf():
+    return FactMultiset([fact("M", 1), fact("M", 1), fact("M", 2)])
+
+
+class TestBasics:
+    def test_counts(self, buf):
+        assert buf.count(fact("M", 1)) == 2
+        assert buf.count(fact("M", 2)) == 1
+        assert buf.count(fact("M", 3)) == 0
+
+    def test_len_counts_occurrences(self, buf):
+        assert len(buf) == 3
+
+    def test_contains(self, buf):
+        assert fact("M", 1) in buf
+        assert fact("M", 9) not in buf
+
+    def test_iter_repeats_duplicates(self, buf):
+        assert list(buf) == [fact("M", 1), fact("M", 1), fact("M", 2)]
+
+    def test_distinct(self, buf):
+        assert buf.distinct() == (fact("M", 1), fact("M", 2))
+
+    def test_empty_singleton_behaviour(self):
+        assert not FactMultiset.empty()
+        assert len(FactMultiset.empty()) == 0
+
+    def test_rejects_non_facts(self):
+        with pytest.raises(TypeError):
+            FactMultiset([1])
+
+    def test_immutable(self, buf):
+        with pytest.raises(AttributeError):
+            buf._counts = {}
+
+
+class TestAlgebra:
+    def test_add(self, buf):
+        bigger = buf.add(fact("M", 1))
+        assert bigger.count(fact("M", 1)) == 3
+        assert buf.count(fact("M", 1)) == 2  # original untouched
+
+    def test_add_negative_rejected(self, buf):
+        with pytest.raises(ValueError):
+            buf.add(fact("M", 1), times=-1)
+
+    def test_union_adds_multiplicities(self, buf):
+        other = FactMultiset([fact("M", 1), fact("M", 3)])
+        u = buf.union(other)
+        assert u.count(fact("M", 1)) == 3
+        assert u.count(fact("M", 3)) == 1
+
+    def test_union_accepts_iterable(self, buf):
+        u = buf.union([fact("M", 9)])
+        assert fact("M", 9) in u
+
+    def test_remove_one_occurrence(self, buf):
+        fewer = buf.remove(fact("M", 1))
+        assert fewer.count(fact("M", 1)) == 1
+
+    def test_remove_more_than_present_rejected(self, buf):
+        with pytest.raises(KeyError):
+            buf.remove(fact("M", 2), times=2)
+
+    def test_difference_floors_at_zero(self, buf):
+        d = buf.difference(FactMultiset([fact("M", 2), fact("M", 2)]))
+        assert d.count(fact("M", 2)) == 0
+        assert d.count(fact("M", 1)) == 2
+
+    def test_contains_multiset(self, buf):
+        assert buf.contains_multiset(FactMultiset([fact("M", 1), fact("M", 1)]))
+        assert not buf.contains_multiset(
+            FactMultiset([fact("M", 1)] * 3)
+        )
+
+    def test_equality_and_hash(self):
+        a = FactMultiset([fact("M", 1), fact("M", 1)])
+        b = FactMultiset([fact("M", 1)]).add(fact("M", 1))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != FactMultiset([fact("M", 1)])

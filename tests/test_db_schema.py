@@ -1,0 +1,99 @@
+"""Unit tests for repro.db.schema."""
+
+import pytest
+
+from repro.db import DatabaseSchema, SchemaError, schema
+
+
+class TestConstruction:
+    def test_kwargs_constructor(self):
+        s = schema(S=2, T=1)
+        assert s["S"] == 2
+        assert s["T"] == 1
+
+    def test_empty_schema(self):
+        s = DatabaseSchema()
+        assert len(s) == 0
+        assert list(s) == []
+
+    def test_nullary_relation_allowed(self):
+        s = schema(Flag=0)
+        assert s["Flag"] == 0
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema({"S": -1})
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema({3: 2})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema({"": 2})
+
+
+class TestMappingInterface:
+    def test_iteration_is_sorted(self):
+        s = schema(Z=1, A=1, M=1)
+        assert list(s) == ["A", "M", "Z"]
+
+    def test_missing_relation_raises_schema_error(self):
+        with pytest.raises(SchemaError):
+            schema(S=1)["T"]
+
+    def test_contains(self):
+        s = schema(S=1)
+        assert "S" in s
+        assert "T" not in s
+
+    def test_relation_names(self):
+        assert schema(B=1, A=2).relation_names() == ("A", "B")
+
+
+class TestValueSemantics:
+    def test_equality(self):
+        assert schema(S=2, T=1) == schema(T=1, S=2)
+        assert schema(S=2) != schema(S=1)
+        assert schema(S=2) != schema(T=2)
+
+    def test_hashable(self):
+        assert hash(schema(S=2)) == hash(schema(S=2))
+        {schema(S=2): "usable as dict key"}
+
+
+class TestAlgebra:
+    def test_union(self):
+        merged = schema(S=2).union(schema(T=1), schema(U=0))
+        assert set(merged) == {"S", "T", "U"}
+
+    def test_union_same_relation_same_arity_ok(self):
+        merged = schema(S=2).union(schema(S=2, T=1))
+        assert merged["S"] == 2
+
+    def test_union_conflicting_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            schema(S=2).union(schema(S=3))
+
+    def test_restrict(self):
+        s = schema(S=2, T=1, U=0).restrict(["S", "U"])
+        assert set(s) == {"S", "U"}
+
+    def test_restrict_absent_rejected(self):
+        with pytest.raises(SchemaError):
+            schema(S=2).restrict(["T"])
+
+    def test_disjoint_from(self):
+        assert schema(S=2).disjoint_from(schema(T=2))
+        assert not schema(S=2).disjoint_from(schema(S=2))
+        assert schema(S=2).disjoint_from(schema(T=1), schema(U=1))
+        assert not schema(S=2).disjoint_from(schema(T=1), schema(S=1))
+
+    def test_rename(self):
+        s = schema(S=2, T=1).rename({"S": "R"})
+        assert set(s) == {"R", "T"}
+        assert s["R"] == 2
+
+    def test_rename_collision_rejected(self):
+        with pytest.raises(SchemaError):
+            schema(S=2, T=2).rename({"S": "T"})

@@ -1,0 +1,97 @@
+"""Unit tests for repro.db.values: permutations and the dom universe."""
+
+import pytest
+
+from repro.db.values import Permutation, fresh_values, is_atomic
+
+
+class TestIsAtomic:
+    def test_strings_and_ints_are_atomic(self):
+        assert is_atomic("a")
+        assert is_atomic(7)
+        assert is_atomic(None)
+
+    def test_tuples_are_not_atomic(self):
+        assert not is_atomic((1, 2))
+        assert not is_atomic(())
+
+    def test_unhashable_is_not_atomic(self):
+        assert not is_atomic([1, 2])
+        assert not is_atomic({"a": 1})
+
+
+class TestPermutation:
+    def test_identity_outside_support(self):
+        h = Permutation.swap("a", "b")
+        assert h("a") == "b"
+        assert h("b") == "a"
+        assert h("c") == "c"
+
+    def test_swap_same_element_is_identity(self):
+        h = Permutation.swap("a", "a")
+        assert h("a") == "a"
+        assert h.support == frozenset()
+
+    def test_cycle(self):
+        h = Permutation.cycle([1, 2, 3])
+        assert h(1) == 2
+        assert h(2) == 3
+        assert h(3) == 1
+        assert h(4) == 4
+
+    def test_cycle_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Permutation.cycle([1, 1, 2])
+
+    def test_non_injective_rejected(self):
+        with pytest.raises(ValueError):
+            Permutation({"a": "c", "b": "c"})
+
+    def test_non_permutation_mapping_rejected(self):
+        # {a -> b} alone does not permute its support
+        with pytest.raises(ValueError):
+            Permutation({"a": "b"})
+
+    def test_inverse(self):
+        h = Permutation.cycle([1, 2, 3])
+        inv = h.inverse()
+        for x in (1, 2, 3, 99):
+            assert inv(h(x)) == x
+
+    def test_compose(self):
+        h = Permutation.swap("a", "b")
+        g = Permutation.swap("b", "c")
+        hg = h.compose(g)  # apply g first
+        assert hg("b") == "c"
+        # g: a->a then h: a->b
+        assert hg("a") == "b"
+
+    def test_apply_tuple(self):
+        h = Permutation.swap(1, 2)
+        assert h.apply_tuple((1, 2, 3)) == (2, 1, 3)
+
+    def test_equality_ignores_identity_entries(self):
+        h1 = Permutation({"a": "b", "b": "a", "c": "c"})
+        h2 = Permutation.swap("a", "b")
+        assert h1 == h2
+        assert hash(h1) == hash(h2)
+
+    def test_support(self):
+        h = Permutation({"a": "b", "b": "a", "c": "c"})
+        assert h.support == frozenset({"a", "b"})
+
+
+class TestFreshValues:
+    def test_avoids_taken(self):
+        gen = fresh_values({"fresh_0", "fresh_2"})
+        got = [next(gen) for _ in range(3)]
+        assert got == ["fresh_1", "fresh_3", "fresh_4"]
+
+    def test_never_repeats(self):
+        gen = fresh_values([])
+        seen = {next(gen) for _ in range(100)}
+        assert len(seen) == 100
+
+    def test_custom_prefix(self):
+        gen = fresh_values([], prefix="node")
+        assert next(gen).startswith("node")

@@ -1,0 +1,228 @@
+"""Dedalus parsing, validation, and interpreter semantics."""
+
+import pytest
+
+from repro.db import Instance, fact, instance, schema
+from repro.dedalus import (
+    DedalusInterpreter,
+    DedalusProgram,
+    RuleKind,
+    parse_dedalus_rule,
+    parse_dedalus_rules,
+    run_program,
+    temporal_input,
+)
+from repro.lang.datalog import DatalogError
+from repro.lang.parser import ParseError
+
+
+class TestParsing:
+    def test_deductive_default(self):
+        r = parse_dedalus_rule("B(x) :- A(x).")
+        assert r.kind is RuleKind.DEDUCTIVE
+
+    def test_inductive_tag(self):
+        r = parse_dedalus_rule("B(x) @next :- A(x).")
+        assert r.kind is RuleKind.INDUCTIVE
+
+    def test_async_tag(self):
+        r = parse_dedalus_rule("B(x) @async :- A(x).")
+        assert r.kind is RuleKind.ASYNC
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ParseError):
+            parse_dedalus_rule("B(x) @later :- A(x).")
+
+    def test_now_detection(self):
+        r = parse_dedalus_rule("Stamp(x, now) @next :- A(x).")
+        assert r.uses_now()
+        assert r.is_entangled()
+        plain = parse_dedalus_rule("B(x) @next :- A(x).")
+        assert not plain.uses_now()
+
+    def test_evaluation_rule_binds_now(self):
+        r = parse_dedalus_rule("Stamp(x, now) @next :- A(x).")
+        ev = r.evaluation_rule()
+        assert any(
+            getattr(lit.atom, "relation", None) == "Now" for lit in ev.body
+        )
+
+
+class TestProgramValidation:
+    def test_edb_head_rejected(self):
+        with pytest.raises(DatalogError):
+            DedalusProgram.parse("A(x) :- A(x).", schema(A=1))
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(DatalogError):
+            DedalusProgram.parse("B(x) :- C(x).", schema(A=1))
+
+    def test_unstratifiable_deductive_core_rejected(self):
+        text = """
+        P(x) :- A(x), not Q(x).
+        Q(x) :- A(x), not P(x).
+        """
+        with pytest.raises(Exception):
+            DedalusProgram.parse(text, schema(A=1))
+
+    def test_negation_fine_across_timesteps(self):
+        # inductive rules may negate deductive output freely
+        DedalusProgram.parse(
+            """
+            P(x) :- A(x).
+            Q(x) @next :- A(x), not P(x).
+            """,
+            schema(A=1),
+        )
+
+    def test_extra_idb_declares_empty_relations(self):
+        p = DedalusProgram.parse(
+            "B(x) :- A(x), not Ghost(x).", schema(A=1), extra_idb={"Ghost": 1}
+        )
+        assert "Ghost" in p.idb_schema
+
+    def test_entanglement_flag(self):
+        p = DedalusProgram.parse(
+            "Stamp(x, now) @next :- A(x).", schema(A=1)
+        )
+        assert p.is_entangled()
+
+
+class TestInterpreter:
+    def test_deductive_closure_within_step(self):
+        p = DedalusProgram.parse(
+            """
+            R(x, y) :- E(x, y).
+            R(x, z) :- R(x, y), E(y, z).
+            """,
+            schema(E=2),
+        )
+        I = instance(schema(E=2), E=[(1, 2), (2, 3)])
+        trace = run_program(p, I)
+        assert trace.stable
+        # E arrives only at t=0 and nothing persists it, so the closure
+        # holds exactly at t=0 and evaporates afterwards.
+        assert trace.states[0].relation("R") == frozenset(
+            {(1, 2), (2, 3), (1, 3)}
+        )
+        assert trace.final().relation("R") == frozenset()
+
+    def test_inductive_persistence(self):
+        p = DedalusProgram.parse(
+            """
+            Seen(x) :- A(x).
+            Seen(x) @next :- Seen(x).
+            """,
+            schema(A=1),
+        )
+        I = instance(schema(A=1), A=[(1,)])
+        trace = run_program(p, I)
+        assert trace.stable
+        # A arrives only at t=0, but Seen persists forever
+        assert trace.final().relation("Seen") == frozenset({(1,)})
+
+    def test_without_persistence_facts_evaporate(self):
+        p = DedalusProgram.parse("Seen(x) :- A(x).", schema(A=1))
+        I = instance(schema(A=1), A=[(1,)])
+        trace = run_program(p, I)
+        assert trace.stable
+        assert trace.final().relation("Seen") == frozenset()
+
+    def test_staggered_arrivals(self):
+        p = DedalusProgram.parse(
+            """
+            Seen(x) :- A(x).
+            Seen(x) @next :- Seen(x).
+            Pair(x, y) :- Seen(x), Seen(y), x != y.
+            """,
+            schema(A=1),
+        )
+        I = instance(schema(A=1), A=[(1,), (2,)])
+        arrivals = {fact("A", 1): 0, fact("A", 2): 5}
+        trace = run_program(p, temporal_input(I, arrivals))
+        assert trace.first_time("Pair") == 5
+        assert trace.stable
+
+    def test_now_binding(self):
+        p = DedalusProgram.parse(
+            """
+            Stamp(x, now) :- A(x).
+            Keep(x, t) @next :- Stamp(x, t).
+            Keep(x, t) @next :- Keep(x, t).
+            """,
+            schema(A=1),
+        )
+        I = instance(schema(A=1), A=[(1,)])
+        arrivals = {fact("A", 1): 3}
+        trace = run_program(p, temporal_input(I, arrivals))
+        assert trace.stable
+        assert (1, 3) in trace.final().relation("Keep")
+
+    def test_async_eventually_arrives(self):
+        p = DedalusProgram.parse(
+            """
+            Queue(x) :- A(x).
+            Arrived(x) @async :- Queue(x).
+            Done(x) :- Arrived(x).
+            Done(x) @next :- Done(x).
+            """,
+            schema(A=1),
+        )
+        I = instance(schema(A=1), A=[(1,)])
+        trace = run_program(p, I, seed=7)
+        assert trace.stable
+        assert trace.final().relation("Done") == frozenset({(1,)})
+
+    def test_async_seed_determinism(self):
+        p = DedalusProgram.parse(
+            """
+            Queue(x) :- A(x).
+            Queue(x) @next :- Queue(x).
+            Arrived(x) @async :- Queue(x).
+            """,
+            schema(A=1),
+        )
+        I = instance(schema(A=1), A=[(1,)])
+        a = run_program(p, I, seed=3, max_steps=30)
+        b = run_program(p, I, seed=3, max_steps=30)
+        assert a.steps == b.steps
+        for t in a.states:
+            assert a.states[t] == b.states[t]
+
+    def test_nonstable_program_reported(self):
+        # a one-element counter never stabilizes (flips forever)
+        p = DedalusProgram.parse(
+            """
+            On() @next :- A(x), not On().
+            """,
+            schema(A=1),
+        )
+        # A must keep existing for the toggle: persist it
+        p = DedalusProgram.parse(
+            """
+            A_p(x) :- A(x).
+            A_p(x) @next :- A_p(x).
+            On() @next :- A_p(x), not On().
+            """,
+            schema(A=1),
+        )
+        I = instance(schema(A=1), A=[(1,)])
+        trace = run_program(p, I, max_steps=50)
+        assert not trace.stable
+        assert trace.steps == 50
+
+    def test_persisted_edb_helper(self):
+        p = DedalusProgram.parse("Out(x) :- A_p(x).", schema(A=1),
+                                 extra_idb={"A_p": 1})
+        # build via the helper instead
+        base = DedalusProgram.parse("Out(x) :- A_p(x).", schema(A=1),
+                                    extra_idb={"A_p": 1})
+        del p, base
+        q = DedalusProgram.parse("Out(x) :- A(x).", schema(A=1)).persisted_edb()
+        assert "A_p" in q.idb_schema
+
+    def test_edb_fact_outside_schema_rejected(self):
+        p = DedalusProgram.parse("B(x) :- A(x).", schema(A=1))
+        bad = instance(schema(C=1), C=[(1,)])
+        with pytest.raises(ValueError):
+            DedalusInterpreter(p).run(bad)

@@ -1,0 +1,198 @@
+"""Turing machines, word structures, and the Theorem 18 compiler."""
+
+import pytest
+
+from repro.db import fact
+from repro.dedalus import (
+    BLANK,
+    SPURIOUS_VARIANTS,
+    TuringMachine,
+    accepts,
+    compile_tm,
+    letter_relation,
+    run_program,
+    temporal_input,
+    tm_anbn,
+    tm_counter,
+    tm_ends_with_b,
+    tm_even_length,
+    with_double_label,
+    word_schema,
+    word_structure,
+)
+
+
+class TestTuringMachines:
+    def test_even_length(self):
+        tm = tm_even_length()
+        assert tm.run("ab").accepted
+        assert not tm.run("aba").accepted
+        assert tm.run("abab").accepted
+
+    def test_anbn(self):
+        tm = tm_anbn()
+        for word, expect in [("ab", True), ("aabb", True), ("aaabbb", True),
+                             ("aab", False), ("ba", False), ("abab", False)]:
+            assert tm.run(word).accepted is expect, word
+
+    def test_ends_with_b_uses_extension(self):
+        tm = tm_ends_with_b()
+        assert tm.run("ab").accepted
+        assert not tm.run("aa").accepted
+
+    def test_counter_exponential_steps(self):
+        tm = tm_counter()
+        steps = [tm.run("m" + "z" * n).steps for n in (1, 2, 3, 4, 5)]
+        # each extra zero roughly doubles the work
+        for a, b in zip(steps, steps[1:]):
+            assert b > 1.7 * a
+
+    def test_accept_state_must_halt(self):
+        with pytest.raises(ValueError):
+            TuringMachine(
+                states={"q", "yes"},
+                input_alphabet={"a"},
+                delta={("yes", "a"): ("q", "a", "S")},
+                start="q",
+                accept={"yes"},
+            )
+
+    def test_blank_not_an_input_letter(self):
+        with pytest.raises(ValueError):
+            TuringMachine(
+                states={"q"},
+                input_alphabet={BLANK},
+                delta={},
+                start="q",
+                accept=set(),
+            )
+
+    def test_step_budget(self):
+        # a looping machine reports None
+        loop = TuringMachine(
+            states={"q"},
+            input_alphabet={"a"},
+            delta={("q", "a"): ("q", "a", "S")},
+            start="q",
+            accept=set(),
+        )
+        assert loop.run("aa", max_steps=50).accepted is None
+
+
+class TestWordStructures:
+    def test_shape(self):
+        I = word_structure("ab")
+        assert fact("Begin", 1) in I
+        assert fact("End", 2) in I
+        assert fact("Tape", 1, 2) in I
+        assert fact("a", 1) in I
+        assert fact("b", 2) in I
+
+    def test_length_one_rejected(self):
+        with pytest.raises(ValueError):
+            word_structure("a")
+
+    def test_letter_relation_escaping(self):
+        assert letter_relation("a") == "a"
+        assert letter_relation("0") != "0"
+        assert letter_relation("0").isidentifier()
+
+    def test_schema_includes_all_letters(self):
+        sch = word_schema({"a", "b"})
+        assert set(sch) == {"Tape", "Begin", "End", "a", "b"}
+
+    def test_spurious_variants_strict_supersets(self):
+        base = word_structure("ab")
+        for name, fn in SPURIOUS_VARIANTS.items():
+            bigger = fn(base)
+            assert base.issubset(bigger), name
+            assert len(bigger) > len(base), name
+
+
+class TestTheorem18:
+    @pytest.mark.parametrize("make_tm,words", [
+        (tm_even_length, ["ab", "aba", "abab"]),
+        (tm_ends_with_b, ["ab", "ba", "aa", "abb"]),
+        (tm_anbn, ["ab", "aabb", "aab"]),
+    ])
+    def test_simulation_matches_direct_runner(self, make_tm, words):
+        tm = make_tm()
+        for word in words:
+            direct = tm.run(word).accepted
+            got, trace = accepts(tm, word_structure(word, tm.input_alphabet),
+                                 max_steps=400)
+            assert got == direct, word
+            assert trace.stable
+
+    def test_acceptance_persists(self):
+        tm = tm_even_length()
+        got, trace = accepts(tm, word_structure("ab", tm.input_alphabet))
+        accept_from = trace.first_time("Accept")
+        assert accept_from is not None
+        for t in trace.states:
+            if t >= accept_from:
+                assert trace.states[t].relation("Accept")
+
+    def test_spurious_instances_accepted(self):
+        """Q_M's monotone escape: word-plus-junk is always accepted."""
+        tm = tm_even_length()
+        base = word_structure("aba", tm.input_alphabet)  # normally rejected
+        for name, fn in SPURIOUS_VARIANTS.items():
+            got, _ = accepts(tm, fn(base), max_steps=300)
+            assert got is True, name
+
+    def test_double_label_spurious(self):
+        tm = tm_even_length()
+        base = word_structure("aba", tm.input_alphabet)
+        got, _ = accepts(tm, with_double_label(base, tm.input_alphabet))
+        assert got is True
+
+    def test_no_word_structure_rejects(self):
+        tm = tm_even_length()
+        # junk that never completes a word structure
+        sch = word_schema(tm.input_alphabet)
+        from repro.db import Instance
+
+        junk = Instance(sch, [fact("a", 1), fact("Tape", 1, 2)])
+        got, trace = accepts(tm, junk, max_steps=100)
+        assert got is False
+        assert trace.stable
+
+    def test_staggered_arrival_still_correct(self):
+        tm = tm_even_length()
+        I = word_structure("abab", tm.input_alphabet)
+        arrivals = {f: i % 5 for i, f in enumerate(sorted(I.facts()))}
+        got, trace = accepts(tm, temporal_input(I, arrivals), max_steps=400)
+        assert got is True
+
+    def test_word_arriving_late_detected_late(self):
+        tm = tm_even_length()
+        I = word_structure("ab", tm.input_alphabet)
+        # the End fact arrives at t=10: Word cannot hold before that
+        arrivals = {fact("End", 2): 10}
+        program = compile_tm(tm)
+        trace = run_program(program, temporal_input(I, arrivals), max_steps=200)
+        assert trace.first_time("Word") == 10
+
+    def test_tape_extension_used(self):
+        """ends_with_b scans past End: TapeExt cells must appear."""
+        tm = tm_ends_with_b()
+        program = compile_tm(tm)
+        trace = run_program(
+            program, word_structure("ab", tm.input_alphabet), max_steps=300
+        )
+        assert any(
+            trace.states[t].relation("TapeExt") for t in trace.states
+        )
+
+    def test_counter_through_dedalus(self):
+        tm = tm_counter()
+        for n in (1, 2, 3):
+            word = "m" + "z" * n
+            direct = tm.run(word)
+            got, trace = accepts(
+                tm, word_structure(word, tm.input_alphabet), max_steps=800
+            )
+            assert got is True
+            # Dedalus stabilization tracks the TM's runtime (small offset)
+            assert trace.stabilized_at >= direct.steps

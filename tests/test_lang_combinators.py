@@ -1,0 +1,112 @@
+"""Query combinators used by the transducer↔language bridges."""
+
+import pytest
+
+from repro.db import instance, schema
+from repro.lang import FOQuery
+from repro.lang.combinators import (
+    ConstantQuery,
+    EmptinessQuery,
+    NonemptyQuery,
+    RelationQuery,
+    UnionQuery,
+    UpdateQuery,
+)
+
+
+@pytest.fixture
+def sch():
+    return schema(S=2, R=2, T=1)
+
+
+@pytest.fixture
+def inst(sch):
+    return instance(sch, S=[(1, 2)], R=[(1, 2), (3, 4)], T=[(5,)])
+
+
+class TestRelationQuery:
+    def test_reads_relation(self, sch, inst):
+        assert RelationQuery("R", sch)(inst) == frozenset({(1, 2), (3, 4)})
+
+    def test_absent_relation_is_empty(self, sch):
+        narrow = instance(schema(S=2), S=[(1, 2)])
+        assert RelationQuery("R", sch)(narrow) == frozenset()
+
+    def test_monotone(self, sch):
+        assert RelationQuery("R", sch).is_monotone_syntactic()
+
+
+class TestUnionQuery:
+    def test_union(self, sch, inst):
+        u = UnionQuery(RelationQuery("S", sch), RelationQuery("R", sch))
+        assert u(inst) == frozenset({(1, 2), (3, 4)})
+
+    def test_arity_mismatch_rejected(self, sch):
+        with pytest.raises(ValueError):
+            UnionQuery(RelationQuery("S", sch), RelationQuery("T", sch))
+
+    def test_empty_parts_rejected(self):
+        with pytest.raises(ValueError):
+            UnionQuery()
+
+    def test_monotone_iff_all_parts(self, sch):
+        mono = UnionQuery(RelationQuery("S", sch), RelationQuery("R", sch))
+        assert mono.is_monotone_syntactic()
+        neg = FOQuery.parse("S(x, y) & ~R(x, y)", "x, y", sch)
+        assert not UnionQuery(mono, neg).is_monotone_syntactic()
+
+
+class TestBooleanQueries:
+    def test_nonempty(self, sch, inst):
+        assert NonemptyQuery(RelationQuery("T", sch))(inst) == frozenset({()})
+
+    def test_nonempty_false(self, sch):
+        empty = instance(sch)
+        assert NonemptyQuery(RelationQuery("T", sch))(empty) == frozenset()
+
+    def test_emptiness(self, sch, inst):
+        assert EmptinessQuery(RelationQuery("T", sch))(inst) == frozenset()
+        empty = instance(sch)
+        assert EmptinessQuery(RelationQuery("T", sch))(empty) == frozenset({()})
+
+
+class TestUpdateQuery:
+    """Pin the paper's memory-update formula per tuple (8 cases)."""
+
+    @pytest.mark.parametrize(
+        "in_old, in_ins, in_del, expected",
+        [
+            (False, False, False, False),
+            (False, False, True, False),
+            (False, True, False, True),   # plain insert
+            (False, True, True, False),   # conflict, keep old status (absent)
+            (True, False, False, True),   # untouched persists
+            (True, False, True, False),   # plain delete
+            (True, True, False, True),
+            (True, True, True, True),     # conflict, keep old status (present)
+        ],
+    )
+    def test_truth_table(self, sch, in_old, in_ins, in_del, expected):
+        t = (1, 1)
+        old = frozenset([t]) if in_old else frozenset()
+        ins = frozenset([t]) if in_ins else frozenset()
+        dele = frozenset([t]) if in_del else frozenset()
+        base = instance(sch, R=list(old), S=list(ins), T=[])
+        q = UpdateQuery(
+            "R",
+            ConstantQuery(ins, 2, sch),
+            ConstantQuery(dele, 2, sch),
+            sch,
+        )
+        got = q(base)
+        assert (t in got) == expected
+
+
+class TestConstantQuery:
+    def test_fixed_output(self, sch, inst):
+        q = ConstantQuery(frozenset([(9, 9)]), 2, sch)
+        assert q(inst) == frozenset({(9, 9)})
+
+    def test_arity_checked(self, sch):
+        with pytest.raises(ValueError):
+            ConstantQuery(frozenset([(1,)]), 2, sch)

@@ -1,0 +1,183 @@
+"""Unit tests for the formula/rule parser."""
+
+import pytest
+
+from repro.lang import (
+    And,
+    Atom,
+    Const,
+    Eq,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    ParseError,
+    Var,
+    parse_formula,
+    parse_rule,
+    parse_rules,
+)
+from repro.lang.parser import parse_term
+
+
+class TestTerms:
+    def test_variable(self):
+        assert parse_term("x") == Var("x")
+
+    def test_integer_constant(self):
+        assert parse_term("42") == Const(42)
+
+    def test_negative_integer(self):
+        assert parse_term("-7") == Const(-7)
+
+    def test_single_quoted_string(self):
+        assert parse_term("'abc'") == Const("abc")
+
+    def test_double_quoted_string(self):
+        assert parse_term('"x y"') == Const("x y")
+
+    def test_keyword_as_term_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("exists")
+
+
+class TestFormulas:
+    def test_atom(self):
+        f = parse_formula("S(x, y)")
+        assert f == Atom("S", (Var("x"), Var("y")))
+
+    def test_nullary_atom(self):
+        assert parse_formula("Ready()") == Atom("Ready", ())
+
+    def test_atom_with_constants(self):
+        f = parse_formula("S(x, 'a', 3)")
+        assert f == Atom("S", (Var("x"), Const("a"), Const(3)))
+
+    def test_equality(self):
+        assert parse_formula("x = y") == Eq(Var("x"), Var("y"))
+
+    def test_inequality_sugars_to_not_eq(self):
+        assert parse_formula("x != y") == Not(Eq(Var("x"), Var("y")))
+
+    def test_negation_forms(self):
+        for text in ("~S(x)", "!S(x)", "not S(x)"):
+            assert parse_formula(text) == Not(Atom("S", (Var("x"),)))
+
+    def test_conjunction(self):
+        f = parse_formula("S(x) & T(x) and U(x)")
+        assert isinstance(f, And)
+        assert len(f.parts) == 3
+
+    def test_disjunction(self):
+        f = parse_formula("S(x) | T(x) or U(x)")
+        assert isinstance(f, Or)
+        assert len(f.parts) == 3
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        f = parse_formula("S(x) | T(x) & U(x)")
+        assert isinstance(f, Or)
+        assert isinstance(f.parts[1], And)
+
+    def test_implication_desugars(self):
+        f = parse_formula("S(x) -> T(x)")
+        assert f == Or((Not(Atom("S", (Var("x"),))), Atom("T", (Var("x"),))))
+
+    def test_exists(self):
+        f = parse_formula("exists y: S(x, y)")
+        assert isinstance(f, Exists)
+        assert f.variables == (Var("y"),)
+        assert f.free_vars() == frozenset({Var("x")})
+
+    def test_exists_multiple_vars(self):
+        f = parse_formula("exists y, z: S(y, z)")
+        assert f.variables == (Var("y"), Var("z"))
+
+    def test_forall(self):
+        f = parse_formula("forall x: S(x) -> T(x)")
+        assert isinstance(f, Forall)
+        assert f.free_vars() == frozenset()
+
+    def test_quantifier_scope_extends_right(self):
+        f = parse_formula("exists y: S(x, y) & T(y)")
+        assert isinstance(f, Exists)
+        assert isinstance(f.body, And)
+
+    def test_parenthesized_quantifier_scope(self):
+        f = parse_formula("(exists y: S(x, y)) & T(x)")
+        assert isinstance(f, And)
+
+    def test_nested_quantifier(self):
+        f = parse_formula("forall x: exists y: S(x, y)")
+        assert isinstance(f, Forall)
+        assert isinstance(f.body, Exists)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_formula("S(x) S(y)")
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(ParseError):
+            parse_formula("S('abc)")
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError, match="line 1"):
+            parse_formula("S(x) &")
+
+
+class TestRules:
+    def test_simple_rule(self):
+        r = parse_rule("T(x, y) :- S(x, y).")
+        assert r.head == Atom("T", (Var("x"), Var("y")))
+        assert len(r.body) == 1
+
+    def test_arrow_synonym(self):
+        assert parse_rule("T(x) <- S(x).") == parse_rule("T(x) :- S(x).")
+
+    def test_fact_rule(self):
+        r = parse_rule("T('a', 'b').")
+        assert r.body == ()
+
+    def test_negated_literal(self):
+        r = parse_rule("T(x) :- S(x), not U(x).")
+        assert not r.body[1].positive
+
+    def test_inequality_literal(self):
+        r = parse_rule("T(x, y) :- S(x, y), x != y.")
+        lit = r.body[1]
+        assert not lit.positive
+        assert isinstance(lit.atom, Eq)
+
+    def test_program_with_comments(self):
+        rules = parse_rules(
+            """
+            % transitive closure
+            T(x, y) :- S(x, y).
+            # another comment
+            T(x, y) :- S(x, z), T(z, y).
+            """
+        )
+        assert len(rules) == 2
+
+    def test_missing_period_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("T(x) :- S(x)")
+
+
+class TestSafety:
+    def test_unsafe_head_variable_detected(self):
+        r = parse_rule("T(x, y) :- S(x).")
+        with pytest.raises(ValueError, match="unsafe"):
+            r.check_safe()
+
+    def test_unsafe_negative_literal_detected(self):
+        r = parse_rule("T(x) :- S(x), not U(y).")
+        with pytest.raises(ValueError, match="unsafe"):
+            r.check_safe()
+
+    def test_equality_propagates_safety(self):
+        r = parse_rule("T(x, y) :- S(x), y = x.")
+        r.check_safe()
+
+    def test_constant_equality_propagates_safety(self):
+        r = parse_rule("T(x, y) :- S(x), y = 'c'.")
+        r.check_safe()

@@ -1,0 +1,122 @@
+"""The while language: assignments, loops, partiality."""
+
+import pytest
+
+from repro.db import DatabaseSchema, Instance, instance, schema
+from repro.lang import (
+    Assign,
+    FOQuery,
+    UCQQuery,
+    While,
+    WhileChange,
+    WhileProgram,
+    WhileProgramDiverged,
+    WhileQuery,
+)
+from repro.lang.combinators import NonemptyQuery, RelationQuery
+
+
+@pytest.fixture
+def s2():
+    return schema(S=2)
+
+
+def tc_program(s2):
+    """Transitive closure via while-change."""
+    work = DatabaseSchema({"T": 2})
+    full = s2.union(work)
+    step = UCQQuery.parse(
+        """
+        T2(x, y) :- S(x, y).
+        T2(x, y) :- T(x, z), S(z, y).
+        """,
+        full,
+    )
+    return WhileProgram(s2, work, (WhileChange((Assign("T", step),)),), "T")
+
+
+class TestBasics:
+    def test_straight_line_assignment(self, s2):
+        work = DatabaseSchema({"R": 2})
+        q = FOQuery.parse("S(y, x)", "x, y", s2.union(work))
+        prog = WhileProgram(s2, work, (Assign("R", q),), "R")
+        inst = instance(s2, S=[(1, 2)])
+        assert WhileQuery(prog)(inst) == frozenset({(2, 1)})
+
+    def test_assignment_replaces_wholesale(self, s2):
+        work = DatabaseSchema({"R": 2})
+        full = s2.union(work)
+        q1 = FOQuery.parse("S(x, y)", "x, y", full)
+        q2 = FOQuery.parse("S(y, x)", "x, y", full)
+        prog = WhileProgram(
+            s2, work, (Assign("R", q1), Assign("R", q2)), "R"
+        )
+        inst = instance(s2, S=[(1, 2)])
+        assert WhileQuery(prog)(inst) == frozenset({(2, 1)})
+
+    def test_while_change_transitive_closure(self, s2):
+        prog = tc_program(s2)
+        inst = instance(s2, S=[(1, 2), (2, 3), (3, 4)])
+        got = WhileQuery(prog)(inst)
+        assert got == frozenset(
+            {(i, j) for i in range(1, 5) for j in range(i + 1, 5)}
+        )
+
+    def test_while_condition_loop(self, s2):
+        # drain: remove self-loops one condition check at a time — here
+        # simply: while S has a self-loop, set R to self-loops.
+        work = DatabaseSchema({"R": 2})
+        full = s2.union(work)
+        cond = NonemptyQuery(FOQuery.parse("S(x, x) & ~R(x, x)", "x", full))
+        body = (Assign("R", FOQuery.parse("S(x, y) & x = y", "x, y", full)),)
+        prog = WhileProgram(s2, work, (While(cond, body),), "R")
+        inst = instance(s2, S=[(1, 1), (1, 2)])
+        assert WhileQuery(prog)(inst) == frozenset({(1, 1)})
+
+    def test_empty_input(self, s2):
+        prog = tc_program(s2)
+        assert WhileQuery(prog)(Instance.empty(s2)) == frozenset()
+
+
+class TestValidation:
+    def test_work_shadowing_input_rejected(self, s2):
+        with pytest.raises(Exception):
+            WhileProgram(s2, DatabaseSchema({"S": 2}), (), "S")
+
+    def test_assign_to_input_rejected(self, s2):
+        work = DatabaseSchema({"R": 2})
+        q = FOQuery.parse("S(x, y)", "x, y", s2.union(work))
+        with pytest.raises(Exception):
+            WhileProgram(s2, work, (Assign("S", q),), "R")
+
+    def test_arity_mismatch_rejected(self, s2):
+        work = DatabaseSchema({"R": 1})
+        q = FOQuery.parse("S(x, y)", "x, y", s2.union(work))
+        with pytest.raises(Exception):
+            WhileProgram(s2, work, (Assign("R", q),), "R")
+
+    def test_unknown_output_rejected(self, s2):
+        with pytest.raises(Exception):
+            WhileProgram(s2, DatabaseSchema({"R": 2}), (), "Q")
+
+
+class TestPartiality:
+    def test_divergence_raises_undefined(self, s2):
+        # while S nonempty: R := R (nothing changes -> infinite loop)
+        work = DatabaseSchema({"R": 2})
+        full = s2.union(work)
+        cond = NonemptyQuery(FOQuery.parse("S(x, y)", "x, y", full))
+        body = (Assign("R", RelationQuery("R", full)),)
+        prog = WhileProgram(s2, work, (While(cond, body),), "R", max_steps=500)
+        inst = instance(s2, S=[(1, 2)])
+        with pytest.raises(WhileProgramDiverged):
+            WhileQuery(prog)(inst)
+
+    def test_divergence_depends_on_input(self, s2):
+        work = DatabaseSchema({"R": 2})
+        full = s2.union(work)
+        cond = NonemptyQuery(FOQuery.parse("S(x, y)", "x, y", full))
+        body = (Assign("R", RelationQuery("R", full)),)
+        prog = WhileProgram(s2, work, (While(cond, body),), "R", max_steps=500)
+        # defined (immediately) on the empty instance
+        assert WhileQuery(prog)(Instance.empty(s2)) == frozenset()

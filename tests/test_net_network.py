@@ -1,0 +1,121 @@
+"""Networks: construction, topologies, connectivity (Section 3)."""
+
+import pytest
+
+from repro.net import (
+    Network,
+    NetworkError,
+    clique,
+    grid,
+    line,
+    r4_ring,
+    r4_with_chord,
+    random_connected,
+    ring,
+    single,
+    standard_topologies,
+    star,
+)
+
+
+class TestConstruction:
+    def test_connectivity_required(self):
+        with pytest.raises(NetworkError):
+            Network(["a", "b", "c"], [("a", "b")])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(NetworkError):
+            Network(["a"], [("a", "a")])
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(NetworkError):
+            Network(["a"], [("a", "b")])
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(NetworkError):
+            Network([], [])
+
+    def test_undirected(self):
+        net = Network(["a", "b"], [("a", "b")])
+        assert net.neighbors("a") == frozenset({"b"})
+        assert net.neighbors("b") == frozenset({"a"})
+
+    def test_immutable(self):
+        net = single()
+        with pytest.raises(AttributeError):
+            net.name = "other"
+
+    def test_neighbors_of_unknown_node(self):
+        with pytest.raises(NetworkError):
+            single().neighbors("ghost")
+
+
+class TestTopologies:
+    def test_single(self):
+        net = single()
+        assert len(net) == 1
+        assert net.edges == frozenset()
+
+    def test_line(self):
+        net = line(4)
+        assert len(net) == 4
+        assert len(net.edges) == 3
+        ends = [v for v in net.nodes if len(net.neighbors(v)) == 1]
+        assert len(ends) == 2
+
+    def test_line_of_one(self):
+        assert len(line(1)) == 1
+
+    def test_ring(self):
+        net = ring(5)
+        assert len(net.edges) == 5
+        assert all(len(net.neighbors(v)) == 2 for v in net.nodes)
+
+    def test_ring_minimum_three(self):
+        with pytest.raises(NetworkError):
+            ring(2)
+
+    def test_star(self):
+        net = star(5)
+        assert len(net.edges) == 4
+        hub = [v for v in net.nodes if len(net.neighbors(v)) == 4]
+        assert len(hub) == 1
+
+    def test_clique(self):
+        net = clique(4)
+        assert len(net.edges) == 6
+        assert all(len(net.neighbors(v)) == 3 for v in net.nodes)
+
+    def test_grid(self):
+        net = grid(2, 3)
+        assert len(net) == 6
+        assert len(net.edges) == 7  # 2*2 horizontal + 3 vertical
+
+    def test_random_connected_is_connected_and_reproducible(self):
+        a = random_connected(8, 0.2, seed=5)
+        b = random_connected(8, 0.2, seed=5)
+        assert a == b
+        assert len(a) == 8  # construction validates connectivity
+
+    def test_r4_and_chord(self):
+        r4 = r4_ring()
+        assert len(r4.edges) == 4
+        chord = r4_with_chord()
+        assert len(chord.edges) == 5
+        assert frozenset(("v2", "v4")) in chord.edges
+
+    def test_standard_topologies_capped(self):
+        nets = standard_topologies(3)
+        assert all(len(net) <= 3 for net in nets)
+        assert any(len(net) == 1 for net in nets)
+
+
+class TestValueSemantics:
+    def test_equality_ignores_name(self):
+        a = Network(["x", "y"], [("x", "y")], name="one")
+        b = Network(["x", "y"], [("x", "y")], name="two")
+        assert a == b
+
+    def test_sorted_nodes_deterministic(self):
+        net = Network(["b", "a", "c"], [("a", "b"), ("b", "c")])
+        assert net.sorted_nodes() == sorted(net.sorted_nodes())

@@ -1,0 +1,116 @@
+"""Horizontal partitions (Section 4)."""
+
+import pytest
+
+from repro.db import Instance, instance, schema
+from repro.net import (
+    HorizontalPartition,
+    all_at_one,
+    enumerate_partitions,
+    full_replication,
+    line,
+    random_partition,
+    round_robin,
+    sample_partitions,
+    single,
+)
+
+
+@pytest.fixture
+def s1():
+    return schema(S=1)
+
+
+@pytest.fixture
+def I(s1):
+    return instance(s1, S=[(1,), (2,), (3,)])
+
+
+@pytest.fixture
+def net():
+    return line(3)
+
+
+class TestValidity:
+    def test_fragments_must_cover(self, s1, I, net):
+        empty = Instance.empty(s1)
+        with pytest.raises(ValueError, match="cover"):
+            HorizontalPartition(I, {v: empty for v in net.nodes})
+
+    def test_fragments_must_be_subsets(self, s1, I, net):
+        alien = instance(s1, S=[(9,)])
+        frags = {v: I for v in net.nodes}
+        frags[net.sorted_nodes()[0]] = alien
+        with pytest.raises(ValueError, match="subset"):
+            HorizontalPartition(I, frags)
+
+    def test_overlap_allowed(self, s1, I, net):
+        # horizontal partitions may replicate facts
+        HorizontalPartition(I, {v: I for v in net.nodes})
+
+
+class TestNamedPartitions:
+    def test_full_replication(self, I, net):
+        p = full_replication(I, net)
+        for v in net.nodes:
+            assert p.fragment(v) == I
+
+    def test_all_at_one(self, I, net):
+        p = all_at_one(I, net)
+        sizes = sorted(len(p.fragment(v)) for v in net.nodes)
+        assert sizes == [0, 0, 3]
+
+    def test_all_at_one_specific_node(self, I, net):
+        target = net.sorted_nodes()[-1]
+        p = all_at_one(I, net, target)
+        assert len(p.fragment(target)) == 3
+
+    def test_round_robin_disjoint_and_covering(self, I, net):
+        p = round_robin(I, net)
+        union = set()
+        total = 0
+        for v in net.nodes:
+            frag = p.fragment(v).facts()
+            total += len(frag)
+            union |= frag
+        assert union == I.facts()
+        assert total == len(I)  # disjoint
+
+    def test_random_partition_reproducible(self, I, net):
+        a = random_partition(I, net, seed=4, replication=0.5)
+        b = random_partition(I, net, seed=4, replication=0.5)
+        for v in net.nodes:
+            assert a.fragment(v) == b.fragment(v)
+
+    def test_sample_partitions_all_valid(self, I, net):
+        for p in sample_partitions(I, net, 8):
+            assert p.nodes == net.nodes
+
+
+class TestEnumeration:
+    def test_count_on_tiny_case(self, s1):
+        I = instance(s1, S=[(1,)])
+        net = line(2)
+        # one fact, 2 nodes: nonempty subsets of nodes = 3
+        assert sum(1 for _ in enumerate_partitions(I, net)) == 3
+
+    def test_count_two_facts(self, s1):
+        I = instance(s1, S=[(1,), (2,)])
+        net = line(2)
+        assert sum(1 for _ in enumerate_partitions(I, net)) == 9
+
+    def test_max_count_caps(self, s1):
+        I = instance(s1, S=[(1,), (2,)])
+        net = line(2)
+        assert sum(1 for _ in enumerate_partitions(I, net, max_count=4)) == 4
+
+    def test_empty_instance_single_partition(self, s1, net):
+        I = Instance.empty(s1)
+        parts = list(enumerate_partitions(I, net))
+        assert len(parts) == 1
+
+    def test_enumerated_partitions_are_valid(self, s1):
+        I = instance(s1, S=[(1,), (2,)])
+        net = single()
+        for p in enumerate_partitions(I, net):
+            assert p.fragment("n1") == I

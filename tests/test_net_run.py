@@ -1,0 +1,181 @@
+"""Global transitions, runs, convergence detection."""
+
+import pytest
+
+from repro.core import build_transducer, transitive_closure_transducer
+from repro.db import FactMultiset, Instance, fact, instance, schema
+from repro.net import (
+    deliver,
+    full_replication,
+    general_transition,
+    heartbeat,
+    initial_configuration,
+    is_converged,
+    line,
+    ring,
+    round_robin,
+    run_fair,
+    run_fifo_rounds,
+    run_heartbeat_only,
+    single,
+)
+
+
+@pytest.fixture
+def flood():
+    """A minimal flooding transducer on a unary input."""
+    return build_transducer(
+        inputs={"S": 1},
+        messages={"M": 1},
+        memory={"R": 1},
+        output_arity=1,
+        rules="""
+            send M(x)   :- S(x).
+            send M(x)   :- M(x).
+            insert R(x) :- M(x).
+            out(x)      :- R(x).
+        """,
+        name="flood1",
+    )
+
+
+@pytest.fixture
+def I1():
+    return instance(schema(S=1), S=[(1,), (2,)])
+
+
+class TestGlobalTransitions:
+    def test_heartbeat_sends_to_neighbors_only(self, flood, I1):
+        net = line(3)
+        config = initial_configuration(net, flood, all_at_one_first(I1, net))
+        t = heartbeat(net, flood, config, "n1")
+        assert len(t.after.buffer("n2")) == 2  # both facts
+        assert len(t.after.buffer("n3")) == 0  # not a neighbor of n1
+
+    def test_delivery_removes_one_occurrence(self, flood, I1):
+        net = line(2)
+        config = initial_configuration(net, flood, all_at_one_first(I1, net))
+        config = heartbeat(net, flood, config, "n1").after
+        config = heartbeat(net, flood, config, "n1").after
+        assert config.buffer("n2").count(fact("M", 1)) == 2
+        t = deliver(net, flood, config, "n2", fact("M", 1))
+        assert t.after.buffer("n2").count(fact("M", 1)) == 1
+
+    def test_delivery_of_absent_fact_rejected(self, flood, I1):
+        net = line(2)
+        config = initial_configuration(net, flood, all_at_one_first(I1, net))
+        with pytest.raises(ValueError):
+            deliver(net, flood, config, "n2", fact("M", 1))
+
+    def test_general_transition_multi_fact(self, flood, I1):
+        net = line(2)
+        config = initial_configuration(net, flood, all_at_one_first(I1, net))
+        config = heartbeat(net, flood, config, "n1").after
+        both = (fact("M", 1), fact("M", 2))
+        t = general_transition(net, flood, config, "n2", both)
+        assert t.kind == "general"
+        assert t.after.state("n2").relation("R") == frozenset({(1,), (2,)})
+
+    def test_heartbeat_and_delivery_are_special_cases(self, flood, I1):
+        net = line(2)
+        config = initial_configuration(net, flood, all_at_one_first(I1, net))
+        hb = heartbeat(net, flood, config, "n1")
+        gen = general_transition(net, flood, config, "n1", ())
+        assert hb.after == gen.after
+
+
+def all_at_one_first(I, net):
+    from repro.net import all_at_one
+
+    return all_at_one(I, net, net.sorted_nodes()[0])
+
+
+class TestConvergence:
+    def test_initial_config_of_quiet_transducer_is_converged(self):
+        t = build_transducer(inputs={"S": 1}, output_arity=0)
+        net = line(2)
+        I = instance(schema(S=1), S=[(1,)])
+        config = initial_configuration(net, t, full_replication(I, net))
+        assert is_converged(net, t, config, frozenset())
+
+    def test_flooding_initially_not_converged(self, flood, I1):
+        net = line(2)
+        config = initial_configuration(net, flood, round_robin(I1, net))
+        assert not is_converged(net, flood, config, frozenset())
+
+    def test_run_fair_converges_and_is_reproducible(self, flood, I1):
+        net = ring(3)
+        p = round_robin(I1, net)
+        a = run_fair(net, flood, p, seed=42)
+        b = run_fair(net, flood, p, seed=42)
+        assert a.converged and b.converged
+        assert a.output == b.output
+        assert a.stats.steps == b.stats.steps
+
+    def test_output_equals_full_identity(self, flood, I1):
+        net = ring(3)
+        result = run_fair(net, flood, round_robin(I1, net), seed=0)
+        assert result.output == frozenset({(1,), (2,)})
+
+    def test_quiescence_step_bounded_by_steps(self, flood, I1):
+        net = line(2)
+        result = run_fair(net, flood, round_robin(I1, net), seed=0)
+        assert 0 <= result.quiescence_step <= result.stats.steps
+
+    def test_unconverging_transducer_hits_budget(self):
+        # a transducer that keeps toggling its memory forever
+        toggler = build_transducer(
+            inputs={"S": 1},
+            memory={"Flag": 0},
+            output_arity=0,
+            rules="""
+                insert Flag() :- S(x), not Flag().
+                delete Flag() :- Flag().
+            """,
+            name="toggler",
+        )
+        net = single()
+        I = instance(schema(S=1), S=[(1,)])
+        result = run_fair(net, toggler, full_replication(I, net),
+                          seed=0, max_steps=200)
+        assert not result.converged
+        assert result.stats.steps == 200
+
+
+class TestHeartbeatOnly:
+    def test_no_deliveries_happen(self, flood, I1):
+        net = line(2)
+        result = run_heartbeat_only(net, flood, round_robin(I1, net))
+        assert result.stats.deliveries == 0
+        assert result.converged  # state cycle detected
+
+    def test_buffers_accumulate_but_are_unread(self, flood, I1):
+        net = line(2)
+        result = run_heartbeat_only(net, flood, round_robin(I1, net),
+                                    max_rounds=5)
+        assert result.config.total_buffered() > 0
+
+    def test_output_from_local_data_only(self, I1):
+        local = transitive_closure_transducer()
+        I = instance(schema(S=2), S=[(1, 2), (2, 3)])
+        net = line(2)
+        result = run_heartbeat_only(net, local, full_replication(I, net))
+        assert result.output == frozenset({(1, 2), (2, 3), (1, 3)})
+
+
+class TestFifoRounds:
+    def test_matches_fair_run_output(self, flood, I1):
+        net = ring(4)
+        p = round_robin(I1, net)
+        fifo = run_fifo_rounds(net, flood, p)
+        fair = run_fair(net, flood, p, seed=0)
+        assert fifo.converged
+        assert fifo.output == fair.output
+
+    def test_skip_nodes_never_act(self, flood, I1):
+        net = ring(4)
+        p = round_robin(I1, net)
+        skipped = net.sorted_nodes()[2]
+        result = run_fifo_rounds(net, flood, p, skip_nodes=frozenset({skipped}))
+        state = result.config.state(skipped)
+        assert state.relation("R") == frozenset()  # never transitioned

@@ -1,0 +1,66 @@
+"""Genericity at the network level: renaming dom values permutes outputs.
+
+The paper's queries are generic; transducer networks should inherit
+this — running the same transducer on h(I) must produce h(Q(I)) —
+provided the permutation does not touch node identifiers (which live in
+dom too and are semantically significant via Id/All).
+"""
+
+import pytest
+
+from repro.core import (
+    emptiness_transducer,
+    transitive_closure_transducer,
+)
+from repro.db import Permutation, instance, schema
+from repro.net import computed_output, line, ring
+
+
+@pytest.fixture
+def perms():
+    return [
+        Permutation.swap(1, 2),
+        Permutation.cycle([1, 2, 3]),
+        Permutation({1: 7, 7: 1}),
+    ]
+
+
+class TestNetworkGenericity:
+    def test_tc_commutes_with_permutations(self, perms):
+        t = transitive_closure_transducer()
+        I = instance(schema(S=2), S=[(1, 2), (2, 3)])
+        net = line(2)
+        base = computed_output(net, t, I)
+        for h in perms:
+            permuted = computed_output(net, t, I.apply(h))
+            assert permuted == frozenset(h.apply_tuple(row) for row in base)
+
+    def test_boolean_query_invariant(self, perms):
+        t = emptiness_transducer()
+        I = instance(schema(S=1), S=[(1,)])
+        net = line(2)
+        base = computed_output(net, t, I)
+        for h in perms:
+            assert computed_output(net, t, I.apply(h)) == base
+
+    def test_node_names_do_not_leak_into_outputs(self):
+        """Outputs over adom(I) never contain node identifiers."""
+        t = transitive_closure_transducer()
+        I = instance(schema(S=2), S=[(1, 2), (2, 3)])
+        for net in (line(2), ring(3)):
+            out = computed_output(net, t, I)
+            adom = I.active_domain()
+            for row in out:
+                assert all(v in adom for v in row)
+
+    def test_output_independent_of_node_naming(self):
+        """Renaming the *network nodes* must not change the query."""
+        from repro.net import Network, round_robin, run_fair
+
+        t = transitive_closure_transducer()
+        I = instance(schema(S=2), S=[(1, 2), (2, 3)])
+        net_a = Network(["n1", "n2"], [("n1", "n2")])
+        net_b = Network(["alpha", "beta"], [("alpha", "beta")])
+        out_a = run_fair(net_a, t, round_robin(I, net_a), seed=0).output
+        out_b = run_fair(net_b, t, round_robin(I, net_b), seed=0).output
+        assert out_a == out_b
