@@ -144,6 +144,14 @@ class Transducer:
             "output",
         )
         self.name = name or "transducer"
+        # Transitions are pure functions of (state, received); the runtime
+        # replays the same pairs constantly (convergence checks re-simulate
+        # every heartbeat and delivery), so memoize them.  Bounded with
+        # least-recently-used eviction.
+        self._transition_cache: dict[tuple[Instance, Instance], LocalTransition] = {}
+        self._transition_cache_limit = 16384
+        self._empty_received = Instance.empty(schema.messages)
+        self._received_by_fact: dict[Fact, Instance] = {}
 
     # -- query plumbing ------------------------------------------------------
 
@@ -201,7 +209,18 @@ class Transducer:
         :class:`~repro.lang.query.QueryUndefined` when some local query
         is undefined on I' — then no transition exists (Section 2.1:
         "every query of Π is defined on I'").
+
+        Results are memoized per ``(state, received)`` pair: the
+        transition is a deterministic pure function of its arguments,
+        and the runtime (especially the exact convergence test) replays
+        the same pairs many times.
         """
+        cache_key = (state, received)
+        cached = self._transition_cache.pop(cache_key, None)
+        if cached is not None:
+            # Re-insert to refresh recency (dicts keep insertion order).
+            self._transition_cache[cache_key] = cached
+            return cached
         for rel in received.schema:
             if rel not in self.schema.messages:
                 raise SchemaError(f"received non-message relation {rel!r}")
@@ -229,23 +248,33 @@ class Transducer:
             if updated != old:
                 new_state = new_state.set_relation(rel, updated)
 
-        return LocalTransition(
+        result = LocalTransition(
             state=state,
             received=received,
             new_state=new_state,
             sent=sent,
             output=output,
         )
+        if len(self._transition_cache) >= self._transition_cache_limit:
+            # LRU eviction: drop the stalest entry, not the whole cache.
+            self._transition_cache.pop(next(iter(self._transition_cache)))
+        self._transition_cache[cache_key] = result
+        return result
 
     def heartbeat(self, state: Instance) -> LocalTransition:
         """A transition reading no messages (the local half of a heartbeat)."""
-        return self.transition(state, Instance.empty(self.schema.messages))
+        return self.transition(state, self._empty_received)
 
     def deliver(self, state: Instance, fact: Fact) -> LocalTransition:
         """A transition reading the single message fact *fact*."""
-        received = Instance(
-            self.schema.messages.restrict([fact.relation]), (fact,)
-        ).expand_schema(self.schema.messages)
+        received = self._received_by_fact.get(fact)
+        if received is None:
+            received = Instance(
+                self.schema.messages.restrict([fact.relation]), (fact,)
+            ).expand_schema(self.schema.messages)
+            if len(self._received_by_fact) >= self._transition_cache_limit:
+                self._received_by_fact.pop(next(iter(self._received_by_fact)))
+            self._received_by_fact[fact] = received
         return self.transition(state, received)
 
     def __repr__(self) -> str:

@@ -8,15 +8,33 @@ Immutability is a deliberate choice for the distributed runtime: a
 configuration maps nodes to states, and transitions build new
 configurations; sharing unchanged instances between configurations is
 then free and safe.
+
+Storage layout
+--------------
+
+Internally an instance is *relation-partitioned*: a mapping from
+relation name to the frozenset of that relation's tuples (empty
+relations are not materialized).  This makes the hot accessors of the
+evaluation engine — :meth:`Instance.relation`,
+:meth:`Instance.relation_facts`, :meth:`Instance.is_empty`,
+:meth:`Instance.set_relation`, :meth:`Instance.restrict` — O(1) or
+O(|R|) in the touched relation instead of O(|I|) scans of the whole
+fact set.  The flat fact-set view (:meth:`facts`, iteration) and the
+active domain are derived lazily and cached; the external semantics
+(value equality, hashing, sorted iteration, schema validation) is
+unchanged.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Mapping
+from types import MappingProxyType
 
 from .fact import Fact
 from .schema import DatabaseSchema, SchemaError
-from .values import Permutation, Value
+from .values import Permutation, Value, is_atomic
+
+_EMPTY: frozenset = frozenset()
 
 
 class Instance:
@@ -26,13 +44,13 @@ class Instance:
     Iteration yields facts in sorted order for determinism.
     """
 
-    __slots__ = ("schema", "_facts", "_hash")
+    __slots__ = ("schema", "_rels", "_size", "_hash", "_facts", "_adom")
 
     schema: DatabaseSchema
 
     def __init__(self, schema: DatabaseSchema, facts: Iterable[Fact] = ()):
-        fact_set = frozenset(facts)
-        for f in fact_set:
+        rels: dict[str, set] = {}
+        for f in facts:
             if f.relation not in schema:
                 raise SchemaError(f"fact {f!r} uses relation outside schema {schema}")
             if f.arity != schema[f.relation]:
@@ -40,9 +58,18 @@ class Instance:
                     f"fact {f!r} has arity {f.arity}, schema says "
                     f"{schema[f.relation]}"
                 )
+            rels.setdefault(f.relation, set()).add(f.values)
+        frozen = {name: frozenset(rows) for name, rows in rels.items() if rows}
+        self._init(schema, frozen)
+
+    def _init(self, schema: DatabaseSchema, rels: dict[str, frozenset]) -> None:
+        """Install validated, non-empty-only partitioned storage."""
         object.__setattr__(self, "schema", schema)
-        object.__setattr__(self, "_facts", fact_set)
-        object.__setattr__(self, "_hash", hash((schema, fact_set)))
+        object.__setattr__(self, "_rels", rels)
+        object.__setattr__(self, "_size", sum(len(rows) for rows in rels.values()))
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_facts", None)
+        object.__setattr__(self, "_adom", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("Instance is immutable")
@@ -52,7 +79,7 @@ class Instance:
     @classmethod
     def empty(cls, schema: DatabaseSchema) -> "Instance":
         """The empty instance of *schema*."""
-        return cls(schema, ())
+        return cls._build(schema, {})
 
     @classmethod
     def from_dict(
@@ -61,84 +88,204 @@ class Instance:
         relations: Mapping[str, Iterable[Iterable[Value]]],
     ) -> "Instance":
         """Build from ``{"R": [(1, 2), (2, 3)], ...}`` style data."""
-        collected: list[Fact] = []
+        return cls.from_relations(schema, relations)
+
+    @classmethod
+    def from_relations(
+        cls,
+        schema: DatabaseSchema,
+        relations: Mapping[str, Iterable[Iterable[Value]]],
+    ) -> "Instance":
+        """Build from a relation-name → tuples mapping in one pass.
+
+        Each tuple is arity- and atomicity-checked against *schema*;
+        relations absent from the mapping are empty.
+        """
+        rels: dict[str, frozenset] = {}
         for name, tuples in relations.items():
+            arity = schema[name]  # raises SchemaError if absent
+            if isinstance(tuples, frozenset):
+                # Fast path for already-frozen extents (the fixpoint
+                # finalizers): validate in one pass, skip the rebuild.
+                # A non-tuple row (e.g. a raw string) falls back to the
+                # coercing slow path below.
+                all_tuples = True
+                for t in tuples:
+                    if not isinstance(t, tuple):
+                        all_tuples = False
+                        break
+                    if len(t) != arity:
+                        raise SchemaError(
+                            f"tuple {t!r} has arity {len(t)}, relation "
+                            f"{name} needs {arity}"
+                        )
+                    for v in t:
+                        if not is_atomic(v):
+                            raise ValueError(f"non-atomic value in fact: {v!r}")
+                if all_tuples:
+                    if tuples:
+                        rels[name] = tuples
+                    continue
+            rows = set()
             for t in tuples:
-                collected.append(Fact(name, tuple(t)))
-        return cls(schema, collected)
+                t = tuple(t)
+                if len(t) != arity:
+                    raise SchemaError(
+                        f"tuple {t!r} has arity {len(t)}, relation {name} "
+                        f"needs {arity}"
+                    )
+                for v in t:
+                    if not is_atomic(v):
+                        raise ValueError(f"non-atomic value in fact: {v!r}")
+                rows.add(t)
+            if rows:
+                rels[name] = frozenset(rows)
+        return cls._build(schema, rels)
+
+    @classmethod
+    def _build(cls, schema: DatabaseSchema, rels: dict[str, frozenset]) -> "Instance":
+        """Internal fast path: *rels* must already be validated against
+        *schema* and contain no empty extents."""
+        inst = object.__new__(cls)
+        inst._init(schema, rels)
+        return inst
 
     # -- set-of-facts interface ----------------------------------------------
 
     def facts(self) -> frozenset[Fact]:
-        """The underlying set of facts."""
+        """The underlying set of facts (materialized lazily, cached)."""
+        if self._facts is None:
+            built = frozenset(
+                Fact(name, row)
+                for name, rows in self._rels.items()
+                for row in rows
+            )
+            object.__setattr__(self, "_facts", built)
         return self._facts
 
     def __iter__(self) -> Iterator[Fact]:
-        return iter(sorted(self._facts))
+        return iter(sorted(self.facts()))
 
     def __len__(self) -> int:
-        return len(self._facts)
+        return self._size
 
     def __contains__(self, f: Fact) -> bool:
-        return f in self._facts
+        if not isinstance(f, Fact):
+            return False
+        return f.values in self._rels.get(f.relation, _EMPTY)
 
     def __bool__(self) -> bool:
-        return bool(self._facts)
+        return self._size > 0
 
     # -- relation views --------------------------------------------------------
 
     def relation(self, name: str) -> frozenset[tuple]:
         """The set of tuples of relation *name* (the relation's extent)."""
-        arity = self.schema[name]  # raises if absent
-        del arity
-        return frozenset(f.values for f in self._facts if f.relation == name)
+        if name not in self.schema:
+            raise SchemaError(f"relation {name!r} not in schema {self.schema}")
+        return self._rels.get(name, _EMPTY)
 
     def relation_facts(self, name: str) -> frozenset[Fact]:
         """The facts of relation *name*."""
-        self.schema[name]  # membership check
-        return frozenset(f for f in self._facts if f.relation == name)
+        if name not in self.schema:
+            raise SchemaError(f"relation {name!r} not in schema {self.schema}")
+        return frozenset(Fact(name, row) for row in self._rels.get(name, _EMPTY))
 
     def is_empty(self, name: str) -> bool:
         """True when relation *name* has no tuples."""
-        return not self.relation_facts(name)
+        if name not in self.schema:
+            raise SchemaError(f"relation {name!r} not in schema {self.schema}")
+        return name not in self._rels
+
+    def relations_map(self) -> dict[str, frozenset]:
+        """All extents as a name → tuple-set dict covering the schema.
+
+        Shares the internal frozensets (no per-fact copying); the dict
+        itself is fresh, so callers may add/replace entries freely.
+        """
+        return {name: self._rels.get(name, _EMPTY) for name in self.schema}
+
+    def nonempty_relations(self) -> Mapping[str, frozenset]:
+        """The internal name → extent mapping of non-empty relations.
+
+        Returned as a read-only view: instances sharing storage (e.g.
+        via :meth:`expand_schema`) must never observe a mutation.
+        """
+        return MappingProxyType(self._rels)
 
     # -- active domain ---------------------------------------------------------
 
     def active_domain(self) -> frozenset:
         """``adom(I)``: all data elements occurring in the instance."""
-        return frozenset(v for f in self._facts for v in f.values)
+        if self._adom is None:
+            adom = frozenset(
+                v for rows in self._rels.values() for row in rows for v in row
+            )
+            object.__setattr__(self, "_adom", adom)
+        return self._adom
 
     # -- algebra -----------------------------------------------------------------
 
     def union(self, *others: "Instance") -> "Instance":
         """Union of instances; schemas are merged (must agree on arities)."""
         merged_schema = self.schema.union(*(o.schema for o in others))
-        merged_facts = set(self._facts)
+        merged = dict(self._rels)
         for other in others:
-            merged_facts |= other._facts
-        return Instance(merged_schema, merged_facts)
+            for name, rows in other._rels.items():
+                existing = merged.get(name)
+                if existing is None:
+                    merged[name] = rows
+                elif not rows <= existing:
+                    merged[name] = existing | rows
+        return Instance._build(merged_schema, merged)
 
     def difference(self, other: "Instance") -> "Instance":
         """Facts of self not in *other*; schema unchanged."""
-        return Instance(self.schema, self._facts - other._facts)
+        out: dict[str, frozenset] = {}
+        for name, rows in self._rels.items():
+            kept = rows - other._rels.get(name, _EMPTY)
+            if kept:
+                out[name] = kept
+        return Instance._build(self.schema, out)
 
     def intersection(self, other: "Instance") -> "Instance":
         """Facts common to both; schema unchanged."""
-        return Instance(self.schema, self._facts & other._facts)
+        out: dict[str, frozenset] = {}
+        for name, rows in self._rels.items():
+            common = rows & other._rels.get(name, _EMPTY)
+            if common:
+                out[name] = common
+        return Instance._build(self.schema, out)
 
     def with_facts(self, facts: Iterable[Fact]) -> "Instance":
         """Self plus extra facts (schema-checked)."""
-        return Instance(self.schema, self._facts | set(facts))
+        extra = Instance(self.schema, facts)
+        return self.union(extra)
 
     def without_facts(self, facts: Iterable[Fact]) -> "Instance":
         """Self minus the given facts."""
-        return Instance(self.schema, self._facts - set(facts))
+        removed: dict[str, set] = {}
+        for f in facts:
+            removed.setdefault(f.relation, set()).add(f.values)
+        out = dict(self._rels)
+        for name, rows in removed.items():
+            existing = out.get(name)
+            if existing is None:
+                continue
+            kept = existing - rows
+            if kept:
+                out[name] = kept
+            else:
+                del out[name]
+        return Instance._build(self.schema, out)
 
     def restrict(self, names: Iterable[str]) -> "Instance":
         """The sub-instance over the given relation names."""
         sub_schema = self.schema.restrict(names)
-        kept = frozenset(f for f in self._facts if f.relation in sub_schema)
-        return Instance(sub_schema, kept)
+        kept = {
+            name: rows for name, rows in self._rels.items() if name in sub_schema
+        }
+        return Instance._build(sub_schema, kept)
 
     def restrict_to_schema(self, sub: DatabaseSchema) -> "Instance":
         """The sub-instance over the relations of *sub* (all must exist here)."""
@@ -146,40 +293,55 @@ class Instance:
 
     def expand_schema(self, extra: DatabaseSchema) -> "Instance":
         """Same facts, wider schema (adds empty relations)."""
-        return Instance(self.schema.union(extra), self._facts)
+        return Instance._build(self.schema.union(extra), self._rels)
 
     def set_relation(
         self, name: str, tuples: Iterable[tuple]
     ) -> "Instance":
         """Replace relation *name*'s extent wholesale."""
         arity = self.schema[name]
-        new_facts = set(f for f in self._facts if f.relation != name)
+        rows = set()
         for t in tuples:
             t = tuple(t)
             if len(t) != arity:
                 raise SchemaError(
                     f"tuple {t!r} has arity {len(t)}, relation {name} needs {arity}"
                 )
-            new_facts.add(Fact(name, t))
-        return Instance(self.schema, new_facts)
+            for v in t:
+                if not is_atomic(v):
+                    raise ValueError(f"non-atomic value in fact: {v!r}")
+            rows.add(t)
+        out = dict(self._rels)
+        if rows:
+            out[name] = frozenset(rows)
+        else:
+            out.pop(name, None)
+        return Instance._build(self.schema, out)
 
     def rename(self, mapping: Mapping[str, str]) -> "Instance":
         """Rename relations in both schema and facts."""
         new_schema = self.schema.rename(mapping)
-        new_facts = [
-            f.rename(mapping.get(f.relation, f.relation)) for f in self._facts
-        ]
-        return Instance(new_schema, new_facts)
+        new_rels = {
+            mapping.get(name, name): rows for name, rows in self._rels.items()
+        }
+        return Instance._build(new_schema, new_rels)
 
     def apply(self, h: Permutation) -> "Instance":
         """Apply a dom-permutation to every fact: the instance ``h(I)``."""
-        return Instance(self.schema, (f.apply(h) for f in self._facts))
+        new_rels = {
+            name: frozenset(h.apply_tuple(row) for row in rows)
+            for name, rows in self._rels.items()
+        }
+        return Instance._build(self.schema, new_rels)
 
     # -- order and equality -------------------------------------------------------
 
     def issubset(self, other: "Instance") -> bool:
         """Containment of fact sets (``I ⊆ J``); schemas need not match."""
-        return self._facts <= other._facts
+        return all(
+            rows <= other._rels.get(name, _EMPTY)
+            for name, rows in self._rels.items()
+        )
 
     def __le__(self, other: "Instance") -> bool:
         return self.issubset(other)
@@ -187,19 +349,24 @@ class Instance:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Instance):
             return NotImplemented
-        return self.schema == other.schema and self._facts == other._facts
+        return self.schema == other.schema and self._rels == other._rels
 
     def __hash__(self) -> int:
+        if self._hash is None:
+            digest = hash(
+                (self.schema, frozenset(self._rels.items()))
+            )
+            object.__setattr__(self, "_hash", digest)
         return self._hash
 
     def same_facts(self, other: "Instance") -> bool:
         """Equality of fact sets ignoring schema differences."""
-        return self._facts == other._facts
+        return self._rels == other._rels
 
     def __repr__(self) -> str:
-        if not self._facts:
+        if not self._size:
             return f"Instance(∅ over {list(self.schema)})"
-        shown = ", ".join(repr(f) for f in sorted(self._facts))
+        shown = ", ".join(repr(f) for f in sorted(self.facts()))
         return f"Instance({{{shown}}})"
 
 

@@ -27,6 +27,7 @@ from ..db.fact import Fact
 from ..db.instance import Instance
 from ..db.schema import DatabaseSchema
 from ..lang.datalog import fire_rule
+from ..lang.joinplan import IndexPool
 from ..lang.stratified import StratifiedProgram, stratified_fixpoint
 from .ast import NOW_RELATION, DedalusRule
 from .program import DedalusProgram
@@ -104,6 +105,10 @@ class DedalusInterpreter:
             if deductive
             else None
         )
+        # Shared across _fire_temporal calls and timesteps: the pool is
+        # value-keyed and size-capped, so unchanged extents (e.g. a large
+        # EDB) keep their indexes for the whole run.
+        self._pool = IndexPool()
 
     # -- single pieces -------------------------------------------------------
 
@@ -114,25 +119,30 @@ class DedalusInterpreter:
         instance = Instance(self._full_schema, facts)
         if self._deductive_program is None:
             return instance
-        result = stratified_fixpoint(self._deductive_program, instance)
-        # stratified_fixpoint works over its own schema; re-expand.
-        return Instance(self._full_schema, result.facts())
+        result = stratified_fixpoint(
+            self._deductive_program, instance, pool=self._pool
+        )
+        # stratified_fixpoint works over its own schema; re-expand,
+        # sharing the partitioned storage (no fact materialization).
+        return result.expand_schema(self._full_schema)
 
     def _fire_temporal(
         self, rules: tuple[DedalusRule, ...], state: Instance
     ) -> set[Fact]:
-        relations = {
-            name: state.relation(name) for name in state.schema.relation_names()
-        }
-        domain = state.active_domain()
+        # Partitioned storage: extents are shared references, no per-fact
+        # rebuild of a relation dict each timestep.
+        relations = state.relations_map()
+        domain = state.active_domain()  # cached on the instance
+        pool = self._pool
+        empty: frozenset = frozenset()
         out: set[Fact] = set()
         for drule in rules:
             rule = drule.evaluation_rule()
             sources = [
-                relations.get(atom.relation, frozenset())
+                relations.get(atom.relation, empty)
                 for atom in rule.positive_body_atoms()
             ]
-            for row in fire_rule(rule, sources, relations, domain):
+            for row in fire_rule(rule, sources, relations, domain, pool=pool):
                 out.add(Fact(rule.head.relation, row))
         return out
 
@@ -164,7 +174,7 @@ class DedalusInterpreter:
         carryover: frozenset[Fact] = frozenset()
         states: dict[int, Instance] = {}
         previous_base: frozenset[Fact] | None = None
-        previous_state: frozenset[Fact] | None = None
+        previous_state: dict[str, frozenset] | None = None
         stabilized_at: int | None = None
 
         t = 0
@@ -188,9 +198,13 @@ class DedalusInterpreter:
                 arrival = t + 1 + rng.randrange(max_async_delay + 1)
                 pending_async.setdefault(arrival, set()).add(f)
 
-            state_minus_now = frozenset(
-                f for f in state.facts() if f.relation != NOW_RELATION
-            )
+            # Compare extents directly (partitioned storage) rather than
+            # materializing and filtering a flat fact set every timestep.
+            state_minus_now = {
+                name: rows
+                for name, rows in state.nonempty_relations().items()
+                if name != NOW_RELATION
+            }
             quiet = (
                 t > last_edb_time
                 and not pending_async

@@ -31,6 +31,7 @@ from .datalog import (
     tp_step,
 )
 from .fo import evaluate as evaluate_fo
+from .joinplan import IndexPool, JoinPlan, plan_for
 from .monotone import (
     check_monotone_empirical,
     check_monotone_pair,
@@ -79,6 +80,8 @@ __all__ = [
     "FOQuery",
     "Forall",
     "Formula",
+    "IndexPool",
+    "JoinPlan",
     "Literal",
     "NonrecursiveProgram",
     "NonrecursiveQuery",
@@ -112,6 +115,7 @@ __all__ = [
     "parse_formula",
     "parse_rule",
     "parse_rules",
+    "plan_for",
     "random_instance",
     "seminaive_fixpoint",
     "stratified_fixpoint",

@@ -7,14 +7,27 @@ contain positive relational atoms and (in)equality literals; negated
 Nonequality between variables keeps queries monotone, so it is allowed
 (a flag makes programs reject it for the strictest reading).
 
-Both evaluation strategies are provided:
+Both fixpoint strategies are provided:
 
 * :func:`naive_fixpoint` — iterate the immediate-consequence operator
   ``T_P`` from the empty IDB (also exposed as :func:`tp_step`, which the
   Theorem 6(5) transducer bridge applies one step at a time);
 * :func:`seminaive_fixpoint` — standard differential evaluation.
 
-Both return the same model; benchmarks E17 compare their cost.
+Both return the same model; benchmarks E17/E22 compare their cost.
+
+Rule bodies are evaluated through compiled join plans
+(:mod:`repro.lang.joinplan`): each body is compiled once into a
+:class:`~repro.lang.joinplan.JoinPlan` that orders the positive atoms
+greedily by bound-variable connectivity and probes them through hash
+indexes, shared across rules and fixpoint rounds by an
+:class:`~repro.lang.joinplan.IndexPool`.  Every evaluation entry point
+takes an ``engine`` argument: ``"indexed"`` (the default) or
+``"nested"`` (the seed's nested-loop product, kept as the reference
+implementation and benchmark baseline).  Relation extents live in
+relation-partitioned :class:`~repro.db.instance.Instance` storage, so
+``instance.relation(name)`` is O(1) and fixpoint results are rebuilt
+in a single pass (:meth:`Instance.from_relations`).
 """
 
 from __future__ import annotations
@@ -24,9 +37,12 @@ from collections.abc import Mapping
 from ..db.instance import Instance
 from ..db.schema import DatabaseSchema, SchemaError
 from .ast import Atom, Const, Eq, Literal, Rule, Var
+from .joinplan import IndexPool, JoinPlan, plan_for
 from .query import Query
 
 Relations = Mapping[str, frozenset]
+
+_EMPTY: frozenset = frozenset()
 
 
 class DatalogError(ValueError):
@@ -43,6 +59,8 @@ def evaluate_body(
     positive_sources: list[frozenset],
     relations: Relations,
     domain: frozenset,
+    engine: str = "indexed",
+    pool: IndexPool | None = None,
 ) -> list[dict[Var, object]]:
     """All satisfying assignments of a rule body.
 
@@ -51,41 +69,37 @@ def evaluate_body(
     hook semi-naive evaluation uses to point one occurrence at a delta.
     Negative relational atoms are always checked against *relations*.
     Returns a list of variable bindings.
+
+    *engine* selects the positive-atom join strategy: ``"indexed"``
+    (compiled :class:`JoinPlan` with hash indexes, optionally shared
+    through *pool*) or ``"nested"`` (the reference nested-loop
+    product).  Both produce the same bindings up to order.
     """
-    positive_atoms: list[Atom] = []
-    pos_eqs: list[Eq] = []
-    neg_eqs: list[Eq] = []
-    negative_atoms: list[Atom] = []
-    for lit in body:
-        if isinstance(lit.atom, Atom):
-            if lit.positive:
-                positive_atoms.append(lit.atom)
-            else:
-                negative_atoms.append(lit.atom)
-        else:
-            if lit.positive:
-                pos_eqs.append(lit.atom)
-            else:
-                neg_eqs.append(lit.atom)
-    if len(positive_sources) != len(positive_atoms):
+    plan = plan_for(body)
+    if len(positive_sources) != len(plan.atoms):
         raise ValueError(
-            f"need {len(positive_atoms)} positive sources, got {len(positive_sources)}"
+            f"need {len(plan.atoms)} positive sources, got {len(positive_sources)}"
         )
+    if engine == "indexed":
+        bindings = plan.join(positive_sources, pool)
+    elif engine == "nested":
+        bindings = plan.nested_loop(positive_sources)
+    else:
+        raise ValueError(f"unknown evaluation engine {engine!r}")
+    if not bindings:
+        return []
+    return _apply_constraints(plan, bindings, relations, domain)
 
-    bindings: list[dict[Var, object]] = [{}]
-    for atom, source in zip(positive_atoms, positive_sources):
-        new_bindings: list[dict[Var, object]] = []
-        for binding in bindings:
-            for row in source:
-                extended = _match(atom, row, binding)
-                if extended is not None:
-                    new_bindings.append(extended)
-        bindings = new_bindings
-        if not bindings:
-            return []
 
+def _apply_constraints(
+    plan: JoinPlan,
+    bindings: list[dict[Var, object]],
+    relations: Relations,
+    domain: frozenset,
+) -> list[dict[Var, object]]:
+    """Filter/extend *bindings* by the body's non-join literals."""
     # Positive equalities: propagate or filter; unbound=unbound ranges over adom.
-    pending = list(pos_eqs)
+    pending = list(plan.pos_eqs)
     progress = True
     while pending and progress:
         progress = False
@@ -126,7 +140,7 @@ def evaluate_body(
                 expanded.append(new)
         bindings = expanded
 
-    for eq in neg_eqs:
+    for eq in plan.neg_eqs:
         kept: list[dict[Var, object]] = []
         for binding in bindings:
             left = _value(eq.left, binding)
@@ -137,8 +151,8 @@ def evaluate_body(
                 kept.append(binding)
         bindings = kept
 
-    for atom in negative_atoms:
-        extent = relations.get(atom.relation, frozenset())
+    for atom in plan.negative_atoms:
+        extent = relations.get(atom.relation, _EMPTY)
         kept = []
         for binding in bindings:
             row = _instantiate(atom, binding)
@@ -160,23 +174,6 @@ def _value(term, binding):
     return binding.get(term, _UNBOUND)
 
 
-def _match(atom: Atom, row: tuple, binding: dict) -> dict | None:
-    new = None
-    for term, value in zip(atom.terms, row):
-        if isinstance(term, Const):
-            if term.value != value:
-                return None
-        else:
-            bound = binding.get(term, _UNBOUND) if new is None else new.get(term, _UNBOUND)
-            if bound is _UNBOUND:
-                if new is None:
-                    new = dict(binding)
-                new[term] = value
-            elif bound != value:
-                return None
-    return binding if new is None else new
-
-
 def _instantiate(atom: Atom, binding: dict) -> tuple | None:
     row = []
     for term in atom.terms:
@@ -192,10 +189,15 @@ def fire_rule(
     positive_sources: list[frozenset],
     relations: Relations,
     domain: frozenset,
+    engine: str = "indexed",
+    pool: IndexPool | None = None,
 ) -> frozenset:
     """Head tuples derived by one rule from the given sources."""
     out = set()
-    for binding in evaluate_body(rule.body, positive_sources, relations, domain):
+    bindings = evaluate_body(
+        rule.body, positive_sources, relations, domain, engine=engine, pool=pool
+    )
+    for binding in bindings:
         row = _instantiate(rule.head, binding)
         if row is None:
             raise DatalogError(f"unsafe rule {rule!r}")
@@ -273,64 +275,88 @@ class DatalogProgram:
 
 def _relations_of(instance: Instance, schema: DatabaseSchema) -> dict[str, frozenset]:
     return {
-        name: instance.relation(name) if name in instance.schema else frozenset()
+        name: instance.relation(name) if name in instance.schema else _EMPTY
         for name in schema.relation_names()
     }
 
 
-def tp_step(program: DatalogProgram, relations: Relations, domain: frozenset) -> dict[str, frozenset]:
+def tp_step(
+    program: DatalogProgram,
+    relations: Relations,
+    domain: frozenset,
+    engine: str = "indexed",
+    pool: IndexPool | None = None,
+) -> dict[str, frozenset]:
     """One application of the immediate-consequence operator ``T_P``.
 
     Input and output are relation-name → tuple-set mappings covering the
     full (EDB+IDB) schema; EDB relations pass through unchanged and IDB
     relations are the tuples derivable in one step (cumulative with the
     input IDB, matching the inflationary reading used by Theorem 6(5)).
+
+    Unchanged extents are returned as the *same* frozenset objects, so
+    index builds cached in *pool* stay valid across iterated steps.
     """
     out: dict[str, frozenset] = {
-        name: frozenset(relations.get(name, frozenset()))
+        name: frozenset(relations.get(name, _EMPTY))
         for name in program.schema.relation_names()
     }
     for rule in program.rules:
         # All rules read the *input* relations: one simultaneous T_P step.
         sources = [
-            frozenset(relations.get(atom.relation, frozenset()))
+            frozenset(relations.get(atom.relation, _EMPTY))
             for atom in rule.positive_body_atoms()
         ]
-        derived = fire_rule(rule, sources, relations, domain)
-        out[rule.head.relation] = out[rule.head.relation] | derived
+        derived = fire_rule(rule, sources, relations, domain,
+                            engine=engine, pool=pool)
+        head = rule.head.relation
+        fresh = derived - out[head]
+        if fresh:
+            out[head] = out[head] | fresh
     return out
 
 
-def naive_fixpoint(program: DatalogProgram, instance: Instance) -> Instance:
+def naive_fixpoint(
+    program: DatalogProgram, instance: Instance, engine: str = "indexed"
+) -> Instance:
     """Least fixpoint by naive iteration of ``T_P``."""
     domain = instance.active_domain() | _program_constants(program)
     relations = _relations_of(instance, program.schema)
+    pool = IndexPool() if engine == "indexed" else None
     while True:
-        new = tp_step(program, relations, domain)
+        new = tp_step(program, relations, domain, engine=engine, pool=pool)
         if new == relations:
             break
         relations = new
     return _to_instance(relations, program.schema)
 
 
-def seminaive_fixpoint(program: DatalogProgram, instance: Instance) -> Instance:
+def seminaive_fixpoint(
+    program: DatalogProgram, instance: Instance, engine: str = "indexed"
+) -> Instance:
     """Least fixpoint by semi-naive (differential) evaluation."""
     domain = instance.active_domain() | _program_constants(program)
     total = _relations_of(instance, program.schema)
+    pool = IndexPool() if engine == "indexed" else None
     # Round 0: fire every rule once on the full (EDB-only) database.
     delta: dict[str, set] = {name: set() for name in program.idb_schema}
     for rule in program.rules:
         sources = [
-            total.get(atom.relation, frozenset())
+            total.get(atom.relation, _EMPTY)
             for atom in rule.positive_body_atoms()
         ]
-        for row in fire_rule(rule, sources, total, domain):
+        for row in fire_rule(rule, sources, total, domain,
+                             engine=engine, pool=pool):
             if row not in total[rule.head.relation]:
                 delta[rule.head.relation].add(row)
     for name, rows in delta.items():
-        total[name] = total[name] | frozenset(rows)
+        if rows:
+            total[name] = total[name] | frozenset(rows)
 
     while any(delta.values()):
+        frozen_delta = {
+            name: frozenset(rows) for name, rows in delta.items() if rows
+        }
         new_delta: dict[str, set] = {name: set() for name in program.idb_schema}
         for rule in program.rules:
             atoms = rule.positive_body_atoms()
@@ -338,18 +364,21 @@ def seminaive_fixpoint(program: DatalogProgram, instance: Instance) -> Instance:
                 i for i, atom in enumerate(atoms) if atom.relation in program.idb_schema
             ]
             for pos in idb_positions:
-                if not delta[atoms[pos].relation]:
+                delta_source = frozen_delta.get(atoms[pos].relation)
+                if not delta_source:
                     continue
                 sources = [
-                    frozenset(delta[atom.relation]) if i == pos
-                    else total.get(atom.relation, frozenset())
+                    delta_source if i == pos
+                    else total.get(atom.relation, _EMPTY)
                     for i, atom in enumerate(atoms)
                 ]
-                for row in fire_rule(rule, sources, total, domain):
+                for row in fire_rule(rule, sources, total, domain,
+                                     engine=engine, pool=pool):
                     if row not in total[rule.head.relation]:
                         new_delta[rule.head.relation].add(row)
         for name, rows in new_delta.items():
-            total[name] = total[name] | frozenset(rows)
+            if rows:
+                total[name] = total[name] | frozenset(rows)
         delta = new_delta
     return _to_instance(total, program.schema)
 
@@ -374,10 +403,10 @@ def _program_constants_rules(rules: tuple[Rule, ...]) -> frozenset:
 
 
 def _to_instance(relations: Relations, schema: DatabaseSchema) -> Instance:
-    inst = Instance.empty(schema)
-    for name in schema.relation_names():
-        inst = inst.set_relation(name, relations.get(name, frozenset()))
-    return inst
+    return Instance.from_relations(
+        schema,
+        {name: relations.get(name, _EMPTY) for name in schema.relation_names()},
+    )
 
 
 class DatalogQuery(Query):
@@ -388,12 +417,14 @@ class DatalogQuery(Query):
         program: DatalogProgram,
         output: str,
         seminaive: bool = True,
+        engine: str = "indexed",
     ):
         if output not in program.idb_schema:
             raise SchemaError(f"output relation {output!r} is not an IDB relation")
         self.program = program
         self.output = output
         self.seminaive = seminaive
+        self.engine = engine
         self.arity = program.idb_schema[output]
         self.input_schema = program.edb_schema
 
@@ -408,7 +439,9 @@ class DatalogQuery(Query):
             [n for n in self.program.edb_schema if n in instance.schema]
         ).expand_schema(self.program.edb_schema)
         evaluate = seminaive_fixpoint if self.seminaive else naive_fixpoint
-        return evaluate(self.program, instance).relation(self.output)
+        return evaluate(self.program, instance, engine=self.engine).relation(
+            self.output
+        )
 
     def relations(self) -> frozenset[str]:
         return frozenset(self.program.edb_schema.relation_names())

@@ -126,6 +126,9 @@ def _eval_atom(atom: Atom, instance: Instance) -> NamedRelation:
         if isinstance(t, Var) and t not in first_pos:
             first_pos[t] = i
             out_columns.append(t)
+    if len(out_columns) == len(atom.terms):
+        # All terms are distinct variables: the extent is the relation.
+        return NamedRelation(tuple(out_columns), tuples)
     rows = []
     for row in tuples:
         ok = True

@@ -1,0 +1,291 @@
+"""Compiled join plans: indexed evaluation of rule bodies.
+
+The seed evaluator joined the positive atoms of a rule body as an
+unindexed nested-loop product — O(∏|Rᵢ|) per rule.  This module
+compiles each body once into a :class:`JoinPlan` that
+
+* pre-splits the literals (positive atoms, equalities, nonequalities,
+  negated atoms) and pre-analyzes each positive atom's terms
+  (constants, first variable occurrences, repeated-variable checks);
+* at evaluation time greedily orders the atoms by bound-variable
+  connectivity and extent size (most bound positions first, smallest
+  extent as tie-break), so selective atoms run early and cartesian
+  steps are deferred;
+* probes each atom through a hash index built on the positions that
+  are bound at that point in the order.  Indexes are cached in an
+  :class:`IndexPool` keyed by (extent, positions), so rules reading
+  the same relation — and successive fixpoint rounds in which an
+  extent did not change — share one index build.
+
+The *sources* argument keeps the seed's delta-substitution hook:
+callers pass one extent per positive atom occurrence (in body order),
+and semi-naive evaluation points any occurrence at a delta.  The
+original nested-loop strategy is retained (``JoinPlan.nested_loop``)
+as the reference implementation for tests and benchmarks.
+
+Bindings are plain ``dict[Var, value]`` mappings, so the equality /
+nonequality / negation post-processing in :mod:`repro.lang.datalog`
+is shared verbatim between both engines.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .ast import Atom, Const, Eq, Literal, Var
+
+_EMPTY: frozenset = frozenset()
+
+
+class IndexPool:
+    """A cache of hash indexes over relation extents.
+
+    An index for ``(extent, positions)`` maps each projection of a row
+    onto *positions* to the list of rows with that projection.  The
+    pool is keyed by the extent *value* (frozensets hash-cache, and the
+    common case is an identity hit), so unchanged extents keep their
+    indexes across fixpoint rounds and across rules.  A size cap
+    bounds memory when long fixpoints churn many delta extents.
+    """
+
+    __slots__ = ("_indexes", "max_entries")
+
+    def __init__(self, max_entries: int = 512):
+        self._indexes: dict[tuple, dict[tuple, list[tuple]]] = {}
+        self.max_entries = max_entries
+
+    def index(
+        self, extent: frozenset, positions: tuple[int, ...]
+    ) -> dict[tuple, list[tuple]]:
+        key = (positions, extent)
+        cached = self._indexes.pop(key, None)
+        if cached is not None:
+            # Re-insert to refresh recency (dicts keep insertion order).
+            self._indexes[key] = cached
+            return cached
+        built: dict[tuple, list[tuple]] = {}
+        for row in extent:
+            built.setdefault(tuple(row[p] for p in positions), []).append(row)
+        if len(self._indexes) >= self.max_entries:
+            # Evict the least recently used entry, keeping hot indexes
+            # (e.g. a large stable EDB) alive past churny deltas.
+            self._indexes.pop(next(iter(self._indexes)))
+        self._indexes[key] = built
+        return built
+
+
+class _AtomInfo:
+    """Per-atom term analysis, computed once at plan build."""
+
+    __slots__ = ("atom", "index", "terms", "consts", "var_slots", "vars")
+
+    def __init__(self, atom: Atom, index: int):
+        self.atom = atom
+        self.index = index
+        self.terms = atom.terms
+        # (position, value) for constant terms
+        self.consts: tuple[tuple[int, object], ...] = tuple(
+            (i, t.value) for i, t in enumerate(atom.terms) if isinstance(t, Const)
+        )
+        # (position, var) for every variable occurrence
+        self.var_slots: tuple[tuple[int, Var], ...] = tuple(
+            (i, t) for i, t in enumerate(atom.terms) if isinstance(t, Var)
+        )
+        self.vars: frozenset[Var] = frozenset(v for _, v in self.var_slots)
+
+
+class JoinPlan:
+    """A compiled evaluation plan for one rule body.
+
+    Build once per body (see :func:`plan_for`); evaluate many times
+    with different sources.  Only the positive-atom join lives here;
+    the caller applies (in)equalities and negation to the returned
+    bindings.
+    """
+
+    __slots__ = ("body", "atoms", "pos_eqs", "neg_eqs", "negative_atoms")
+
+    def __init__(self, body: tuple[Literal, ...]):
+        self.body = body
+        atoms: list[_AtomInfo] = []
+        pos_eqs: list[Eq] = []
+        neg_eqs: list[Eq] = []
+        negative_atoms: list[Atom] = []
+        for lit in body:
+            if isinstance(lit.atom, Atom):
+                if lit.positive:
+                    atoms.append(_AtomInfo(lit.atom, len(atoms)))
+                else:
+                    negative_atoms.append(lit.atom)
+            elif lit.positive:
+                pos_eqs.append(lit.atom)
+            else:
+                neg_eqs.append(lit.atom)
+        self.atoms = tuple(atoms)
+        self.pos_eqs = tuple(pos_eqs)
+        self.neg_eqs = tuple(neg_eqs)
+        self.negative_atoms = tuple(negative_atoms)
+
+    # -- atom ordering -------------------------------------------------------
+
+    def _order(self, sources: list[frozenset]) -> list[_AtomInfo]:
+        """Greedy join order: most bound slots, then smallest extent.
+
+        "Bound slots" counts constant positions plus occurrences of
+        variables bound by earlier atoms — i.e. connectivity to the
+        prefix; the extent size breaks ties toward selective scans.
+        """
+        remaining = list(self.atoms)
+        if len(remaining) <= 1:
+            return remaining
+        ordered: list[_AtomInfo] = []
+        bound: set[Var] = set()
+        while remaining:
+            best = max(
+                remaining,
+                key=lambda info: (
+                    len(info.consts)
+                    + sum(1 for _, v in info.var_slots if v in bound),
+                    -len(sources[info.index]),
+                    -info.index,
+                ),
+            )
+            remaining.remove(best)
+            ordered.append(best)
+            bound |= best.vars
+        return ordered
+
+    # -- indexed evaluation --------------------------------------------------
+
+    def join(
+        self,
+        sources: list[frozenset],
+        pool: IndexPool | None = None,
+    ) -> list[dict[Var, object]]:
+        """All assignments of the positive atoms, via indexed hash joins.
+
+        *sources* gives one extent per positive atom in body order (the
+        semi-naive delta hook).  *pool* shares index builds across
+        calls; without one, indexes are built ad hoc per atom.
+        """
+        bindings: list[dict[Var, object]] = [{}]
+        bound: set[Var] = set()
+        for info in self._order(sources):
+            source = sources[info.index]
+            if not source:
+                return []
+            # Split this atom's slots given what is bound so far.
+            key_positions: list[int] = []
+            key_terms: list[object] = []  # Var (probe binding) or raw value
+            new_slots: list[tuple[int, Var]] = []
+            dup_checks: list[tuple[int, int]] = []
+            first_pos: dict[Var, int] = {}
+            for pos, value in info.consts:
+                key_positions.append(pos)
+                key_terms.append(value)
+            for pos, var in info.var_slots:
+                if var in bound:
+                    key_positions.append(pos)
+                    key_terms.append(var)
+                elif var in first_pos:
+                    dup_checks.append((pos, first_pos[var]))
+                else:
+                    first_pos[var] = pos
+                    new_slots.append((pos, var))
+            if key_positions:
+                positions = tuple(key_positions)
+                if pool is not None:
+                    index = pool.index(source, positions)
+                else:
+                    index = {}
+                    for row in source:
+                        index.setdefault(
+                            tuple(row[p] for p in positions), []
+                        ).append(row)
+                new_bindings: list[dict[Var, object]] = []
+                for binding in bindings:
+                    key = tuple(
+                        binding[t] if type(t) is Var else t for t in key_terms
+                    )
+                    for row in index.get(key, ()):
+                        if any(row[a] != row[b] for a, b in dup_checks):
+                            continue
+                        extended = dict(binding)
+                        for pos, var in new_slots:
+                            extended[var] = row[pos]
+                        new_bindings.append(extended)
+            else:
+                # No bound slot: a scan (first atom or cartesian step).
+                rows = [
+                    row
+                    for row in source
+                    if not any(row[a] != row[b] for a, b in dup_checks)
+                ]
+                if not rows:
+                    return []
+                new_bindings = []
+                for binding in bindings:
+                    for row in rows:
+                        extended = dict(binding)
+                        for pos, var in new_slots:
+                            extended[var] = row[pos]
+                        new_bindings.append(extended)
+            bindings = new_bindings
+            if not bindings:
+                return []
+            bound |= info.vars
+        return bindings
+
+    # -- reference nested-loop evaluation ------------------------------------
+
+    def nested_loop(
+        self, sources: list[frozenset]
+    ) -> list[dict[Var, object]]:
+        """The seed's unindexed nested-loop product, kept as reference.
+
+        Semantically equivalent to :meth:`join`; used by the
+        equivalence tests and as the benchmark baseline.
+        """
+        bindings: list[dict[Var, object]] = [{}]
+        for info, source in zip(self.atoms, sources):
+            new_bindings: list[dict[Var, object]] = []
+            for binding in bindings:
+                for row in source:
+                    extended = _match(info.atom, row, binding)
+                    if extended is not None:
+                        new_bindings.append(extended)
+            bindings = new_bindings
+            if not bindings:
+                return []
+        return bindings
+
+
+_UNBOUND = object()
+
+
+def _match(atom: Atom, row: tuple, binding: dict) -> dict | None:
+    """Extend *binding* so that *atom* matches *row*, or None."""
+    new = None
+    for term, value in zip(atom.terms, row):
+        if isinstance(term, Const):
+            if term.value != value:
+                return None
+        else:
+            bound = binding.get(term, _UNBOUND) if new is None else new.get(term, _UNBOUND)
+            if bound is _UNBOUND:
+                if new is None:
+                    new = dict(binding)
+                new[term] = value
+            elif bound != value:
+                return None
+    return binding if new is None else new
+
+
+@lru_cache(maxsize=4096)
+def plan_for(body: tuple[Literal, ...]) -> JoinPlan:
+    """The (memoized) compiled plan of a rule body.
+
+    Rule ASTs are immutable and hashable, so plans are compiled once
+    per distinct body for the lifetime of the process.
+    """
+    return JoinPlan(body)

@@ -21,7 +21,10 @@ from .datalog import (
     _program_constants_rules,
     fire_rule,
 )
+from .joinplan import IndexPool
 from .query import Query
+
+_EMPTY: frozenset = frozenset()
 
 
 class StratificationError(DatalogError):
@@ -136,19 +139,27 @@ class StratifiedProgram:
         )
 
 
-def stratified_fixpoint(program: StratifiedProgram, instance: Instance) -> Instance:
-    """Evaluate the perfect (stratified) model of *program* on *instance*."""
+def stratified_fixpoint(
+    program: StratifiedProgram,
+    instance: Instance,
+    pool: IndexPool | None = None,
+) -> Instance:
+    """Evaluate the perfect (stratified) model of *program* on *instance*.
+
+    *pool* lets a caller that evaluates the same program repeatedly
+    (e.g. the Dedalus interpreter, once per timestep) share hash-index
+    builds for extents that did not change between calls.
+    """
     domain = instance.active_domain() | _program_constants_rules(program.rules)
     relations: dict[str, frozenset] = {
-        name: instance.relation(name) if name in instance.schema else frozenset()
+        name: instance.relation(name) if name in instance.schema else _EMPTY
         for name in program.schema.relation_names()
     }
+    if pool is None:
+        pool = IndexPool()
     for layer in program.strata:
-        _layer_fixpoint(layer, relations, domain, program.idb_schema)
-    result = Instance.empty(program.schema)
-    for name in program.schema.relation_names():
-        result = result.set_relation(name, relations[name])
-    return result
+        _layer_fixpoint(layer, relations, domain, program.idb_schema, pool)
+    return Instance.from_relations(program.schema, relations)
 
 
 def _layer_fixpoint(
@@ -156,21 +167,26 @@ def _layer_fixpoint(
     relations: dict[str, frozenset],
     domain: frozenset,
     idb_schema: DatabaseSchema,
+    pool: IndexPool | None = None,
 ) -> None:
     """Semi-naive fixpoint of one stratum, updating *relations* in place."""
     layer_heads = {rule.head.relation for rule in layer}
     delta: dict[str, set] = {name: set() for name in layer_heads}
     for rule in layer:
         sources = [
-            relations.get(atom.relation, frozenset())
+            relations.get(atom.relation, _EMPTY)
             for atom in rule.positive_body_atoms()
         ]
-        for row in fire_rule(rule, sources, relations, domain):
+        for row in fire_rule(rule, sources, relations, domain, pool=pool):
             if row not in relations[rule.head.relation]:
                 delta[rule.head.relation].add(row)
     for name in layer_heads:
-        relations[name] = relations[name] | frozenset(delta[name])
+        if delta[name]:
+            relations[name] = relations[name] | frozenset(delta[name])
     while any(delta.values()):
+        frozen_delta = {
+            name: frozenset(rows) for name, rows in delta.items() if rows
+        }
         new_delta: dict[str, set] = {name: set() for name in layer_heads}
         for rule in layer:
             atoms = rule.positive_body_atoms()
@@ -178,18 +194,20 @@ def _layer_fixpoint(
                 i for i, atom in enumerate(atoms) if atom.relation in layer_heads
             ]
             for pos in recursive_positions:
-                if not delta.get(atoms[pos].relation):
+                delta_source = frozen_delta.get(atoms[pos].relation)
+                if not delta_source:
                     continue
                 sources = [
-                    frozenset(delta[atom.relation]) if i == pos
-                    else relations.get(atom.relation, frozenset())
+                    delta_source if i == pos
+                    else relations.get(atom.relation, _EMPTY)
                     for i, atom in enumerate(atoms)
                 ]
-                for row in fire_rule(rule, sources, relations, domain):
+                for row in fire_rule(rule, sources, relations, domain, pool=pool):
                     if row not in relations[rule.head.relation]:
                         new_delta[rule.head.relation].add(row)
         for name in layer_heads:
-            relations[name] = relations[name] | frozenset(new_delta[name])
+            if new_delta[name]:
+                relations[name] = relations[name] | frozenset(new_delta[name])
         delta = new_delta
 
 

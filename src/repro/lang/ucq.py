@@ -13,7 +13,10 @@ from ..db.instance import Instance
 from ..db.schema import DatabaseSchema
 from .ast import Atom, Rule
 from .datalog import DatalogError, fire_rule, _program_constants_rules
+from .joinplan import IndexPool
 from .query import Query
+
+_EMPTY: frozenset = frozenset()
 
 
 class UCQNegQuery(Query):
@@ -48,6 +51,10 @@ class UCQNegQuery(Query):
         self.output = head
         self.arity = arity
         self.input_schema = input_schema
+        # Transducers evaluate the same UCQ once per transition; a
+        # per-query pool keeps indexes for extents that did not change
+        # between calls (value-keyed, size-capped).
+        self._pool = IndexPool()
 
     @classmethod
     def parse(cls, text: str, input_schema: DatabaseSchema) -> "UCQNegQuery":
@@ -58,16 +65,16 @@ class UCQNegQuery(Query):
     def __call__(self, instance: Instance) -> frozenset[tuple]:
         domain = instance.active_domain() | _program_constants_rules(self.rules)
         relations = {
-            name: instance.relation(name) if name in instance.schema else frozenset()
+            name: instance.relation(name) if name in instance.schema else _EMPTY
             for name in self.input_schema.relation_names()
         }
         out: set[tuple] = set()
         for rule in self.rules:
             sources = [
-                relations.get(atom.relation, frozenset())
+                relations.get(atom.relation, _EMPTY)
                 for atom in rule.positive_body_atoms()
             ]
-            out |= fire_rule(rule, sources, relations, domain)
+            out |= fire_rule(rule, sources, relations, domain, pool=self._pool)
         return frozenset(out)
 
     def relations(self) -> frozenset[str]:

@@ -109,6 +109,10 @@ def is_converged(
     finite and the test is sound and complete for the property "every
     continuation of the run leaves all states unchanged and produces no
     output outside *produced_output*".
+
+    The simulated transitions are memoized inside the transducer
+    (pure functions of (state, fact)), so repeated convergence checks
+    over a stable configuration cost hash lookups, not query runs.
     """
     pending: list[tuple[Node, Fact]] = []
     seen: set[tuple[Node, Fact]] = set()
@@ -312,12 +316,13 @@ def run_fifo_rounds(
         if skip and all(not fifo[v] for v in nodes):
             # With skipped nodes we stop once the active part is quiet:
             # states stable under heartbeat and no pending fifo messages.
-            stable = all(
-                transducer.heartbeat(config.state(v)).new_state == config.state(v)
-                and transducer.heartbeat(config.state(v)).output
-                <= frozenset(tracker.output)
-                for v in nodes
-            )
+            produced = frozenset(tracker.output)
+            stable = True
+            for v in nodes:
+                local = transducer.heartbeat(config.state(v))
+                if local.new_state != config.state(v) or not local.output <= produced:
+                    stable = False
+                    break
             if stable:
                 converged = True
                 break
