@@ -17,7 +17,7 @@ from conftest import once
 from repro.core import flooding_transducer, multicast_transducer
 from repro.db import instance, schema
 from repro.lang import DatalogProgram, naive_fixpoint, seminaive_fixpoint
-from repro.net import line, round_robin, run_fair
+from repro.net import BatchingError, line, round_robin, run_fair
 
 S2 = schema(S=2)
 
@@ -34,29 +34,46 @@ def test_e17_message_complexity(benchmark, report):
         for n in (2, 3, 4, 5, 6):
             net = line(n)
             fl = run_fair(net, flood, round_robin(I, net), seed=0)
+            # Flooding is oblivious+monotone+inflationary, so batching is
+            # legal — same output, fewer delivery transitions.
+            flb = run_fair(net, flood, round_robin(I, net), seed=0,
+                           batch_delivery=True)
             mc = run_fair(net, multicast, round_robin(I, net), seed=0,
                           max_steps=2_000_000)
-            ok_row = fl.converged and mc.converged
+            ok_row = (fl.converged and mc.converged and flb.converged
+                      and flb.output == fl.output)
             ok &= ok_row
             rows.append([
                 n,
                 fl.stats.facts_sent,
+                flb.stats.deliveries,
+                fl.stats.deliveries,
                 mc.stats.facts_sent,
                 f"{mc.stats.facts_sent / max(1, fl.stats.facts_sent):.1f}x",
                 "yes" if ok_row else "NO",
             ])
         # the overhead ratio should grow with n (coordination amplifies)
-        ratios = [row[2] / max(1, row[1]) for row in rows]
+        ratios = [row[4] / max(1, row[1]) for row in rows]
         ok &= ratios[-1] > ratios[0]
+        # The Ready-flag multicast coordinates via Id/All, so the
+        # batching gate must reject it.
+        try:
+            run_fair(line(3), multicast, round_robin(I, line(3)),
+                     batch_delivery=True)
+            ok = False
+        except BatchingError:
+            pass
 
     once(benchmark, run_all)
     report(
         "E17",
         "Scaling: multicast (Ready) vs flooding message cost on line(n)",
-        ["n nodes", "flood sent", "multicast sent", "overhead", "converged"],
+        ["n nodes", "flood sent", "flood dlv (batched)", "flood dlv",
+         "multicast sent", "overhead", "converged"],
         rows,
         ok,
-        "(the Ready flag's acks dominate as the network grows)",
+        "(the Ready flag's acks dominate as the network grows; "
+        "batching is rejected for multicast)",
     )
 
 

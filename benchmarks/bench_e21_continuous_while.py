@@ -23,7 +23,15 @@ from repro.core import (
 )
 from repro.db import DatabaseSchema, instance, schema
 from repro.lang import Assign, UCQQuery, WhileChange, WhileProgram, WhileQuery
-from repro.net import full_replication, line, ring, round_robin, run_fair
+from repro.net import (
+    BatchingError,
+    batching_allowed,
+    full_replication,
+    line,
+    ring,
+    round_robin,
+    run_fair,
+)
 
 S2 = schema(S=2)
 
@@ -47,6 +55,16 @@ def test_e21_continuous_while(benchmark, report):
 
     def run_all():
         nonlocal ok
+        # The restart machine buys obliviousness with deletions, so it
+        # is not monotone and the batched-delivery fast path must refuse
+        # it — batching two novel facts would skip a restart.
+        ok &= not batching_allowed(transducer)
+        try:
+            run_fair(line(2), transducer, round_robin(I, line(2)),
+                     batch_delivery=True)
+            ok = False
+        except BatchingError:
+            pass
         for net in (line(2), ring(3)):
             for pname, make in (("round-robin", round_robin),
                                 ("replicated", full_replication)):

@@ -43,11 +43,15 @@ class ComputedQuery(Query):
         network: Network | None = None,
         seed: int = 0,
         max_steps: int = 20_000,
+        batch_delivery: bool = False,
+        convergence: str = "incremental",
     ):
         self.transducer = transducer
         self.network = network if network is not None else line(2)
         self.seed = seed
         self.max_steps = max_steps
+        self.batch_delivery = batch_delivery
+        self.convergence = convergence
         self.arity = transducer.schema.output_arity
         self.input_schema = transducer.schema.inputs
 
@@ -61,6 +65,8 @@ class ComputedQuery(Query):
             instance,
             seed=self.seed,
             max_steps=self.max_steps,
+            batch_delivery=self.batch_delivery,
+            convergence=self.convergence,
         )
 
     def __repr__(self) -> str:
@@ -114,6 +120,7 @@ def calm_verdict(
     monotonicity_trials: int = 30,
     check_coordination: bool = True,
     seed: int = 0,
+    batch_delivery: bool = False,
 ) -> CalmVerdict:
     """Assemble the full CALM diagnostic for one transducer.
 
@@ -121,10 +128,16 @@ def calm_verdict(
     runs on the provided test instance *and* the empty instance (the
     empty instance is the hard case for queries like emptiness, whose
     answer on nonempty inputs is trivially reachable without messages).
+
+    *batch_delivery* runs the reference fair runs in batched-delivery
+    mode — only legal (and only meaningful) for oblivious, monotone,
+    inflationary transducers, where CALM guarantees the same computed query.
     """
     network = network if network is not None else line(2)
     flags = property_report(transducer)
-    query = ComputedQuery(transducer, network, seed=seed)
+    query = ComputedQuery(
+        transducer, network, seed=seed, batch_delivery=batch_delivery
+    )
 
     coordination_free: bool | None = None
     if check_coordination:

@@ -19,7 +19,7 @@ from .fact import Fact
 class FactMultiset:
     """An immutable finite multiset of facts."""
 
-    __slots__ = ("_counts", "_hash")
+    __slots__ = ("_counts", "_hash", "_distinct")
 
     def __init__(self, facts: Iterable[Fact] = ()):
         counts = Counter()
@@ -31,6 +31,7 @@ class FactMultiset:
         object.__setattr__(
             self, "_hash", hash(frozenset(counts.items()))
         )
+        object.__setattr__(self, "_distinct", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("FactMultiset is immutable")
@@ -65,6 +66,18 @@ class FactMultiset:
     def distinct(self) -> tuple[Fact, ...]:
         """The distinct facts present, sorted."""
         return tuple(sorted(self._counts))
+
+    def distinct_set(self) -> frozenset[Fact]:
+        """The distinct facts as a cached frozenset.
+
+        Buffers are shared between configurations (immutability), so
+        the incremental convergence tracker — which keys node summaries
+        on buffered-fact sets — amortizes this frozenset (and its
+        hash) across every check that sees the buffer unchanged.
+        """
+        if self._distinct is None:
+            object.__setattr__(self, "_distinct", frozenset(self._counts))
+        return self._distinct
 
     def contains_multiset(self, other: "FactMultiset") -> bool:
         """Multiset containment: every fact of *other* with ≥ multiplicity."""
@@ -131,6 +144,7 @@ def _from_counter(counts: Counter) -> FactMultiset:
     ms = FactMultiset.__new__(FactMultiset)
     object.__setattr__(ms, "_counts", counts)
     object.__setattr__(ms, "_hash", hash(frozenset(counts.items())))
+    object.__setattr__(ms, "_distinct", None)
     return ms
 
 

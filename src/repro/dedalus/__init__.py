@@ -9,7 +9,7 @@ compiler from Turing machines to Dedalus programs.
 
 from .ast import NOW, NOW_RELATION, DedalusRule, RuleKind
 from .compile_tm import accepts, compile_tm
-from .distributed import LINK_RELATION, localize, node_view, place
+from .distributed import LINK_RELATION, localize, node_view, place, run_distributed
 from .interp import DedalusInterpreter, DedalusTrace, run_program, temporal_input
 from .parser import parse_dedalus_rule, parse_dedalus_rules
 from .program import DedalusProgram
@@ -63,6 +63,7 @@ __all__ = [
     "parse_dedalus_rule",
     "parse_dedalus_rules",
     "place",
+    "run_distributed",
     "run_program",
     "temporal_input",
     "tm_anbn",

@@ -168,6 +168,35 @@ def place(
     return Instance(DatabaseSchema(schema), facts)
 
 
+def run_distributed(
+    program: DedalusProgram,
+    network: Network,
+    partition: HorizontalPartition,
+    broadcast: set[str] | None = None,
+    batch_async: bool = False,
+    **run_kwargs,
+):
+    """Localize *program*, place *partition* on *network*, and run.
+
+    The one-call distributed execution of Section 8: the localized
+    program on the single-machine interpreter *is* the distributed run.
+    *batch_async* opts into the interpreter's batched-delivery mode —
+    every shipped fact arrives at the next timestep in one batch.  This
+    is sound here by construction: :func:`localize` only emits oblivious
+    rules (no joins on location specifiers) and the shipping rules are
+    monotone in the shipped relations, so arrival order — and hence
+    coalescing — cannot change the stabilized state (the same CALM
+    argument the transducer runtime's batched mode rests on).
+    Remaining ``run_kwargs`` go to
+    :meth:`repro.dedalus.interp.DedalusInterpreter.run`.
+    """
+    from .interp import run_program
+
+    localized = localize(program, broadcast)
+    edb = place(partition, network)
+    return run_program(localized, edb, batch_async=batch_async, **run_kwargs)
+
+
 def node_view(state: Instance, relation: str, node) -> frozenset:
     """The tuples of a localized relation at one node (location stripped)."""
     if relation not in state.schema:

@@ -127,8 +127,9 @@ def _eval_atom(atom: Atom, instance: Instance) -> NamedRelation:
             first_pos[t] = i
             out_columns.append(t)
     if len(out_columns) == len(atom.terms):
-        # All terms are distinct variables: the extent is the relation.
-        return NamedRelation(tuple(out_columns), tuples)
+        # All terms are distinct variables: the extent is the relation —
+        # adopt it wholesale, no frozenset rebuild.
+        return NamedRelation.adopt(tuple(out_columns), tuples)
     rows = []
     for row in tuples:
         ok = True

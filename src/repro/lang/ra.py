@@ -34,6 +34,24 @@ class NamedRelation:
     # -- basics ------------------------------------------------------------
 
     @classmethod
+    def adopt(
+        cls, columns: tuple[Var, ...], rows: frozenset
+    ) -> "NamedRelation":
+        """Trusted zero-copy constructor: adopt an already-frozen row set.
+
+        *rows* must be a frozenset of tuples matching *columns* in
+        arity, with distinct columns — e.g. a relation extent straight
+        out of :meth:`repro.db.instance.Instance.relation`.  Skips the
+        per-row rebuild of ``__init__`` so the all-distinct-variables
+        fast path of ``fo._eval_atom`` hands extents through in O(1);
+        the unit suite asserts no copy occurs.
+        """
+        rel = cls.__new__(cls)
+        rel.columns = columns
+        rel.rows = rows
+        return rel
+
+    @classmethod
     def nullary(cls, truth: bool) -> "NamedRelation":
         """The 0-column relation: {()} for true, {} for false."""
         return cls((), [()] if truth else [])

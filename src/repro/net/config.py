@@ -50,6 +50,22 @@ class Configuration:
         """True when no node has pending messages."""
         return all(not buf for buf in self.buffers.values())
 
+    def distinct_buffer(self, node: Node) -> tuple:
+        """The distinct facts buffered at *node*, sorted.
+
+        The view the convergence machinery needs: quiescence only
+        depends on *which* facts can still be delivered, not their
+        multiplicities.
+        """
+        return self.buffers[node].distinct()
+
+    def nonempty_buffer_nodes(self) -> list[Node]:
+        """Nodes with pending messages, in repr-sorted order (the
+        round-based schedulers' delivery worklist)."""
+        return sorted(
+            (v for v, buf in self.buffers.items() if buf), key=repr
+        )
+
     def total_buffered(self) -> int:
         """Total number of buffered message occurrences."""
         return sum(len(buf) for buf in self.buffers.values())

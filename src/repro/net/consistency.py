@@ -68,15 +68,30 @@ def observe_runs(
     partition_count: int = 5,
     seeds: tuple[int, ...] = (0, 1, 2),
     max_steps: int = 20_000,
+    batch_delivery: bool = False,
+    convergence: str = "incremental",
 ) -> list[RunObservation]:
-    """Run (N, Π) on several partitions × schedules and record outputs."""
+    """Run (N, Π) on several partitions × schedules and record outputs.
+
+    *batch_delivery* and *convergence* are forwarded to
+    :func:`~repro.net.run.run_fair` — consistency quantifies over fair
+    runs, and batched runs of batchable (oblivious, monotone,
+    inflationary) transducers are fair
+    runs too, so sampling them strengthens the evidence.
+    """
     if partitions is None:
         partitions = sample_partitions(instance, network, partition_count)
     observations = []
     for partition in partitions:
         for seed in seeds:
             result = run_fair(
-                network, transducer, partition, seed=seed, max_steps=max_steps
+                network,
+                transducer,
+                partition,
+                seed=seed,
+                max_steps=max_steps,
+                batch_delivery=batch_delivery,
+                convergence=convergence,
             )
             observations.append(
                 RunObservation(network, partition, seed, result)
@@ -92,6 +107,8 @@ def check_consistency(
     partition_count: int = 5,
     seeds: tuple[int, ...] = (0, 1, 2),
     max_steps: int = 20_000,
+    batch_delivery: bool = False,
+    convergence: str = "incremental",
 ) -> ConsistencyReport:
     """Empirical consistency check of (N, Π) on one instance.
 
@@ -106,6 +123,8 @@ def check_consistency(
         partition_count,
         seeds,
         max_steps,
+        batch_delivery=batch_delivery,
+        convergence=convergence,
     )
     outputs = [obs.result.output for obs in observations]
     unconverged = sum(1 for obs in observations if not obs.result.converged)
@@ -124,6 +143,8 @@ def computed_output(
     instance: Instance,
     seed: int = 0,
     max_steps: int = 20_000,
+    batch_delivery: bool = False,
+    convergence: str = "incremental",
 ) -> frozenset:
     """The output of one canonical fair run (full replication, given seed).
 
@@ -131,7 +152,13 @@ def computed_output(
     """
     partitions = sample_partitions(instance, network, 1)
     result = run_fair(
-        network, transducer, partitions[0], seed=seed, max_steps=max_steps
+        network,
+        transducer,
+        partitions[0],
+        seed=seed,
+        max_steps=max_steps,
+        batch_delivery=batch_delivery,
+        convergence=convergence,
     )
     return result.output
 

@@ -31,7 +31,8 @@ from .partition import (
     full_replication,
     sample_partitions,
 )
-from .run import run_heartbeat_only
+from .run import run_schedule
+from .scheduler import HeartbeatOnlyScheduler, Scheduler
 
 
 @dataclass
@@ -58,9 +59,29 @@ def heartbeat_output(
     transducer: Transducer,
     partition: HorizontalPartition,
     max_rounds: int = 1_000,
+    scheduler: Scheduler | None = None,
 ) -> frozenset:
-    """The output reachable by heartbeat transitions alone on *partition*."""
-    return run_heartbeat_only(network, transducer, partition, max_rounds).output
+    """The output reachable by heartbeat transitions alone on *partition*.
+
+    The probe is a :class:`~repro.net.scheduler.HeartbeatOnlyScheduler`
+    schedule by default; pass another delivery-free scheduler to vary
+    the probe shape (the definition only requires *some* run reaching
+    quiescence by heartbeats, so any heartbeat-only schedule is a
+    legitimate witness search).  A scheduler that delivers messages
+    would silently corrupt the coordination-freeness verdict, so the
+    probe rejects one after the fact.
+    """
+    if scheduler is None:
+        scheduler = HeartbeatOnlyScheduler(max_rounds=max_rounds)
+    result = run_schedule(
+        network, transducer, partition, scheduler, max_steps=None
+    )
+    if result.stats.deliveries:
+        raise ValueError(
+            f"heartbeat_output needs a delivery-free scheduler; "
+            f"{scheduler.name!r} performed {result.stats.deliveries} deliveries"
+        )
+    return result.output
 
 
 def check_coordination_free_on(

@@ -1,4 +1,4 @@
-"""Runs of transducer networks: fair schedules, convergence, replay.
+"""Runs of transducer networks: the schedule driver, replay, wrappers.
 
 The paper's runs are *infinite* fair sequences of heartbeat and
 delivery transitions; the output of a run is the union of the outputs
@@ -6,33 +6,57 @@ of its transitions, and Proposition 1 guarantees a quiescence point.
 A simulator must truncate: we run until the system is *converged* — no
 reachable future transition can change any node state or produce new
 output — which implies the output quiescence point has passed.  The
-convergence test is exact (a closure computation over the finitely many
-circulating facts, valid because local queries cannot invent values —
-the same argument as Proposition 1), so truncation never cuts off
-output for converging systems; systems that churn forever hit the step
-budget and are reported unconverged.
+convergence test is exact (see :mod:`repro.net.convergence`; the
+default engine is the incremental :class:`ConvergenceTracker`, whose
+verdicts provably — and property-testedly — equal the from-scratch
+test), so truncation never cuts off output for converging systems;
+systems that churn forever hit the step budget and are reported
+unconverged.
 
-Three run strategies:
+The runtime is split in two layers:
 
-* :func:`run_fair` — seeded random fair scheduling (the workhorse);
-* :func:`run_heartbeat_only` — only heartbeat transitions, used by the
-  coordination-freeness definition of Section 5;
-* :func:`run_fifo_rounds` — the deterministic round-based fifo schedule
-  from the proof of Theorem 16, with the option of ignoring a set of
-  nodes (the "mimicked" run ρ' on the chord network).
+* :func:`run_schedule` — the generic driver: executes the actions of a
+  :class:`~repro.net.scheduler.Scheduler`, accumulates output and
+  stats, runs convergence checks where the scheduler asks for them,
+  and enforces the batched-delivery legality gate;
+* the classic entry points — :func:`run_fair`,
+  :func:`run_heartbeat_only`, :func:`run_fifo_rounds`, and the new
+  :func:`run_round_robin_batch` — are thin wrappers choosing a
+  scheduler.  Their seeded schedules replay bit-for-bit what they
+  produced before the scheduler refactor (the golden-replay suite in
+  ``tests/test_runtime_replay.py`` pins the exact step counts).
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 
-from ..db.fact import Fact
 from ..core.transducer import Transducer
 from .config import Configuration, initial_configuration
+from .convergence import ConvergenceTracker, is_converged
 from .network import Network, Node
 from .partition import HorizontalPartition
-from .transition import GlobalTransition, deliver, heartbeat
+from .scheduler import (
+    FairRandomScheduler,
+    FifoRoundsScheduler,
+    HeartbeatOnlyScheduler,
+    RoundRobinBatchScheduler,
+    Scheduler,
+    require_batchable,
+)
+from .transition import GlobalTransition, deliver, deliver_batch, heartbeat
+
+__all__ = [
+    "RunContext",
+    "RunResult",
+    "RunStats",
+    "is_converged",
+    "run_fair",
+    "run_fifo_rounds",
+    "run_heartbeat_only",
+    "run_round_robin_batch",
+    "run_schedule",
+]
 
 
 @dataclass
@@ -64,6 +88,7 @@ class RunResult:
     stats: RunStats
     quiescence_step: int = 0
     trace: list[GlobalTransition] = field(default_factory=list)
+    scheduler: str = "fair-random"
 
     def __repr__(self) -> str:
         return (
@@ -79,13 +104,24 @@ class _OutputTracker:
         self.output: set = set()
         self.by_node: dict[Node, set] = {}
         self.quiescence_step = 0
+        self._frozen: frozenset = frozenset()
 
     def record(self, node: Node, produced: frozenset, step: int) -> None:
         new = produced - self.output
         if new:
             self.output |= new
             self.quiescence_step = step
+            self._frozen = frozenset(self.output)
         self.by_node.setdefault(node, set()).update(produced)
+
+    def frozen(self) -> frozenset:
+        """The accumulated output as a cached frozenset.
+
+        Rebuilt only when the output actually grows, so the convergence
+        fast paths (witness hits, verdict replays) stay O(1) instead of
+        paying an O(|output|) copy per check.
+        """
+        return self._frozen
 
     def result_fields(self) -> tuple[frozenset, dict[Node, frozenset]]:
         return (
@@ -94,60 +130,133 @@ class _OutputTracker:
         )
 
 
-def is_converged(
+class RunContext:
+    """The live view of a run a scheduler generates against.
+
+    ``config`` is updated by the driver after every committed
+    transition; ``produced`` is the accumulated output so far (used by
+    schedulers with their own stability tests, e.g. fifo-rounds with
+    skipped nodes); ``stats`` are the running counters.
+    """
+
+    __slots__ = ("network", "transducer", "config", "stats", "_outputs")
+
+    def __init__(
+        self,
+        network: Network,
+        transducer: Transducer,
+        config: Configuration,
+        stats: RunStats,
+        outputs: _OutputTracker,
+    ):
+        self.network = network
+        self.transducer = transducer
+        self.config = config
+        self.stats = stats
+        self._outputs = outputs
+
+    @property
+    def produced(self) -> frozenset:
+        return self._outputs.frozen()
+
+
+def run_schedule(
     network: Network,
     transducer: Transducer,
-    config: Configuration,
-    produced_output: frozenset,
-) -> bool:
-    """Exact convergence test: no future transition can change anything.
+    partition: HorizontalPartition,
+    scheduler: Scheduler,
+    max_steps: int | None = 20_000,
+    keep_trace: bool = False,
+    convergence: str = "incremental",
+) -> RunResult:
+    """Execute *scheduler*'s schedule, truncated at convergence.
 
-    Simulates, without committing, every transition reachable from
-    *config*: heartbeats at every node and deliveries of every fact that
-    is buffered or could still be sent (the closure of the circulating
-    facts).  Because states are required to stay fixed, the closure is
-    finite and the test is sound and complete for the property "every
-    continuation of the run leaves all states unchanged and produces no
-    output outside *produced_output*".
+    *convergence* selects the check engine: ``"incremental"`` (the
+    default — a per-run :class:`ConvergenceTracker`) or ``"exact"``
+    (the from-scratch reference test).  Both produce the same verdicts;
+    the Hypothesis suite pins the equality.
 
-    The simulated transitions are memoized inside the transducer
-    (pure functions of (state, fact)), so repeated convergence checks
-    over a stable configuration cost hash lookups, not query runs.
+    *max_steps* bounds the number of committed transitions (``None``
+    for no bound — round-based schedulers carry their own round
+    budgets).  If the schedule ends without a verdict of its own, a
+    final convergence check decides (``scheduler.final_check``).
     """
-    pending: list[tuple[Node, Fact]] = []
-    seen: set[tuple[Node, Fact]] = set()
+    if scheduler.uses_batching:
+        require_batchable(transducer)
+    if convergence not in ("incremental", "exact"):
+        raise ValueError(f"unknown convergence engine {convergence!r}")
 
-    def push_sends(sender: Node, sent: frozenset[Fact]) -> bool:
-        for neighbor in network.neighbors(sender):
-            for f in sent:
-                key = (neighbor, f)
-                if key not in seen:
-                    seen.add(key)
-                    pending.append(key)
-        return True
+    config = initial_configuration(network, transducer, partition)
+    outputs = _OutputTracker()
+    stats = RunStats()
+    trace: list[GlobalTransition] = []
+    ctx = RunContext(network, transducer, config, stats, outputs)
 
-    for node in network.sorted_nodes():
-        local = transducer.heartbeat(config.state(node))
-        if local.new_state != local.state:
-            return False
-        if not local.output <= produced_output:
-            return False
-        push_sends(node, local.sent.facts())
-        for f in config.buffer(node).distinct():
-            key = (node, f)
-            if key not in seen:
-                seen.add(key)
-                pending.append(key)
+    tracker = (
+        ConvergenceTracker(network, transducer)
+        if convergence == "incremental"
+        else None
+    )
 
-    while pending:
-        node, f = pending.pop()
-        local = transducer.deliver(config.state(node), f)
-        if local.new_state != local.state:
-            return False
-        if not local.output <= produced_output:
-            return False
-        push_sends(node, local.sent.facts())
-    return True
+    def check() -> bool:
+        produced = outputs.frozen()
+        if tracker is not None:
+            return tracker.check(ctx.config, produced)
+        return is_converged(network, transducer, ctx.config, produced)
+
+    converged = False
+    verdict: bool | None = None
+    generator = scheduler.schedule(ctx)
+    send_value: object = None
+    while True:
+        try:
+            action = generator.send(send_value)
+        except StopIteration as stop:
+            verdict = stop.value
+            break
+        if action.kind == "check":
+            if check():
+                converged = True
+                break
+            send_value = False
+            continue
+        if max_steps is not None and stats.steps >= max_steps:
+            break
+        if action.kind == "heartbeat":
+            transition = heartbeat(network, transducer, ctx.config, action.node)
+        elif action.kind == "deliver":
+            transition = deliver(
+                network, transducer, ctx.config, action.node, action.fact
+            )
+        elif action.kind == "deliver_batch":
+            transition = deliver_batch(network, transducer, ctx.config, action.node)
+        else:
+            raise ValueError(f"unknown action kind {action.kind!r}")
+        ctx.config = transition.after
+        stats.record(transition)
+        outputs.record(action.node, transition.output, stats.steps)
+        if tracker is not None:
+            tracker.note_transition(transition)
+        if keep_trace:
+            trace.append(transition)
+        send_value = transition
+
+    if not converged:
+        if verdict is not None:
+            converged = verdict
+        elif scheduler.final_check:
+            converged = check()
+    output, by_node = outputs.result_fields()
+    return RunResult(
+        config=ctx.config,
+        output=output,
+        outputs_by_node=by_node,
+        converged=converged,
+        stats=stats,
+        quiescence_step=outputs.quiescence_step,
+        trace=trace,
+        scheduler=scheduler.name,
+    )
 
 
 def run_fair(
@@ -159,6 +268,9 @@ def run_fair(
     deliver_bias: float = 0.75,
     keep_trace: bool = False,
     check_every: int | None = None,
+    batch_delivery: bool = False,
+    convergence: str = "incremental",
+    scheduler: Scheduler | None = None,
 ) -> RunResult:
     """A seeded random fair run, truncated at convergence.
 
@@ -168,52 +280,27 @@ def run_fair(
     truncation point is the exact convergence test, so for converging
     transducers the returned output equals out(ρ) of any fair completion
     of the prefix.
+
+    *batch_delivery* opts into draining a node's whole buffer per
+    delivery transition — sound (and enforced) only for oblivious,
+    monotone transducers.  *scheduler* swaps the entire schedule; the
+    other schedule knobs are then ignored.
     """
-    rng = random.Random(seed)
-    nodes = network.sorted_nodes()
-    config = initial_configuration(network, transducer, partition)
-    tracker = _OutputTracker()
-    stats = RunStats()
-    trace: list[GlobalTransition] = []
-    if check_every is None:
-        check_every = max(8, 4 * len(nodes))
-    converged = is_converged(network, transducer, config, frozenset())
-
-    steps_since_check = 0
-    while not converged and stats.steps < max_steps:
-        node = rng.choice(nodes)
-        buffer = config.buffer(node)
-        if buffer and rng.random() < deliver_bias:
-            choices = buffer.distinct()
-            f = choices[rng.randrange(len(choices))]
-            transition = deliver(network, transducer, config, node, f)
-        else:
-            transition = heartbeat(network, transducer, config, node)
-        config = transition.after
-        stats.record(transition)
-        tracker.record(node, transition.output, stats.steps)
-        if keep_trace:
-            trace.append(transition)
-        steps_since_check += 1
-        if steps_since_check >= check_every or config.buffers_empty():
-            steps_since_check = 0
-            converged = is_converged(
-                network, transducer, config, frozenset(tracker.output)
-            )
-
-    if not converged:
-        converged = is_converged(
-            network, transducer, config, frozenset(tracker.output)
+    if scheduler is None:
+        scheduler = FairRandomScheduler(
+            seed=seed,
+            deliver_bias=deliver_bias,
+            check_every=check_every,
+            batch_delivery=batch_delivery,
         )
-    output, by_node = tracker.result_fields()
-    return RunResult(
-        config=config,
-        output=output,
-        outputs_by_node=by_node,
-        converged=converged,
-        stats=stats,
-        quiescence_step=tracker.quiescence_step,
-        trace=trace,
+    return run_schedule(
+        network,
+        transducer,
+        partition,
+        scheduler,
+        max_steps=max_steps,
+        keep_trace=keep_trace,
+        convergence=convergence,
     )
 
 
@@ -231,31 +318,12 @@ def run_heartbeat_only(
     Messages are still sent into buffers, faithfully — they are simply
     never read within this prefix.
     """
-    nodes = network.sorted_nodes()
-    config = initial_configuration(network, transducer, partition)
-    tracker = _OutputTracker()
-    stats = RunStats()
-    seen_states = {config.states_key()}
-    converged = False
-    for _ in range(max_rounds):
-        for node in nodes:
-            transition = heartbeat(network, transducer, config, node)
-            config = transition.after
-            stats.record(transition)
-            tracker.record(node, transition.output, stats.steps)
-        key = config.states_key()
-        if key in seen_states:
-            converged = True
-            break
-        seen_states.add(key)
-    output, by_node = tracker.result_fields()
-    return RunResult(
-        config=config,
-        output=output,
-        outputs_by_node=by_node,
-        converged=converged,
-        stats=stats,
-        quiescence_step=tracker.quiescence_step,
+    return run_schedule(
+        network,
+        transducer,
+        partition,
+        HeartbeatOnlyScheduler(max_rounds=max_rounds),
+        max_steps=None,
     )
 
 
@@ -266,6 +334,8 @@ def run_fifo_rounds(
     max_rounds: int = 2_000,
     skip_nodes: frozenset | None = None,
     keep_trace: bool = False,
+    batch_delivery: bool = False,
+    convergence: str = "incremental",
 ) -> RunResult:
     """The deterministic fifo round schedule of Theorem 16's proof.
 
@@ -276,63 +346,46 @@ def run_fifo_rounds(
     3 is "ignored completely".  Stops at convergence (skipped nodes
     excluded from the test's scope by simply never acting).
     """
-    skip = skip_nodes or frozenset()
-    nodes = [v for v in network.sorted_nodes() if v not in skip]
-    config = initial_configuration(network, transducer, partition)
-    fifo: dict[Node, list[Fact]] = {v: [] for v in network.sorted_nodes()}
-    tracker = _OutputTracker()
-    stats = RunStats()
-    trace: list[GlobalTransition] = []
+    return run_schedule(
+        network,
+        transducer,
+        partition,
+        FifoRoundsScheduler(
+            max_rounds=max_rounds,
+            skip_nodes=skip_nodes,
+            batch_delivery=batch_delivery,
+        ),
+        max_steps=None,
+        keep_trace=keep_trace,
+        convergence=convergence,
+    )
 
-    def commit(transition: GlobalTransition) -> None:
-        nonlocal config
-        sent = sorted(transition.sent_facts)
-        if sent:
-            for neighbor in network.neighbors(transition.node):
-                fifo[neighbor].extend(sent)
-        config = transition.after
-        stats.record(transition)
-        tracker.record(transition.node, transition.output, stats.steps)
-        if keep_trace:
-            trace.append(transition)
 
-    converged = False
-    for _ in range(max_rounds):
-        for node in nodes:
-            commit(heartbeat(network, transducer, config, node))
-        if any(fifo[v] for v in nodes):
-            for node in nodes:
-                if fifo[node]:
-                    f = fifo[node].pop(0)
-                    commit(deliver(network, transducer, config, node, f))
-        else:
-            for node in nodes:
-                commit(heartbeat(network, transducer, config, node))
-        if not skip and is_converged(
-            network, transducer, config, frozenset(tracker.output)
-        ):
-            converged = True
-            break
-        if skip and all(not fifo[v] for v in nodes):
-            # With skipped nodes we stop once the active part is quiet:
-            # states stable under heartbeat and no pending fifo messages.
-            produced = frozenset(tracker.output)
-            stable = True
-            for v in nodes:
-                local = transducer.heartbeat(config.state(v))
-                if local.new_state != config.state(v) or not local.output <= produced:
-                    stable = False
-                    break
-            if stable:
-                converged = True
-                break
-    output, by_node = tracker.result_fields()
-    return RunResult(
-        config=config,
-        output=output,
-        outputs_by_node=by_node,
-        converged=converged,
-        stats=stats,
-        quiescence_step=tracker.quiescence_step,
-        trace=trace,
+def run_round_robin_batch(
+    network: Network,
+    transducer: Transducer,
+    partition: HorizontalPartition,
+    max_rounds: int = 2_000,
+    keep_trace: bool = False,
+    batch_delivery: bool = True,
+    convergence: str = "incremental",
+) -> RunResult:
+    """The round-robin batched-delivery schedule (new in the scheduler
+    refactor): per round each node drains its whole buffer in one
+    transition, or heartbeats when it has nothing to read.
+
+    Only legal for oblivious, monotone, inflationary transducers (the CALM
+    schedule-invariance guarantee); pass ``batch_delivery=False`` for
+    the same round shape with one-at-a-time deliveries.
+    """
+    return run_schedule(
+        network,
+        transducer,
+        partition,
+        RoundRobinBatchScheduler(
+            max_rounds=max_rounds, batch_delivery=batch_delivery
+        ),
+        max_steps=None,
+        keep_trace=keep_trace,
+        convergence=convergence,
     )

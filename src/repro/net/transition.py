@@ -110,3 +110,23 @@ def deliver(
 ) -> GlobalTransition:
     """A delivery transition: v reads the single fact *fact* from its buffer."""
     return general_transition(network, transducer, config, node, (fact,))
+
+
+def deliver_batch(
+    network: Network,
+    transducer: Transducer,
+    config: Configuration,
+    node: Node,
+) -> GlobalTransition:
+    """A batched delivery: v reads and drains its *entire* buffer at once.
+
+    This is the opt-in fast path of the batched-delivery mode — one
+    general transition instead of one per buffered occurrence.  Callers
+    must gate it on :func:`repro.net.scheduler.require_batchable`
+    (oblivious + monotone + inflationary), which is what makes the
+    coalescing output-equivalent to one-fact-at-a-time delivery.
+    """
+    buffer = config.buffer(node)
+    if not buffer:
+        raise ValueError(f"cannot batch-deliver from empty buffer of {node!r}")
+    return general_transition(network, transducer, config, node, tuple(buffer))

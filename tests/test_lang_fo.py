@@ -143,3 +143,40 @@ class TestSemanticsProperties:
         rel = evaluate(f, inst, domain=frozenset({1, 2, 3, 99}))
         values = {row[0] for row in rel.rows}
         assert 99 in values
+
+
+class TestZeroCopyAtomEvaluation:
+    """The all-distinct-variables fast path adopts the relation extent
+    without rebuilding it (the ROADMAP's zero-copy NamedRelation item)."""
+
+    def test_eval_atom_adopts_extent_without_copy(self, sch, inst):
+        from repro.lang.ast import Atom, Var
+        from repro.lang.fo import _eval_atom
+
+        rel = _eval_atom(Atom("S", (Var("x"), Var("y"))), inst)
+        # Identity, not just equality: the extent frozenset is handed
+        # straight through, no per-row rebuild.
+        assert rel.rows is inst.relation("S")
+        assert rel.columns == (Var("x"), Var("y"))
+
+    def test_adopt_classmethod_is_zero_copy(self):
+        from repro.lang.ast import Var
+        from repro.lang.ra import NamedRelation
+
+        rows = frozenset({(1, 2), (3, 4)})
+        rel = NamedRelation.adopt((Var("a"), Var("b")), rows)
+        assert rel.rows is rows
+        # And it behaves like a normally-built relation.
+        assert rel == NamedRelation((Var("a"), Var("b")), [(1, 2), (3, 4)])
+
+    def test_selective_atom_still_filters(self, sch, inst):
+        from repro.lang.ast import Atom, Var
+        from repro.lang.fo import _eval_atom
+
+        # Repeated variable: must not take the zero-copy path.
+        rel = _eval_atom(Atom("S", (Var("x"), Var("x"))), inst)
+        assert rel.rows == frozenset({(3,)})
+
+    def test_full_query_semantics_unchanged(self, sch, inst):
+        query = q("S(x, y) & T(y)", "x, y", sch)
+        assert query(inst) == frozenset({(1, 2)})

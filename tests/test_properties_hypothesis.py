@@ -1,9 +1,19 @@
 """Property-based tests (hypothesis) on the core data structures and
 semantic invariants the paper's arguments rest on."""
 
+import random
+
 import hypothesis.strategies as st
+import pytest
 from hypothesis import given, settings
 
+from repro.core import (
+    emptiness_transducer,
+    first_element_transducer,
+    ping_identity_transducer,
+    relay_identity_transducer,
+    transitive_closure_transducer,
+)
 from repro.db import (
     DatabaseSchema,
     Fact,
@@ -14,6 +24,21 @@ from repro.db import (
 )
 from repro.lang import DatalogQuery, FOQuery, check_generic
 from repro.lang.datalog import DatalogProgram, naive_fixpoint, seminaive_fixpoint
+from repro.net import (
+    BatchingError,
+    ConvergenceTracker,
+    batching_allowed,
+    deliver,
+    heartbeat,
+    initial_configuration,
+    is_converged,
+    line,
+    random_partition,
+    ring,
+    run_fair,
+    run_round_robin_batch,
+    star,
+)
 
 # ---------------------------------------------------------------------------
 # Strategies
@@ -226,3 +251,144 @@ class TestUpdateFormulaProperty:
     def test_inflationary_when_no_deletion(self, old, ins):
         updated = (ins - frozenset()) | (old - ins) | (old & ins)
         assert old <= updated
+
+
+# ---------------------------------------------------------------------------
+# The incremental network runtime (PR 2): convergence tracking and
+# batched delivery, property-tested against the reference semantics
+# ---------------------------------------------------------------------------
+
+# (constructor, instance) pool: unary-input set transducers and the
+# binary transitive-closure flooder, spanning the CALM corners —
+# batchable (relay, tc), oblivious non-monotone
+# (first_element), and non-oblivious (emptiness, ping).
+_UNARY = Instance(schema(S=1), [Fact("S", (1,)), Fact("S", (2,)), Fact("S", (3,))])
+_BINARY = Instance(
+    schema(S=2), [Fact("S", (1, 2)), Fact("S", (2, 3)), Fact("S", (3, 1))]
+)
+RUNTIME_POOL = {
+    "relay": (relay_identity_transducer, _UNARY),
+    "tc": (transitive_closure_transducer, _BINARY),
+    "first_element": (first_element_transducer, _UNARY),
+    "emptiness": (emptiness_transducer, _UNARY),
+    "ping": (ping_identity_transducer, _UNARY),
+}
+_TRANSDUCERS = {name: make() for name, (make, _) in RUNTIME_POOL.items()}
+_NETWORKS = [line(2), line(3), ring(3), star(4)]
+
+
+@st.composite
+def schedule_prefixes(draw):
+    """A (transducer, network, partition, schedule seed, length) case."""
+    name = draw(st.sampled_from(sorted(RUNTIME_POOL)))
+    network = draw(st.sampled_from(_NETWORKS))
+    part_seed = draw(st.integers(0, 10))
+    seed = draw(st.integers(0, 1_000))
+    steps = draw(st.integers(0, 20))
+    _, instance = RUNTIME_POOL[name]
+    partition = random_partition(instance, network, part_seed)
+    return name, network, partition, seed, steps
+
+
+def _fair_walk(network, transducer, partition, seed, steps):
+    """Replay run_fair's schedule shape, yielding each configuration."""
+    rng = random.Random(seed)
+    nodes = network.sorted_nodes()
+    config = initial_configuration(network, transducer, partition)
+    produced: set = set()
+    yield config, frozenset(produced), None
+    for _ in range(steps):
+        node = rng.choice(nodes)
+        buffer = config.buffer(node)
+        if buffer and rng.random() < 0.75:
+            choices = buffer.distinct()
+            transition = deliver(
+                network, transducer, config, node,
+                choices[rng.randrange(len(choices))],
+            )
+        else:
+            transition = heartbeat(network, transducer, config, node)
+        config = transition.after
+        produced |= transition.output
+        yield config, frozenset(produced), transition
+
+
+class TestIncrementalConvergenceEquality:
+    """The tracker's verdicts equal the exact from-scratch test, at
+    every prefix of a random schedule (the tracker is stateful — the
+    walk exercises witness caching, memoized summaries and dirty
+    invalidation exactly as the runtime does)."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(schedule_prefixes())
+    def test_incremental_equals_exact_along_prefix(self, case):
+        name, network, partition, seed, steps = case
+        transducer = _TRANSDUCERS[name]
+        tracker = ConvergenceTracker(network, transducer)
+        for config, produced, transition in _fair_walk(
+            network, transducer, partition, seed, steps
+        ):
+            if transition is not None:
+                tracker.note_transition(transition)
+            assert tracker.check(config, produced) == is_converged(
+                network, transducer, config, produced
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(schedule_prefixes())
+    def test_cold_tracker_agrees_at_final_prefix_config(self, case):
+        name, network, partition, seed, steps = case
+        transducer = _TRANSDUCERS[name]
+        final = None
+        for final in _fair_walk(network, transducer, partition, seed, steps):
+            pass
+        config, produced, _ = final
+        cold = ConvergenceTracker(network, transducer)
+        assert cold.check(config, produced) == is_converged(
+            network, transducer, config, produced
+        )
+
+
+class TestBatchedDeliveryInvariance:
+    """The CALM schedule-invariance guarantee: for oblivious, monotone,
+    inflationary transducers batched-delivery runs produce the same output as the
+    one-fact-at-a-time reference runs — and the runtime rejects
+    batching for everything else."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.sampled_from(["relay", "tc"]),
+        st.sampled_from(_NETWORKS),
+        st.integers(0, 10),
+        st.integers(0, 200),
+    )
+    def test_batched_output_equals_unbatched(self, name, network, part_seed, seed):
+        transducer = _TRANSDUCERS[name]
+        assert batching_allowed(transducer)
+        _, instance = RUNTIME_POOL[name]
+        partition = random_partition(instance, network, part_seed)
+        unbatched = run_fair(network, transducer, partition, seed=seed)
+        batched = run_fair(
+            network, transducer, partition, seed=seed, batch_delivery=True
+        )
+        round_based = run_round_robin_batch(network, transducer, partition)
+        assert unbatched.converged and batched.converged and round_based.converged
+        assert batched.output == unbatched.output == round_based.output
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.sampled_from(["first_element", "emptiness", "ping"]),
+        st.sampled_from(_NETWORKS),
+        st.integers(0, 10),
+    )
+    def test_batching_rejected_for_non_oblivious_or_non_monotone(
+        self, name, network, part_seed
+    ):
+        transducer = _TRANSDUCERS[name]
+        assert not batching_allowed(transducer)
+        _, instance = RUNTIME_POOL[name]
+        partition = random_partition(instance, network, part_seed)
+        with pytest.raises(BatchingError):
+            run_fair(network, transducer, partition, batch_delivery=True)
+        with pytest.raises(BatchingError):
+            run_round_robin_batch(network, transducer, partition)
