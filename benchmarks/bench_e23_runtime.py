@@ -16,7 +16,8 @@ dominant cost):
    fast path pays off most when checks are frequent.
 
 2. **Scheduler shoot-out** on flooding at n = 30: fair-random,
-   round-robin-batch (batched and unbatched) must converge to the same
+   round-robin-batch (batched and unbatched) and witness-guided
+   (PR 3 — witness facts delivered first) must converge to the same
    output; batching must cut the number of delivery transitions.
 
 A JSON snapshot (``BENCH_runtime.json``) records the timings so later
@@ -39,6 +40,7 @@ from repro.net import (
     round_robin,
     run_fair,
     run_round_robin_batch,
+    run_witness_guided,
 )
 
 S2 = schema(S=2)
@@ -156,10 +158,15 @@ def test_e23_scheduler_shootout(benchmark, report):
         batched = run_round_robin_batch(net, flood, partition)
         unbatched = run_round_robin_batch(net, flood, partition,
                                           batch_delivery=False)
+        witness = run_witness_guided(net, flood, partition)
+        witness_batched = run_witness_guided(net, flood, partition,
+                                             batch_delivery=True)
         runs = [
             ("fair-random", fair),
             ("round-robin-batch", batched),
             ("round-robin (1-at-a-time)", unbatched),
+            ("witness-guided", witness),
+            ("witness-guided (batched)", witness_batched),
         ]
         reference = fair.output
         for name, result in runs:

@@ -45,6 +45,7 @@ class ComputedQuery(Query):
         max_steps: int = 20_000,
         batch_delivery: bool = False,
         convergence: str = "incremental",
+        memo=None,
     ):
         self.transducer = transducer
         self.network = network if network is not None else line(2)
@@ -52,6 +53,10 @@ class ComputedQuery(Query):
         self.max_steps = max_steps
         self.batch_delivery = batch_delivery
         self.convergence = convergence
+        # Cross-run convergence memo: the monotonicity probes evaluate
+        # this query on dozens of instances of the same transducer, so
+        # certificates proven in one evaluation warm the next.
+        self.memo = memo
         self.arity = transducer.schema.output_arity
         self.input_schema = transducer.schema.inputs
 
@@ -67,6 +72,7 @@ class ComputedQuery(Query):
             max_steps=self.max_steps,
             batch_delivery=self.batch_delivery,
             convergence=self.convergence,
+            memo=self.memo,
         )
 
     def __repr__(self) -> str:
@@ -121,6 +127,9 @@ def calm_verdict(
     check_coordination: bool = True,
     seed: int = 0,
     batch_delivery: bool = False,
+    workers: int = 1,
+    backend: str | None = None,
+    memo=None,
 ) -> CalmVerdict:
     """Assemble the full CALM diagnostic for one transducer.
 
@@ -132,11 +141,21 @@ def calm_verdict(
     *batch_delivery* runs the reference fair runs in batched-delivery
     mode — only legal (and only meaningful) for oblivious, monotone,
     inflationary transducers, where CALM guarantees the same computed query.
+
+    *workers*/*backend* parallelize the run sweeps underneath
+    (coordination witness search, NTI consistency probes); *memo*
+    shares one cross-run convergence memo across every fair run the
+    diagnostic performs — one transducer, hence one sound scope.  All
+    verdicts are identical with or without either knob.
     """
+    from ..net.sweep import resolve_memo
+
     network = network if network is not None else line(2)
     flags = property_report(transducer)
+    memo = resolve_memo(memo, transducer)
     query = ComputedQuery(
-        transducer, network, seed=seed, batch_delivery=batch_delivery
+        transducer, network, seed=seed, batch_delivery=batch_delivery,
+        memo=memo,
     )
 
     coordination_free: bool | None = None
@@ -146,7 +165,8 @@ def calm_verdict(
         for probe in probes:
             expected = query(probe)
             report = check_coordination_free_on(
-                network, transducer, probe, expected
+                network, transducer, probe, expected,
+                workers=workers, backend=backend,
             )
             verdicts.append(report.coordination_free)
         coordination_free = all(verdicts)
@@ -169,6 +189,9 @@ def calm_verdict(
         networks=[single(), network],
         partition_count=2,
         seeds=(seed,),
+        workers=workers,
+        backend=backend,
+        memo=memo,
     )
 
     return CalmVerdict(

@@ -152,6 +152,25 @@ class Transducer:
         self._transition_cache_limit = 16384
         self._empty_received = Instance.empty(schema.messages)
         self._received_by_fact: dict[Fact, Instance] = {}
+        # Cross-run convergence memo (a repro.net.convergence
+        # ConvergenceMemo), hung here like the transition cache because
+        # its certificates are pure functions of this transducer.  The
+        # sweep executor attaches and shares it; None until then.
+        self.convergence_memo = None
+
+    def __getstate__(self):
+        # The transition caches are pure derived state keyed by objects
+        # that dominate the pickle size; ship the queries and schema
+        # only and let the unpickled copy rewarm.  The convergence memo
+        # *is* shipped: it is the cross-run store workers are seeded
+        # with.
+        state = dict(self.__dict__)
+        state["_transition_cache"] = {}
+        state["_received_by_fact"] = {}
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
 
     # -- query plumbing ------------------------------------------------------
 

@@ -38,6 +38,12 @@ class Fact:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Fact is immutable")
 
+    def __reduce__(self):
+        # The slots-and-frozen layout breaks default pickling (unpickling
+        # would go through the raising __setattr__); rebuild through the
+        # constructor, which re-derives the cached hash.
+        return (Fact, (self.relation, self.values))
+
     @property
     def arity(self) -> int:
         """Number of values in the fact."""

@@ -74,6 +74,13 @@ class Instance:
     def __setattr__(self, name, value):
         raise AttributeError("Instance is immutable")
 
+    def __reduce__(self):
+        # Default pickling is broken for the frozen-slots layout (it
+        # would setattr through the raising guard) and would re-validate
+        # every fact; the partitioned storage was validated when built,
+        # so rebuild it directly.
+        return (_unpickle_instance, (self.schema, self._rels))
+
     # -- constructors --------------------------------------------------------
 
     @classmethod
@@ -368,6 +375,10 @@ class Instance:
             return f"Instance(∅ over {list(self.schema)})"
         shown = ", ".join(repr(f) for f in sorted(self.facts()))
         return f"Instance({{{shown}}})"
+
+
+def _unpickle_instance(schema: DatabaseSchema, rels: dict) -> Instance:
+    return Instance._build(schema, rels)
 
 
 def instance(schema: DatabaseSchema, **relations: Iterable[Iterable[Value]]) -> Instance:

@@ -36,6 +36,11 @@ class FactMultiset:
     def __setattr__(self, name, value):
         raise AttributeError("FactMultiset is immutable")
 
+    def __reduce__(self):
+        # Default pickling would try setattr on the frozen slots; rebuild
+        # from (fact, count) pairs without replaying per-occurrence adds.
+        return (_unpickle_multiset, (tuple(self._counts.items()),))
+
     @classmethod
     def empty(cls) -> "FactMultiset":
         """The empty multiset."""
@@ -138,6 +143,10 @@ class FactMultiset:
             f"{f!r}x{n}" if n > 1 else repr(f) for f, n in sorted(self._counts.items())
         )
         return f"FactMultiset({{{inner}}})"
+
+
+def _unpickle_multiset(items: tuple) -> FactMultiset:
+    return _from_counter(Counter(dict(items)))
 
 
 def _from_counter(counts: Counter) -> FactMultiset:

@@ -9,7 +9,14 @@ compiler from Turing machines to Dedalus programs.
 
 from .ast import NOW, NOW_RELATION, DedalusRule, RuleKind
 from .compile_tm import accepts, compile_tm
-from .distributed import LINK_RELATION, localize, node_view, place, run_distributed
+from .distributed import (
+    LINK_RELATION,
+    localize,
+    node_view,
+    place,
+    run_distributed,
+    sweep_distributed,
+)
 from .interp import DedalusInterpreter, DedalusTrace, run_program, temporal_input
 from .parser import parse_dedalus_rule, parse_dedalus_rules
 from .program import DedalusProgram
@@ -64,6 +71,7 @@ __all__ = [
     "parse_dedalus_rules",
     "place",
     "run_distributed",
+    "sweep_distributed",
     "run_program",
     "temporal_input",
     "tm_anbn",

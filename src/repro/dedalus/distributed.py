@@ -174,6 +174,9 @@ def run_distributed(
     partition: HorizontalPartition,
     broadcast: set[str] | None = None,
     batch_async: bool = False,
+    seeds: tuple[int, ...] | None = None,
+    workers: int = 1,
+    backend: str | None = None,
     **run_kwargs,
 ):
     """Localize *program*, place *partition* on *network*, and run.
@@ -189,12 +192,72 @@ def run_distributed(
     argument the transducer runtime's batched mode rests on).
     Remaining ``run_kwargs`` go to
     :meth:`repro.dedalus.interp.DedalusInterpreter.run`.
+
+    With *seeds* (a tuple of arrival-schedule seeds), the run becomes a
+    sweep: the localized program is executed once per seed — in
+    parallel when ``workers > 1``, see :mod:`repro.net.sweep` — and a
+    list of traces comes back in seed order, identical to running the
+    seeds serially.  That is the Section 8 analogue of quantifying
+    consistency over fair runs: every arrival schedule must stabilize
+    to the same state.
     """
     from .interp import run_program
 
+    if seeds is not None:
+        return sweep_distributed(
+            program,
+            network,
+            [partition],
+            seeds=seeds,
+            broadcast=broadcast,
+            batch_async=batch_async,
+            workers=workers,
+            backend=backend,
+            **run_kwargs,
+        )
     localized = localize(program, broadcast)
     edb = place(partition, network)
     return run_program(localized, edb, batch_async=batch_async, **run_kwargs)
+
+
+def _distributed_task(context, task):
+    """Sweep worker: one localized run (module-level for fork shipping)."""
+    from .interp import run_program
+
+    localized, network, batch_async, run_kwargs = context
+    partition, seed = task
+    edb = place(partition, network)
+    return run_program(
+        localized, edb, seed=seed, batch_async=batch_async, **run_kwargs
+    )
+
+
+def sweep_distributed(
+    program: DedalusProgram,
+    network: Network,
+    partitions: list[HorizontalPartition],
+    seeds: tuple[int, ...] = (0,),
+    broadcast: set[str] | None = None,
+    batch_async: bool = False,
+    workers: int = 1,
+    backend: str | None = None,
+    **run_kwargs,
+) -> list:
+    """Run the partitions × seeds grid of distributed Dedalus runs.
+
+    The localization is compiled once and shared; each (partition,
+    seed) cell is an independent interpreter run, so the grid fans out
+    over the :class:`~repro.net.sweep.SweepExecutor` exactly like a
+    transducer consistency sweep.  Traces return in grid order
+    (partitions outer, seeds inner) for every worker count.
+    """
+    from ..net.sweep import SweepExecutor
+
+    localized = localize(program, broadcast)
+    executor = SweepExecutor(workers=workers, backend=backend)
+    context = (localized, network, batch_async, run_kwargs)
+    tasks = [(partition, seed) for partition in partitions for seed in seeds]
+    return executor.map(_distributed_task, context, tasks)
 
 
 def node_view(state: Instance, relation: str, node) -> frozenset:

@@ -36,6 +36,13 @@ class Configuration:
     def __setattr__(self, name, value):
         raise AttributeError("Configuration is immutable")
 
+    def __reduce__(self):
+        # Frozen slots break default pickling; the constructor only
+        # copies the two dicts and checks node agreement, so it is the
+        # cheap rebuild path (states/buffers pickle via their own
+        # __reduce__ hooks).
+        return (Configuration, (self.states, self.buffers))
+
     @property
     def nodes(self) -> frozenset:
         return frozenset(self.states)

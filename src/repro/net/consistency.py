@@ -36,28 +36,46 @@ class RunObservation:
 
 @dataclass
 class ConsistencyReport:
-    """Evidence gathered by :func:`check_consistency`."""
+    """Evidence gathered by :func:`check_consistency`.
+
+    ``memo_hits``/``memo_misses`` report cross-run convergence-memo
+    effectiveness when the sweep ran with one (both stay 0 otherwise).
+    """
 
     consistent: bool
     outputs: list[frozenset] = field(default_factory=list)
     observations: list[RunObservation] = field(default_factory=list)
     unconverged: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+
+    def _groups(self) -> dict[frozenset, list[RunObservation]]:
+        """Observations grouped by output, one O(n) pass, insertion-ordered."""
+        groups: dict[frozenset, list[RunObservation]] = {}
+        for obs in self.observations:
+            groups.setdefault(obs.result.output, []).append(obs)
+        return groups
 
     @property
     def distinct_outputs(self) -> list[frozenset]:
-        seen: list[frozenset] = []
-        for out in self.outputs:
-            if out not in seen:
-                seen.append(out)
-        return seen
+        # One dict pass instead of the old O(n²) list-membership scan;
+        # dict.fromkeys keeps first-seen order, matching the old result.
+        return list(dict.fromkeys(self.outputs))
 
     def witness_pair(self) -> tuple[RunObservation, RunObservation] | None:
-        """Two observations with different outputs, if any."""
-        for i, a in enumerate(self.observations):
-            for b in self.observations[i + 1 :]:
-                if a.result.output != b.result.output:
-                    return (a, b)
-        return None
+        """Two observations with different outputs, if any.
+
+        Matches the old O(n²) pairwise scan's answer — the
+        lexicographically first differing pair always involves the
+        first observation (any two observations that both equal it
+        cannot differ from each other), so grouping by output in one
+        pass suffices.
+        """
+        groups = self._groups()
+        if len(groups) <= 1:
+            return None
+        first, second = list(groups)[:2]
+        return (groups[first][0], groups[second][0])
 
 
 def observe_runs(
@@ -70,6 +88,9 @@ def observe_runs(
     max_steps: int = 20_000,
     batch_delivery: bool = False,
     convergence: str = "incremental",
+    workers: int = 1,
+    backend: str | None = None,
+    memo=None,
 ) -> list[RunObservation]:
     """Run (N, Π) on several partitions × schedules and record outputs.
 
@@ -78,25 +99,32 @@ def observe_runs(
     runs, and batched runs of batchable (oblivious, monotone,
     inflationary) transducers are fair
     runs too, so sampling them strengthens the evidence.
+
+    *workers*/*backend* select the sweep executor (see
+    :mod:`repro.net.sweep`): runs are independent, so they execute
+    concurrently without changing a single observation — the returned
+    list is identical to the serial one for every worker count.
+    *memo* opts into cross-run convergence memoization (``True`` for
+    the memo hung off the transducer, or an explicit
+    :class:`~repro.net.convergence.ConvergenceMemo`); it accelerates
+    checks without affecting verdicts.
     """
+    from .sweep import sweep_runs
+
     if partitions is None:
         partitions = sample_partitions(instance, network, partition_count)
-    observations = []
-    for partition in partitions:
-        for seed in seeds:
-            result = run_fair(
-                network,
-                transducer,
-                partition,
-                seed=seed,
-                max_steps=max_steps,
-                batch_delivery=batch_delivery,
-                convergence=convergence,
-            )
-            observations.append(
-                RunObservation(network, partition, seed, result)
-            )
-    return observations
+    return sweep_runs(
+        network,
+        transducer,
+        partitions,
+        seeds,
+        max_steps=max_steps,
+        batch_delivery=batch_delivery,
+        convergence=convergence,
+        workers=workers,
+        backend=backend,
+        memo=memo,
+    )
 
 
 def check_consistency(
@@ -109,12 +137,24 @@ def check_consistency(
     max_steps: int = 20_000,
     batch_delivery: bool = False,
     convergence: str = "incremental",
+    workers: int = 1,
+    backend: str | None = None,
+    memo=None,
 ) -> ConsistencyReport:
     """Empirical consistency check of (N, Π) on one instance.
 
     Consistency fails definitively if two fair runs produced different
     outputs; it is supported (not proved) when all sampled runs agree.
+    *workers*/*backend*/*memo* parallelize and memoize the underlying
+    sweep (see :func:`observe_runs`) without changing the report's
+    evidence; memo effectiveness is surfaced on the report.
     """
+    from .sweep import resolve_memo
+
+    memo = resolve_memo(memo, transducer)
+    hits0 = misses0 = 0
+    if memo is not None:
+        hits0, misses0 = memo.memo_hits, memo.memo_misses
     observations = observe_runs(
         network,
         transducer,
@@ -125,6 +165,9 @@ def check_consistency(
         max_steps,
         batch_delivery=batch_delivery,
         convergence=convergence,
+        workers=workers,
+        backend=backend,
+        memo=memo,
     )
     outputs = [obs.result.output for obs in observations]
     unconverged = sum(1 for obs in observations if not obs.result.converged)
@@ -134,6 +177,8 @@ def check_consistency(
         outputs=outputs,
         observations=observations,
         unconverged=unconverged,
+        memo_hits=memo.memo_hits - hits0 if memo is not None else 0,
+        memo_misses=memo.memo_misses - misses0 if memo is not None else 0,
     )
 
 
@@ -145,11 +190,16 @@ def computed_output(
     max_steps: int = 20_000,
     batch_delivery: bool = False,
     convergence: str = "incremental",
+    memo=None,
 ) -> frozenset:
     """The output of one canonical fair run (full replication, given seed).
 
     For a consistent network this *is* the computed query's answer.
+    *memo* shares convergence certificates with other runs of the same
+    transducer (the CALM monotonicity probes call this in a loop).
     """
+    from .sweep import resolve_memo
+
     partitions = sample_partitions(instance, network, 1)
     result = run_fair(
         network,
@@ -159,6 +209,7 @@ def computed_output(
         max_steps=max_steps,
         batch_delivery=batch_delivery,
         convergence=convergence,
+        memo=resolve_memo(memo, transducer),
     )
     return result.output
 
@@ -186,17 +237,27 @@ def check_topology_independence(
     partition_count: int = 3,
     seeds: tuple[int, ...] = (0, 1),
     max_steps: int = 20_000,
+    workers: int = 1,
+    backend: str | None = None,
+    memo=None,
 ) -> TopologyIndependenceReport:
     """Empirically check network-topology independence on one instance.
 
     Every sampled network must be internally consistent, and all
     networks must agree on the output.  The single-node network is
     always included — Example 4 fails exactly there.
+
+    A single *memo* is sound across all the networks probed here: the
+    memoized certificates depend only on the transducer, not on the
+    topology (see :class:`~repro.net.convergence.ConvergenceMemo`).
     """
+    from .sweep import resolve_memo
+
     if networks is None:
         networks = standard_topologies(4)
     if not any(len(net) == 1 for net in networks):
         networks = [single()] + list(networks)
+    memo = resolve_memo(memo, transducer)
     per_network: dict[str, frozenset] = {}
     inconsistent: list[str] = []
     for network in networks:
@@ -207,6 +268,9 @@ def check_topology_independence(
             partition_count=partition_count,
             seeds=seeds,
             max_steps=max_steps,
+            workers=workers,
+            backend=backend,
+            memo=memo,
         )
         if not report.consistent:
             inconsistent.append(network.name)

@@ -140,6 +140,123 @@ class _Witness:
     outputs: frozenset | None  # set when only the output bound failed
 
 
+class ConvergenceMemo:
+    """A cross-run store of (state, incoming-facts) → node summaries.
+
+    The tracker's certificates are pure functions of the *transducer*
+    (not of the run, the partition, the seed, or even the network —
+    :meth:`ConvergenceTracker._summarize` only consults
+    ``transducer.heartbeat``/``deliver``), so a sweep over many runs of
+    the same transducer can share them: hang one memo off the
+    transducer (``transducer.convergence_memo``), pass it to each run's
+    :class:`ConvergenceTracker`, and later runs start warm.  Never
+    share a memo between different transducers — entries would be
+    wrong, and nothing can detect it.
+
+    The memo is picklable (entries are Instances, Facts and
+    frozensets, all with cheap ``__reduce__`` hooks) and *mergeable*:
+    parallel sweep workers return the entries they built
+    (:meth:`drain_new`) and the parent folds them back in with
+    :meth:`merge`.  Merging is conflict-free — values are deterministic
+    in their key, so last-write-wins is a no-op on overlaps.
+
+    ``memo_hits``/``memo_misses`` count tracker lookups that were
+    served from / had to be computed despite the memo; they are
+    surfaced in :class:`~repro.net.consistency.ConsistencyReport` and
+    the E24 bench output.
+    """
+
+    def __init__(self, entries: dict | None = None):
+        self.entries: dict[tuple[Instance, frozenset[Fact]], _Summary | _NonQuiet] = (
+            dict(entries) if entries else {}
+        )
+        # Delta journal for parallel merge-back; None (off) until a
+        # worker calls start_journal(), so the serial path — where the
+        # tracker records straight into the shared store — never
+        # accumulates an unbounded second copy.
+        self._new: dict | None = None
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def get(self, key):
+        """A memoized summary for *key*, counting the hit or miss."""
+        value = self.entries.get(key)
+        if value is None:
+            self.memo_misses += 1
+        else:
+            self.memo_hits += 1
+        return value
+
+    def record(self, key, value) -> None:
+        """Store a freshly built summary (journalled when enabled)."""
+        self.entries[key] = value
+        if self._new is not None:
+            self._new[key] = value
+
+    def start_journal(self) -> None:
+        """Begin journalling fresh entries for :meth:`drain_new`."""
+        if self._new is None:
+            self._new = {}
+
+    def drain_new(self) -> dict:
+        """Entries recorded since the last drain (a worker's delta)."""
+        delta = self._new or {}
+        self._new = {}
+        return delta
+
+    def merge(self, other: "ConvergenceMemo | dict") -> int:
+        """Fold another memo (or a drained delta) in; returns #added."""
+        if isinstance(other, ConvergenceMemo):
+            entries = other.entries
+        else:
+            entries = other
+        before = len(self.entries)
+        self.entries.update(entries)
+        return len(self.entries) - before
+
+    def add_counts(self, hits: int, misses: int) -> None:
+        """Aggregate hit/miss counters reported back by a worker."""
+        self.memo_hits += hits
+        self.memo_misses += misses
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self.entries),
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+        }
+
+    def __reduce__(self):
+        return (_unpickle_memo, (self.entries, self.memo_hits, self.memo_misses))
+
+    def __repr__(self) -> str:
+        return (
+            f"ConvergenceMemo({len(self.entries)} entries, "
+            f"hits={self.memo_hits}, misses={self.memo_misses})"
+        )
+
+
+def _unpickle_memo(entries: dict, hits: int, misses: int) -> ConvergenceMemo:
+    memo = ConvergenceMemo(entries)
+    memo.memo_hits = hits
+    memo.memo_misses = misses
+    return memo
+
+
+def shared_memo(transducer: Transducer) -> ConvergenceMemo:
+    """Get-or-create the memo hung off *transducer* (like its
+    transition cache; see :class:`ConvergenceMemo` for why the
+    transducer is the right scope)."""
+    memo = getattr(transducer, "convergence_memo", None)
+    if memo is None:
+        memo = ConvergenceMemo()
+        transducer.convergence_memo = memo
+    return memo
+
+
 class ConvergenceTracker:
     """Incremental convergence checking with delta invalidation.
 
@@ -148,6 +265,12 @@ class ConvergenceTracker:
     :meth:`note_transition` is an optional hint that keeps the
     cheap-path bookkeeping exact; :meth:`check` is self-contained and
     correct without it.
+
+    *memo* plugs in a cross-run :class:`ConvergenceMemo`: summaries it
+    already holds are used instead of being re-proven, and summaries
+    built here are recorded into it.  Verdicts are unaffected — the
+    memoized certificates equal what :meth:`_summarize` would compute
+    (the Hypothesis suite pins warm == fresh).
     """
 
     def __init__(
@@ -155,6 +278,7 @@ class ConvergenceTracker:
         network: Network,
         transducer: Transducer,
         memo_limit: int = 8_192,
+        memo: ConvergenceMemo | None = None,
     ):
         self.network = network
         self.transducer = transducer
@@ -162,6 +286,7 @@ class ConvergenceTracker:
         self._neighbors = {v: tuple(network.neighbors(v)) for v in self._nodes}
         self._memo: dict[tuple[Instance, frozenset[Fact]], _Summary | _NonQuiet] = {}
         self._memo_limit = memo_limit
+        self._shared = memo
         self._witnesses: list[_Witness] = []
         self._last_config: Configuration | None = None
         self._last_produced: frozenset | None = None
@@ -178,6 +303,18 @@ class ConvergenceTracker:
     def note_transition(self, transition) -> None:
         """Record that the configuration changed since the last check."""
         self._dirty = True
+
+    def witness_facts(self) -> list[tuple[Node, Fact]]:
+        """The (node, fact) deliveries among the cached failure witnesses.
+
+        These are the concrete transitions the last check proved were
+        keeping the run alive (a state change or unproduced output on
+        delivery of a still-buffered fact) — exactly what a scheduler
+        should deliver next to shorten the convergence tail.  Heartbeat
+        witnesses (fact is None) are excluded: heartbeats happen every
+        round anyway.
+        """
+        return [(w.node, w.fact) for w in self._witnesses if w.fact is not None]
 
     # -- the check ----------------------------------------------------------
 
@@ -260,7 +397,16 @@ class ConvergenceTracker:
             key = (states[v], incoming[v])
             cached = memo.pop(key, None)
             if cached is None:
-                cached = self._summarize(key[0], key[1])
+                # Miss in the run-local LRU: consult the cross-run memo
+                # before paying for a fresh proof, and record fresh
+                # proofs into it so later runs in the sweep start warm.
+                if self._shared is not None:
+                    cached = self._shared.get(key)
+                    if cached is None:
+                        cached = self._summarize(key[0], key[1])
+                        self._shared.record(key, cached)
+                else:
+                    cached = self._summarize(key[0], key[1])
                 if len(memo) >= self._memo_limit:
                     # LRU eviction: drop the least-recently-used entry
                     # (hits below re-insert, refreshing recency).

@@ -84,6 +84,13 @@ def heartbeat_output(
     return result.output
 
 
+def _heartbeat_probe(context, partition):
+    """Sweep worker: one heartbeat-only probe (module-level so the
+    parallel executor can ship it to forked workers)."""
+    network, transducer, max_rounds = context
+    return heartbeat_output(network, transducer, partition, max_rounds)
+
+
 def check_coordination_free_on(
     network: Network,
     transducer: Transducer,
@@ -92,6 +99,8 @@ def check_coordination_free_on(
     exhaustive_limit: int = 4_096,
     sample_count: int = 12,
     max_rounds: int = 1_000,
+    workers: int = 1,
+    backend: str | None = None,
 ) -> CoordinationFreenessReport:
     """Search for a witness partition on *network* for *instance*.
 
@@ -102,7 +111,18 @@ def check_coordination_free_on(
     exhaustive, making a negative verdict a proof (for this instance and
     round bound); otherwise a negative verdict only reports that no
     sampled partition works.
+
+    *workers*/*backend* probe candidate partitions concurrently, in
+    chunks.  The report is deterministic and identical to the serial
+    search: candidates keep their enumeration order, the witness is the
+    *first* succeeding partition in that order, and ``partitions_tried``
+    counts up to it — parallelism only changes how much speculative
+    probing happens beyond the witness, never what is reported.
     """
+    from itertools import islice
+
+    from .sweep import SweepExecutor
+
     nodes = len(network)
     space = (2**nodes - 1) ** max(len(instance), 1)
     exhaustive = space <= exhaustive_limit
@@ -114,18 +134,29 @@ def check_coordination_free_on(
             sample_partitions(instance, network, sample_count)
         )
 
+    executor = SweepExecutor(workers=workers, backend=backend)
+    context = (network, transducer, max_rounds)
+    chunk_size = 1 if executor.backend == "serial" else executor.workers
     tried = 0
-    for partition in candidates:
-        tried += 1
-        output = heartbeat_output(network, transducer, partition, max_rounds)
-        if output == expected_output:
-            return CoordinationFreenessReport(
-                coordination_free=True,
-                witness=partition,
-                expected_output=expected_output,
-                partitions_tried=tried,
-                exhaustive=exhaustive,
-            )
+    # One session for the whole search: the worker pool is forked once
+    # and reused across chunks (probes are small; per-chunk pools would
+    # be dominated by fork setup).
+    with executor.open(_heartbeat_probe, context) as session:
+        while True:
+            chunk = list(islice(candidates, chunk_size))
+            if not chunk:
+                break
+            outputs = session.map(chunk)
+            for partition, output in zip(chunk, outputs):
+                tried += 1
+                if output == expected_output:
+                    return CoordinationFreenessReport(
+                        coordination_free=True,
+                        witness=partition,
+                        expected_output=expected_output,
+                        partitions_tried=tried,
+                        exhaustive=exhaustive,
+                    )
     return CoordinationFreenessReport(
         coordination_free=False,
         witness=None,

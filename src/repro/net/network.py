@@ -60,6 +60,18 @@ class Network:
     def __setattr__(self, name, value):
         raise AttributeError("Network is immutable")
 
+    def __reduce__(self):
+        # Frozen slots break default pickling; rebuild through the
+        # constructor (re-running the connectivity check is O(V + E)).
+        return (
+            Network,
+            (
+                tuple(self.sorted_nodes()),
+                tuple(tuple(edge) for edge in sorted(self._edges, key=repr)),
+                self.name,
+            ),
+        )
+
     def _is_connected(self) -> bool:
         start = next(iter(self._nodes))
         seen = {start}

@@ -42,6 +42,31 @@ class HorizontalPartition:
     def __setattr__(self, name, value):
         raise AttributeError("HorizontalPartition is immutable")
 
+    def __reduce__(self):
+        # Frozen slots break default pickling, and the constructor's
+        # coverage check is O(|I| · nodes); the fragments were validated
+        # when first built, so rebuild the object directly.
+        return (_unpickle_partition, (self.instance, self._fragments))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HorizontalPartition):
+            return NotImplemented
+        return (
+            self.instance == other.instance
+            and self._fragments == other._fragments
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.instance,
+                frozenset(
+                    (repr(node), fragment)
+                    for node, fragment in self._fragments.items()
+                ),
+            )
+        )
+
     def fragment(self, node: Node) -> Instance:
         """``H(v)`` — the sub-instance placed at *node*."""
         return self._fragments[node]
@@ -59,6 +84,15 @@ class HorizontalPartition:
 
     def __repr__(self) -> str:
         return f"HorizontalPartition({self.describe()})"
+
+
+def _unpickle_partition(
+    instance: Instance, fragments: dict
+) -> HorizontalPartition:
+    partition = object.__new__(HorizontalPartition)
+    object.__setattr__(partition, "instance", instance)
+    object.__setattr__(partition, "_fragments", fragments)
+    return partition
 
 
 def full_replication(instance: Instance, network: Network) -> HorizontalPartition:

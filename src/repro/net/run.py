@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 
 from ..core.transducer import Transducer
 from .config import Configuration, initial_configuration
-from .convergence import ConvergenceTracker, is_converged
+from .convergence import ConvergenceMemo, ConvergenceTracker, is_converged
 from .network import Network, Node
 from .partition import HorizontalPartition
 from .scheduler import (
@@ -42,6 +42,7 @@ from .scheduler import (
     HeartbeatOnlyScheduler,
     RoundRobinBatchScheduler,
     Scheduler,
+    WitnessGuidedScheduler,
     require_batchable,
 )
 from .transition import GlobalTransition, deliver, deliver_batch, heartbeat
@@ -56,6 +57,7 @@ __all__ = [
     "run_heartbeat_only",
     "run_round_robin_batch",
     "run_schedule",
+    "run_witness_guided",
 ]
 
 
@@ -139,7 +141,7 @@ class RunContext:
     skipped nodes); ``stats`` are the running counters.
     """
 
-    __slots__ = ("network", "transducer", "config", "stats", "_outputs")
+    __slots__ = ("network", "transducer", "config", "stats", "_outputs", "tracker")
 
     def __init__(
         self,
@@ -154,6 +156,10 @@ class RunContext:
         self.config = config
         self.stats = stats
         self._outputs = outputs
+        #: The run's ConvergenceTracker when the incremental engine is
+        #: active, else None.  Witness-aware schedulers read its cached
+        #: failure witnesses; treat it as read-only.
+        self.tracker = None
 
     @property
     def produced(self) -> frozenset:
@@ -168,6 +174,7 @@ def run_schedule(
     max_steps: int | None = 20_000,
     keep_trace: bool = False,
     convergence: str = "incremental",
+    memo: "ConvergenceMemo | None" = None,
 ) -> RunResult:
     """Execute *scheduler*'s schedule, truncated at convergence.
 
@@ -175,6 +182,11 @@ def run_schedule(
     default — a per-run :class:`ConvergenceTracker`) or ``"exact"``
     (the from-scratch reference test).  Both produce the same verdicts;
     the Hypothesis suite pins the equality.
+
+    *memo* plugs a cross-run :class:`ConvergenceMemo` into the
+    incremental tracker, so quiescence certificates proven by earlier
+    runs of the same transducer are reused (and new ones recorded).
+    Verdicts — and hence the run — are unaffected; only check speed is.
 
     *max_steps* bounds the number of committed transitions (``None``
     for no bound — round-based schedulers carry their own round
@@ -193,10 +205,11 @@ def run_schedule(
     ctx = RunContext(network, transducer, config, stats, outputs)
 
     tracker = (
-        ConvergenceTracker(network, transducer)
+        ConvergenceTracker(network, transducer, memo=memo)
         if convergence == "incremental"
         else None
     )
+    ctx.tracker = tracker
 
     def check() -> bool:
         produced = outputs.frozen()
@@ -271,6 +284,7 @@ def run_fair(
     batch_delivery: bool = False,
     convergence: str = "incremental",
     scheduler: Scheduler | None = None,
+    memo: ConvergenceMemo | None = None,
 ) -> RunResult:
     """A seeded random fair run, truncated at convergence.
 
@@ -301,6 +315,7 @@ def run_fair(
         max_steps=max_steps,
         keep_trace=keep_trace,
         convergence=convergence,
+        memo=memo,
     )
 
 
@@ -336,6 +351,7 @@ def run_fifo_rounds(
     keep_trace: bool = False,
     batch_delivery: bool = False,
     convergence: str = "incremental",
+    memo: ConvergenceMemo | None = None,
 ) -> RunResult:
     """The deterministic fifo round schedule of Theorem 16's proof.
 
@@ -358,6 +374,7 @@ def run_fifo_rounds(
         max_steps=None,
         keep_trace=keep_trace,
         convergence=convergence,
+        memo=memo,
     )
 
 
@@ -369,6 +386,7 @@ def run_round_robin_batch(
     keep_trace: bool = False,
     batch_delivery: bool = True,
     convergence: str = "incremental",
+    memo: ConvergenceMemo | None = None,
 ) -> RunResult:
     """The round-robin batched-delivery schedule (new in the scheduler
     refactor): per round each node drains its whole buffer in one
@@ -388,4 +406,39 @@ def run_round_robin_batch(
         max_steps=None,
         keep_trace=keep_trace,
         convergence=convergence,
+        memo=memo,
+    )
+
+
+def run_witness_guided(
+    network: Network,
+    transducer: Transducer,
+    partition: HorizontalPartition,
+    max_rounds: int = 2_000,
+    keep_trace: bool = False,
+    batch_delivery: bool = False,
+    memo: ConvergenceMemo | None = None,
+) -> RunResult:
+    """A round-based run that delivers the convergence tracker's cached
+    failure-witness facts first.
+
+    The tracker's witnesses name the exact still-enabled transitions
+    refuting convergence; delivering those facts first retires the
+    refutations as directly as possible, shortening the convergence
+    tail (the ROADMAP's witness-guided-scheduling item).  Every node
+    still heartbeats each round and every buffer keeps draining, so the
+    schedule is fair.  The convergence engine is pinned to
+    ``"incremental"`` — witnesses only exist there.
+    """
+    return run_schedule(
+        network,
+        transducer,
+        partition,
+        WitnessGuidedScheduler(
+            max_rounds=max_rounds, batch_delivery=batch_delivery
+        ),
+        max_steps=None,
+        keep_trace=keep_trace,
+        convergence="incremental",
+        memo=memo,
     )

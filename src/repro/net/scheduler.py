@@ -21,7 +21,7 @@ A scheduler is a generator of :class:`Action` values:
   verdict (``return True/False``) or ``None`` to delegate to a final
   convergence check.
 
-Four implementations ship:
+Five implementations ship:
 
 * :class:`FairRandomScheduler` — the seeded random fair workhorse
   (bit-for-bit the schedule :func:`~repro.net.run.run_fair` always
@@ -30,8 +30,11 @@ Four implementations ship:
   state-cycle detection (the Section 5 coordination-freeness probe);
 * :class:`FifoRoundsScheduler` — the deterministic fifo round schedule
   of Theorem 16's proof, with skip-node support;
-* :class:`RoundRobinBatchScheduler` — a new round-based scheduler that
-  drains each nonempty buffer in one batched delivery per visit.
+* :class:`RoundRobinBatchScheduler` — a round-based scheduler that
+  drains each nonempty buffer in one batched delivery per visit;
+* :class:`WitnessGuidedScheduler` — a round-based scheduler that
+  delivers the convergence tracker's cached failure-witness facts
+  first, shortening convergence tails.
 
 Batched delivery (one transition reads a node's whole buffer) is an
 opt-in fast path that is only sound for *oblivious, monotone,
@@ -315,6 +318,77 @@ class FifoRoundsScheduler(Scheduler):
         return False
 
 
+class WitnessGuidedScheduler(Scheduler):
+    """Round-based delivery that retires convergence witnesses first.
+
+    The incremental :class:`~repro.net.convergence.ConvergenceTracker`
+    caches *failure witnesses*: concrete still-enabled transitions —
+    typically a buffered fact whose delivery changes a node state or
+    produces missing output — that refuted the last convergence check.
+    Those facts are exactly what keeps the run alive, so each round
+    delivers them before the ordinary drain sweep, shortening the
+    convergence tail (the ROADMAP's witness-guided-scheduling item).
+
+    Round shape: heartbeat every node in sorted order; deliver every
+    currently-buffered witness fact; then one rotating distinct fact
+    per remaining nonempty buffer (or a whole-buffer drain with
+    ``batch_delivery=True``, gated as usual); then check.  Every node
+    heartbeats every round and every nonempty buffer progresses every
+    round, so the schedule is fair, and on batchable transducers the
+    accumulated output equals any fair run's (the CALM
+    schedule-invariance argument — the Hypothesis suite pins
+    witness-guided == fair).
+
+    Requires the incremental convergence engine — with
+    ``convergence="exact"`` there is no tracker and the schedule
+    degrades gracefully to plain round-robin delivery.
+    """
+
+    name = "witness-guided"
+
+    def __init__(self, max_rounds: int = 2_000, batch_delivery: bool = False):
+        self.max_rounds = max_rounds
+        self.uses_batching = batch_delivery
+
+    def schedule(self, ctx) -> Schedule:
+        nodes = ctx.network.sorted_nodes()
+        cursor = {v: 0 for v in nodes}
+        yield Action.check()
+        for _ in range(self.max_rounds):
+            for node in nodes:
+                yield Action.heartbeat(node)
+            delivered: set = set()
+            tracker = ctx.tracker
+            if tracker is not None and not self.uses_batching:
+                for node, f in tracker.witness_facts():
+                    if (node, f) in delivered:
+                        continue
+                    if f in ctx.config.buffer(node):
+                        delivered.add((node, f))
+                        yield Action.deliver(node, f)
+            elif tracker is not None:
+                # Batched mode: a drain subsumes every witness at the
+                # node, so just put witness nodes first in the sweep.
+                for node, _ in tracker.witness_facts():
+                    if node in delivered:
+                        continue
+                    if ctx.config.buffer(node):
+                        delivered.add(node)
+                        yield Action.deliver_batch(node)
+            for node in ctx.config.nonempty_buffer_nodes():
+                if self.uses_batching:
+                    yield Action.deliver_batch(node)
+                else:
+                    choices = ctx.config.distinct_buffer(node)
+                    f = choices[cursor[node] % len(choices)]
+                    cursor[node] += 1
+                    if (node, f) in delivered:
+                        continue
+                    yield Action.deliver(node, f)
+            yield Action.check()
+        return False
+
+
 class RoundRobinBatchScheduler(Scheduler):
     """Round-based batched delivery: heartbeat sweep, then drain buffers.
 
@@ -363,4 +437,5 @@ SCHEDULERS: dict[str, type[Scheduler]] = {
     HeartbeatOnlyScheduler.name: HeartbeatOnlyScheduler,
     FifoRoundsScheduler.name: FifoRoundsScheduler,
     RoundRobinBatchScheduler.name: RoundRobinBatchScheduler,
+    WitnessGuidedScheduler.name: WitnessGuidedScheduler,
 }

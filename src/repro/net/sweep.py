@@ -1,0 +1,275 @@
+"""Parallel sweep execution with cross-run convergence memoization.
+
+The paper's semantic properties (consistency, coordination-freeness,
+CALM) quantify over *many* fair runs — every partition × seed ×
+scheduler combination — and each of those runs is completely
+independent of the others: a seeded schedule is a pure function of
+``(network, transducer, partition, seed)``.  That independence is
+exactly what makes parallelism safe (the same observation the
+Canonical Amoebot Model makes for its concurrency layer): executing
+the runs of a sweep concurrently cannot change any observation, so the
+executor here guarantees **determinism** — the observation list it
+returns is identical, observation for observation, to the serial
+sweep's, whatever the worker count.  Results are ordered by task
+index, never by completion.
+
+Two layers:
+
+* :class:`SweepExecutor` — a deterministic ordered map over sweep
+  tasks with ``serial`` and ``multiprocessing`` backends.  The
+  multiprocessing backend uses *fork* workers, so the heavy shared
+  context (network, transducer with its warm transition cache, the
+  convergence memo) is inherited by workers without pickling; only
+  tasks and results cross process boundaries (everything they contain
+  has a cheap ``__reduce__``).  Where fork is unavailable the executor
+  quietly degrades to serial — same results, no parallelism.
+* :func:`sweep_runs` — the unit-of-work-is-one-run sweep used by
+  :func:`repro.net.consistency.observe_runs`: fan a partitions × seeds
+  grid of fair runs over the executor, with an optional cross-run
+  :class:`~repro.net.convergence.ConvergenceMemo` pre-seeded into
+  every run's tracker and merged back afterwards, so later runs in the
+  sweep start warm.  The memo only changes check *speed*, never
+  verdicts (its certificates are pure functions of the transducer), so
+  the determinism contract survives memo sharing — the Hypothesis
+  suite pins both halves.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+from ..core.transducer import Transducer
+from .consistency import RunObservation
+from .convergence import ConvergenceMemo, shared_memo
+from .network import Network
+from .partition import HorizontalPartition
+from .run import run_fair
+
+__all__ = [
+    "BACKENDS",
+    "SweepExecutor",
+    "SweepSession",
+    "resolve_memo",
+    "sweep_runs",
+]
+
+BACKENDS = ("serial", "multiprocessing")
+
+
+def _fork_context():
+    """The fork multiprocessing context, or None where unsupported."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        return None
+
+
+# The (fn, context) pair installed in each pool worker by the
+# initializer.  With the fork start method this is inherited memory,
+# not a pickle — which is what lets the context carry transducers with
+# arbitrary (unpicklable) PythonQuery closures and warm caches.
+_WORKER_PAYLOAD = None
+
+
+def _init_worker(payload) -> None:
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = payload
+
+
+def _call_worker(item):
+    fn, context = _WORKER_PAYLOAD
+    return fn(context, item)
+
+
+class SweepExecutor:
+    """A deterministic ordered map over the tasks of a sweep.
+
+    ``backend`` is ``"serial"`` or ``"multiprocessing"`` (default:
+    multiprocessing exactly when ``workers > 1``).  The backend is
+    resolved once at construction — if fork is unavailable the executor
+    *is* serial from then on, so callers can branch on
+    ``executor.backend`` to decide merge-back bookkeeping.
+
+    :meth:`map` applies a module-level function ``fn(context, item)``
+    to every item.  The context is shipped to workers by fork
+    inheritance (never pickled); items and results are pickled, so
+    they must round-trip — the repro core types all do.  Results come
+    back in item order regardless of completion order: that is the
+    determinism contract every sweep in the library relies on.
+    """
+
+    def __init__(self, workers: int = 1, backend: str | None = None):
+        workers = max(1, int(workers))
+        if backend is None:
+            backend = "multiprocessing" if workers > 1 else "serial"
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown sweep backend {backend!r}; expected one of {BACKENDS}"
+            )
+        if backend == "multiprocessing" and (
+            workers == 1 or _fork_context() is None
+        ):
+            backend = "serial"
+        self.workers = workers
+        self.backend = backend
+
+    def map(self, fn, context, items) -> list:
+        with self.open(fn, context) as session:
+            return session.map(items)
+
+    def open(self, fn, context) -> "SweepSession":
+        """A reusable mapping session (one worker pool for its lifetime).
+
+        Chunked searches (the coordination-freeness witness probe) call
+        :meth:`SweepSession.map` repeatedly; opening the pool once
+        amortizes the fork setup across every chunk instead of paying
+        it per chunk.
+        """
+        return SweepSession(self, fn, context)
+
+    def __repr__(self) -> str:
+        return f"SweepExecutor(workers={self.workers}, backend={self.backend!r})"
+
+
+class SweepSession:
+    """A live mapping session of a :class:`SweepExecutor`.
+
+    Serial sessions apply the function inline; multiprocessing sessions
+    hold one fork pool, created lazily on the first non-trivial
+    :meth:`map` and reused until :meth:`close` (or the ``with`` block)
+    tears it down.  Results always come back in item order.
+    """
+
+    def __init__(self, executor: SweepExecutor, fn, context):
+        self._executor = executor
+        self._fn = fn
+        self._context = context
+        self._pool = None
+
+    def map(self, items) -> list:
+        items = list(items)
+        if self._executor.backend == "serial" or not items:
+            return [self._fn(self._context, item) for item in items]
+        if self._pool is None:
+            self._pool = _fork_context().Pool(
+                self._executor.workers,
+                initializer=_init_worker,
+                initargs=((self._fn, self._context),),
+            )
+        return self._pool.map(_call_worker, items, chunksize=1)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "SweepSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def resolve_memo(
+    memo: "ConvergenceMemo | bool | None", transducer: Transducer
+) -> ConvergenceMemo | None:
+    """Normalize the ``memo=`` knob the sweep entry points accept.
+
+    ``None``/``False`` → no cross-run memo; ``True`` → the memo hung
+    off the transducer (created on first use, like the transition
+    cache); a :class:`ConvergenceMemo` → itself.
+    """
+    if memo is None or memo is False:
+        return None
+    if memo is True:
+        return shared_memo(transducer)
+    if not isinstance(memo, ConvergenceMemo):
+        raise TypeError(f"memo must be a ConvergenceMemo or bool, got {memo!r}")
+    return memo
+
+
+def _run_task(context, task):
+    """One unit of work: a full seeded fair run (serial path)."""
+    network, transducer, memo, run_kwargs = context
+    partition, seed = task
+    result = run_fair(
+        network, transducer, partition, seed=seed, memo=memo, **run_kwargs
+    )
+    return RunObservation(network, partition, seed, result)
+
+
+def _run_task_mp(context, task):
+    """One unit of work in a forked worker: run, then ship the memo delta.
+
+    The worker's memo is the fork-inherited copy of the parent's — warm
+    with everything known at pool creation, plus whatever this worker
+    has proven since (per-worker warmth accumulates across its tasks).
+    The freshly proven entries and the hit/miss counter deltas travel
+    back with the observation for the parent to merge.
+    """
+    network, transducer, memo, run_kwargs = context
+    partition, seed = task
+    if memo is not None:
+        memo.start_journal()
+        hits0, misses0 = memo.memo_hits, memo.memo_misses
+    result = run_fair(
+        network, transducer, partition, seed=seed, memo=memo, **run_kwargs
+    )
+    observation = RunObservation(network, partition, seed, result)
+    if memo is None:
+        return observation, None, 0, 0
+    return (
+        observation,
+        memo.drain_new(),
+        memo.memo_hits - hits0,
+        memo.memo_misses - misses0,
+    )
+
+
+def sweep_runs(
+    network: Network,
+    transducer: Transducer,
+    partitions: list[HorizontalPartition],
+    seeds: tuple[int, ...],
+    max_steps: int = 20_000,
+    batch_delivery: bool = False,
+    convergence: str = "incremental",
+    workers: int = 1,
+    backend: str | None = None,
+    memo: "ConvergenceMemo | bool | None" = None,
+) -> list[RunObservation]:
+    """Run the partitions × seeds grid of fair runs, possibly in parallel.
+
+    Returns the observations in grid order (partitions outer, seeds
+    inner) — identical to the serial loop for every worker count: same
+    seeds, same runs, just executed concurrently.  With *memo*, every
+    run's :class:`~repro.net.convergence.ConvergenceTracker` is
+    pre-seeded with the accumulated cross-run certificates and its new
+    ones are folded back, warming later runs; verdicts (and hence
+    observations) are unaffected.
+    """
+    memo = resolve_memo(memo, transducer)
+    executor = SweepExecutor(workers=workers, backend=backend)
+    run_kwargs = {
+        "max_steps": max_steps,
+        "batch_delivery": batch_delivery,
+        "convergence": convergence,
+    }
+    tasks = [(partition, seed) for partition in partitions for seed in seeds]
+    context = (network, transducer, memo, run_kwargs)
+    if executor.backend == "serial" or len(tasks) <= 1:
+        # In-process execution (including the nothing-to-fan-out case):
+        # the tracker records straight into the parent memo — runs warm
+        # each other directly, nothing to merge.  _run_task_mp must not
+        # run in-parent: its journal/counter bookkeeping assumes a
+        # forked memo copy and would double-count on the shared one.
+        return [_run_task(context, task) for task in tasks]
+    outcomes = executor.map(_run_task_mp, context, tasks)
+    observations = []
+    for observation, delta, hits, misses in outcomes:
+        observations.append(observation)
+        if memo is not None and delta is not None:
+            memo.merge(delta)
+            memo.add_counts(hits, misses)
+    return observations

@@ -9,7 +9,9 @@ from repro.dedalus import (
     localize,
     node_view,
     place,
+    run_distributed,
     run_program,
+    sweep_distributed,
 )
 from repro.net import full_replication, line, ring, round_robin
 
@@ -148,3 +150,38 @@ class TestDistributedRun:
         assert trace.stable
         for v in net.sorted_nodes():
             assert node_view(trace.final(), "T", v) == frozenset()
+
+
+class TestDistributedSweep:
+    """The PR 3 sweep path: seeds × partitions grids, serial == parallel."""
+
+    def test_run_distributed_seed_sweep(self, chain):
+        net = ring(3)
+        prog = DedalusProgram.parse(TC_LOCAL, S2)
+        traces = run_distributed(
+            prog, net, round_robin(chain, net),
+            seeds=(0, 1, 2), max_steps=300,
+        )
+        assert len(traces) == 3
+        for trace in traces:
+            assert trace.stable
+            for v in net.sorted_nodes():
+                assert node_view(trace.final(), "T", v) == EXPECTED_TC
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_sweep_grid_order_is_deterministic(self, chain, workers):
+        net = line(2)
+        prog = DedalusProgram.parse(TC_LOCAL, S2)
+        partitions = [round_robin(chain, net), full_replication(chain, net)]
+        serial = sweep_distributed(
+            prog, net, partitions, seeds=(0, 1), max_steps=300,
+        )
+        swept = sweep_distributed(
+            prog, net, partitions, seeds=(0, 1), max_steps=300,
+            workers=workers, backend="multiprocessing",
+        )
+        assert len(swept) == len(serial) == 4
+        for a, b in zip(serial, swept):
+            assert a.stabilized_at == b.stabilized_at
+            assert a.steps == b.steps
+            assert a.final() == b.final()

@@ -58,12 +58,13 @@ def flood():
 
 
 class TestRegistry:
-    def test_all_four_schedulers_registered(self):
+    def test_all_five_schedulers_registered(self):
         assert set(SCHEDULERS) == {
             "fair-random",
             "heartbeat-only",
             "fifo-rounds",
             "round-robin-batch",
+            "witness-guided",
         }
 
     def test_result_carries_scheduler_name(self):
