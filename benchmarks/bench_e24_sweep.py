@@ -35,7 +35,7 @@ from conftest import once
 
 from repro.core import transitive_closure_transducer
 from repro.db import instance, schema
-from repro.net import check_consistency, line
+from repro.net import RunCache, check_consistency, line
 
 S2 = schema(S=2)
 CHAIN_FACTS = 20
@@ -49,6 +49,27 @@ WORKER_COUNTS = tuple(
 )
 REQUIRED_SPEEDUP = 2.5
 SNAPSHOT = pathlib.Path(__file__).with_name("BENCH_sweep.json")
+# A persisted RunCache bundle (the CI warm-start artifact, see E25):
+# when present, its convergence-memo snapshot pre-seeds the warming
+# sweep so CI jobs start warm across runs.  The cold measurement is
+# untouched — the bar stays honest.
+WARMSTART = os.environ.get("REPRO_RUNCACHE")
+
+
+def _preseed_memo(transducer) -> None:
+    if not WARMSTART or not os.path.exists(WARMSTART):
+        return
+    try:
+        saved = RunCache.load(WARMSTART)
+    except Exception:
+        # Warm-starting is pure opportunism: a truncated, cross-version
+        # or otherwise unreadable bundle means a cold start, never a
+        # failed bench (pickle alone can raise UnpicklingError,
+        # EOFError, AttributeError, ImportError ...).
+        return
+    memo = saved.memo_for(transducer)
+    if memo is not None:
+        transducer.convergence_memo = memo
 
 
 def _signature(observations):
@@ -79,6 +100,7 @@ def test_e24_parallel_warm_sweep(benchmark, report):
         snapshot.append({"sweep": "serial-cold", "workers": 1,
                          "seconds": round(t_cold, 3)})
 
+        _preseed_memo(transducer)
         t0 = time.perf_counter()
         warming = check_consistency(net, transducer, chain, memo=True, **kwargs)
         t_warming = time.perf_counter() - t0
@@ -101,8 +123,9 @@ def test_e24_parallel_warm_sweep(benchmark, report):
         for workers in WORKER_COUNTS:
             t0 = time.perf_counter()
             warm = check_consistency(
-                net, transducer, chain, memo=True,
-                workers=workers, backend="multiprocessing", **kwargs,
+                net, transducer, chain, memo=True, workers=workers,
+                backend="multiprocessing" if workers > 1 else None,
+                **kwargs,
             )
             t_warm = time.perf_counter() - t0
             speedup = t_cold / max(t_warm, 1e-9)

@@ -46,6 +46,7 @@ class ComputedQuery(Query):
         batch_delivery: bool = False,
         convergence: str = "incremental",
         memo=None,
+        run_cache=None,
     ):
         self.transducer = transducer
         self.network = network if network is not None else line(2)
@@ -57,6 +58,10 @@ class ComputedQuery(Query):
         # this query on dozens of instances of the same transducer, so
         # certificates proven in one evaluation warm the next.
         self.memo = memo
+        # Run-level cache: repeated evaluations on the *same* instance
+        # (CALM re-derives Q(I) per probe, CI re-derives it per job)
+        # skip the reference run entirely.
+        self.run_cache = run_cache
         self.arity = transducer.schema.output_arity
         self.input_schema = transducer.schema.inputs
 
@@ -73,6 +78,7 @@ class ComputedQuery(Query):
             batch_delivery=self.batch_delivery,
             convergence=self.convergence,
             memo=self.memo,
+            run_cache=self.run_cache,
         )
 
     def __repr__(self) -> str:
@@ -130,6 +136,8 @@ def calm_verdict(
     workers: int = 1,
     backend: str | None = None,
     memo=None,
+    run_cache=None,
+    pool=None,
 ) -> CalmVerdict:
     """Assemble the full CALM diagnostic for one transducer.
 
@@ -145,17 +153,23 @@ def calm_verdict(
     *workers*/*backend* parallelize the run sweeps underneath
     (coordination witness search, NTI consistency probes); *memo*
     shares one cross-run convergence memo across every fair run the
-    diagnostic performs — one transducer, hence one sound scope.  All
-    verdicts are identical with or without either knob.
+    diagnostic performs — one transducer, hence one sound scope.
+    *run_cache* skips whole runs the cache has seen (the diagnostic
+    re-executes many identical cells across its probes — and across
+    *diagnostics*, since the cache is fingerprint-keyed); *pool* runs
+    every sweep underneath through one live fork pool.  All verdicts
+    are identical with or without any of these knobs.
     """
+    from ..net.runcache import resolve_run_cache
     from ..net.sweep import resolve_memo
 
     network = network if network is not None else line(2)
     flags = property_report(transducer)
     memo = resolve_memo(memo, transducer)
+    run_cache = resolve_run_cache(run_cache, transducer)
     query = ComputedQuery(
         transducer, network, seed=seed, batch_delivery=batch_delivery,
-        memo=memo,
+        memo=memo, run_cache=run_cache,
     )
 
     coordination_free: bool | None = None
@@ -167,6 +181,7 @@ def calm_verdict(
             report = check_coordination_free_on(
                 network, transducer, probe, expected,
                 workers=workers, backend=backend,
+                run_cache=run_cache, pool=pool,
             )
             verdicts.append(report.coordination_free)
         coordination_free = all(verdicts)
@@ -192,6 +207,8 @@ def calm_verdict(
         workers=workers,
         backend=backend,
         memo=memo,
+        run_cache=run_cache,
+        pool=pool,
     )
 
     return CalmVerdict(

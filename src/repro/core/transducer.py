@@ -167,6 +167,10 @@ class Transducer:
         state = dict(self.__dict__)
         state["_transition_cache"] = {}
         state["_received_by_fact"] = {}
+        # A run cache hung here (repro.net.runcache.shared_run_cache)
+        # is parent-side lookup state: workers never consult it, and it
+        # can dwarf the rest of the pickle.
+        state.pop("run_cache", None)
         return state
 
     def __setstate__(self, state):

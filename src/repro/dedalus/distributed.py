@@ -177,6 +177,8 @@ def run_distributed(
     seeds: tuple[int, ...] | None = None,
     workers: int = 1,
     backend: str | None = None,
+    run_cache=None,
+    pool=None,
     **run_kwargs,
 ):
     """Localize *program*, place *partition* on *network*, and run.
@@ -200,6 +202,13 @@ def run_distributed(
     seeds serially.  That is the Section 8 analogue of quantifying
     consistency over fair runs: every arrival schedule must stabilize
     to the same state.
+
+    *run_cache* (a :class:`~repro.net.runcache.RunCache`) memoizes
+    whole traces — a seeded localized run is a pure function of
+    ``(program, network, partition, seed, kwargs)``, and Dedalus
+    programs always fingerprint canonically (their rules are plain
+    ASTs).  *pool* fans a seeds sweep over a live
+    :class:`~repro.net.runcache.SweepPool`.
     """
     from .interp import run_program
 
@@ -213,11 +222,23 @@ def run_distributed(
             batch_async=batch_async,
             workers=workers,
             backend=backend,
+            run_cache=run_cache,
+            pool=pool,
             **run_kwargs,
         )
     localized = localize(program, broadcast)
+    if run_cache is not None:
+        key = _distributed_key(localized, network, partition,
+                               run_kwargs.get("seed", 0), batch_async,
+                               run_kwargs)
+        cached = run_cache.get(key)
+        if cached is not None:
+            return cached
     edb = place(partition, network)
-    return run_program(localized, edb, batch_async=batch_async, **run_kwargs)
+    trace = run_program(localized, edb, batch_async=batch_async, **run_kwargs)
+    if run_cache is not None:
+        run_cache.record(key, trace)
+    return trace
 
 
 def _distributed_task(context, task):
@@ -232,6 +253,24 @@ def _distributed_task(context, task):
     )
 
 
+def _distributed_key(localized, network, partition, seed, batch_async,
+                     run_kwargs) -> tuple:
+    """The run-cache key of one localized-run cell (kwargs frozen;
+    ``seed`` is keyed positionally, like the transducer sweeps)."""
+    from ..net.runcache import program_fingerprint, run_key
+
+    kwargs = {k: v for k, v in run_kwargs.items() if k != "seed"}
+    kwargs["batch_async"] = batch_async
+    return run_key(
+        "dedalus",
+        network,
+        program_fingerprint(localized),
+        partition,
+        seed,
+        kwargs,
+    )
+
+
 def sweep_distributed(
     program: DedalusProgram,
     network: Network,
@@ -241,6 +280,8 @@ def sweep_distributed(
     batch_async: bool = False,
     workers: int = 1,
     backend: str | None = None,
+    run_cache=None,
+    pool=None,
     **run_kwargs,
 ) -> list:
     """Run the partitions × seeds grid of distributed Dedalus runs.
@@ -250,14 +291,47 @@ def sweep_distributed(
     over the :class:`~repro.net.sweep.SweepExecutor` exactly like a
     transducer consistency sweep.  Traces return in grid order
     (partitions outer, seeds inner) for every worker count.
+
+    *run_cache* short-circuits cells whose trace is already recorded
+    (keys include the localized program's fingerprint, the network,
+    the partition, the seed and the kwargs); *pool* reuses a live
+    :class:`~repro.net.runcache.SweepPool` and takes precedence over
+    *workers*/*backend*.
     """
     from ..net.sweep import SweepExecutor
 
     localized = localize(program, broadcast)
-    executor = SweepExecutor(workers=workers, backend=backend)
     context = (localized, network, batch_async, run_kwargs)
     tasks = [(partition, seed) for partition in partitions for seed in seeds]
-    return executor.map(_distributed_task, context, tasks)
+
+    traces: list = [None] * len(tasks)
+    keys: list[tuple] | None = None
+    pending = list(range(len(tasks)))
+    if run_cache is not None:
+        keys = [
+            _distributed_key(localized, network, partition, seed,
+                             batch_async, run_kwargs)
+            for partition, seed in tasks
+        ]
+        pending = []
+        for i, key in enumerate(keys):
+            cached = run_cache.get(key)
+            if cached is not None:
+                traces[i] = cached
+            else:
+                pending.append(i)
+
+    pending_tasks = [tasks[i] for i in pending]
+    if pool is not None:
+        fresh = pool.map(_distributed_task, context, pending_tasks)
+    else:
+        executor = SweepExecutor(workers=workers, backend=backend)
+        fresh = executor.map(_distributed_task, context, pending_tasks)
+    for i, trace in zip(pending, fresh):
+        traces[i] = trace
+        if run_cache is not None:
+            run_cache.record(keys[i], trace)
+    return traces
 
 
 def node_view(state: Instance, relation: str, node) -> frozenset:

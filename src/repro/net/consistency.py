@@ -39,7 +39,9 @@ class ConsistencyReport:
     """Evidence gathered by :func:`check_consistency`.
 
     ``memo_hits``/``memo_misses`` report cross-run convergence-memo
-    effectiveness when the sweep ran with one (both stay 0 otherwise).
+    effectiveness when the sweep ran with one (both stay 0 otherwise);
+    ``cache_hits``/``cache_misses`` do the same for the run-level
+    :class:`~repro.net.runcache.RunCache`.
     """
 
     consistent: bool
@@ -48,6 +50,8 @@ class ConsistencyReport:
     unconverged: int = 0
     memo_hits: int = 0
     memo_misses: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def _groups(self) -> dict[frozenset, list[RunObservation]]:
         """Observations grouped by output, one O(n) pass, insertion-ordered."""
@@ -91,6 +95,8 @@ def observe_runs(
     workers: int = 1,
     backend: str | None = None,
     memo=None,
+    run_cache=None,
+    pool=None,
 ) -> list[RunObservation]:
     """Run (N, Π) on several partitions × schedules and record outputs.
 
@@ -107,7 +113,11 @@ def observe_runs(
     *memo* opts into cross-run convergence memoization (``True`` for
     the memo hung off the transducer, or an explicit
     :class:`~repro.net.convergence.ConvergenceMemo`); it accelerates
-    checks without affecting verdicts.
+    checks without affecting verdicts.  *run_cache* short-circuits
+    whole runs already known to the
+    :class:`~repro.net.runcache.RunCache`, and *pool* reuses one live
+    :class:`~repro.net.runcache.SweepPool` across consecutive sweeps;
+    both also leave every observation unchanged.
     """
     from .sweep import sweep_runs
 
@@ -124,6 +134,8 @@ def observe_runs(
         workers=workers,
         backend=backend,
         memo=memo,
+        run_cache=run_cache,
+        pool=pool,
     )
 
 
@@ -140,21 +152,28 @@ def check_consistency(
     workers: int = 1,
     backend: str | None = None,
     memo=None,
+    run_cache=None,
+    pool=None,
 ) -> ConsistencyReport:
     """Empirical consistency check of (N, Π) on one instance.
 
     Consistency fails definitively if two fair runs produced different
     outputs; it is supported (not proved) when all sampled runs agree.
-    *workers*/*backend*/*memo* parallelize and memoize the underlying
-    sweep (see :func:`observe_runs`) without changing the report's
-    evidence; memo effectiveness is surfaced on the report.
+    *workers*/*backend*/*memo*/*run_cache*/*pool* parallelize, memoize
+    and cache the underlying sweep (see :func:`observe_runs`) without
+    changing the report's evidence; memo and run-cache effectiveness
+    are surfaced on the report.
     """
+    from .runcache import resolve_run_cache
     from .sweep import resolve_memo
 
     memo = resolve_memo(memo, transducer)
-    hits0 = misses0 = 0
+    cache = resolve_run_cache(run_cache, transducer)
+    hits0 = misses0 = chits0 = cmisses0 = 0
     if memo is not None:
         hits0, misses0 = memo.memo_hits, memo.memo_misses
+    if cache is not None:
+        chits0, cmisses0 = cache.cache_hits, cache.cache_misses
     observations = observe_runs(
         network,
         transducer,
@@ -168,6 +187,8 @@ def check_consistency(
         workers=workers,
         backend=backend,
         memo=memo,
+        run_cache=cache,
+        pool=pool,
     )
     outputs = [obs.result.output for obs in observations]
     unconverged = sum(1 for obs in observations if not obs.result.converged)
@@ -179,6 +200,8 @@ def check_consistency(
         unconverged=unconverged,
         memo_hits=memo.memo_hits - hits0 if memo is not None else 0,
         memo_misses=memo.memo_misses - misses0 if memo is not None else 0,
+        cache_hits=cache.cache_hits - chits0 if cache is not None else 0,
+        cache_misses=cache.cache_misses - cmisses0 if cache is not None else 0,
     )
 
 
@@ -191,16 +214,41 @@ def computed_output(
     batch_delivery: bool = False,
     convergence: str = "incremental",
     memo=None,
+    run_cache=None,
 ) -> frozenset:
     """The output of one canonical fair run (full replication, given seed).
 
     For a consistent network this *is* the computed query's answer.
     *memo* shares convergence certificates with other runs of the same
-    transducer (the CALM monotonicity probes call this in a loop).
+    transducer (the CALM monotonicity probes call this in a loop);
+    *run_cache* skips the run entirely when this exact cell was
+    executed before — it shares keys with :func:`sweep_runs`, so a
+    consistency sweep can warm the CALM reference evaluation and vice
+    versa.
     """
+    from .runcache import resolve_run_cache, run_key, transducer_fingerprint
     from .sweep import resolve_memo
 
+    cache = resolve_run_cache(run_cache, transducer)
     partitions = sample_partitions(instance, network, 1)
+    key = None
+    if cache is not None:
+        run_kwargs = {
+            "max_steps": max_steps,
+            "batch_delivery": batch_delivery,
+            "convergence": convergence,
+        }
+        key = run_key(
+            "fair-random",
+            network,
+            transducer_fingerprint(transducer),
+            partitions[0],
+            seed,
+            run_kwargs,
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            return cached.output
     result = run_fair(
         network,
         transducer,
@@ -211,6 +259,8 @@ def computed_output(
         convergence=convergence,
         memo=resolve_memo(memo, transducer),
     )
+    if cache is not None:
+        cache.record(key, result)
     return result.output
 
 
@@ -240,6 +290,8 @@ def check_topology_independence(
     workers: int = 1,
     backend: str | None = None,
     memo=None,
+    run_cache=None,
+    pool=None,
 ) -> TopologyIndependenceReport:
     """Empirically check network-topology independence on one instance.
 
@@ -250,7 +302,11 @@ def check_topology_independence(
     A single *memo* is sound across all the networks probed here: the
     memoized certificates depend only on the transducer, not on the
     topology (see :class:`~repro.net.convergence.ConvergenceMemo`).
+    The same holds for *run_cache* (the network is part of the cache
+    key) and *pool* — one live pool serves every per-network sweep,
+    which is the fork-amortization this probe grid exists for.
     """
+    from .runcache import resolve_run_cache
     from .sweep import resolve_memo
 
     if networks is None:
@@ -258,6 +314,7 @@ def check_topology_independence(
     if not any(len(net) == 1 for net in networks):
         networks = [single()] + list(networks)
     memo = resolve_memo(memo, transducer)
+    run_cache = resolve_run_cache(run_cache, transducer)
     per_network: dict[str, frozenset] = {}
     inconsistent: list[str] = []
     for network in networks:
@@ -271,6 +328,8 @@ def check_topology_independence(
             workers=workers,
             backend=backend,
             memo=memo,
+            run_cache=run_cache,
+            pool=pool,
         )
         if not report.consistent:
             inconsistent.append(network.name)

@@ -101,6 +101,8 @@ def check_coordination_free_on(
     max_rounds: int = 1_000,
     workers: int = 1,
     backend: str | None = None,
+    run_cache=None,
+    pool=None,
 ) -> CoordinationFreenessReport:
     """Search for a witness partition on *network* for *instance*.
 
@@ -118,9 +120,19 @@ def check_coordination_free_on(
     *first* succeeding partition in that order, and ``partitions_tried``
     counts up to it — parallelism only changes how much speculative
     probing happens beyond the witness, never what is reported.
+
+    *run_cache* memoizes individual probes (a heartbeat-only run is a
+    pure function of ``(network, transducer, partition)``) under the
+    ``"heartbeat-only"`` key kind, so re-checks — the CALM diagnostic
+    probes the same transducer on the test instance *and* the empty
+    instance, and CI re-probes yesterday's grid — skip straight to the
+    recorded outputs.  *pool* probes chunks through one live
+    :class:`~repro.net.runcache.SweepPool` instead of forking a
+    session per search.
     """
     from itertools import islice
 
+    from .runcache import resolve_run_cache, run_key, transducer_fingerprint
     from .sweep import SweepExecutor
 
     nodes = len(network)
@@ -134,19 +146,45 @@ def check_coordination_free_on(
             sample_partitions(instance, network, sample_count)
         )
 
-    executor = SweepExecutor(workers=workers, backend=backend)
+    cache = resolve_run_cache(run_cache, transducer)
+    fingerprint = (
+        transducer_fingerprint(transducer) if cache is not None else None
+    )
+    probe_kwargs = {"max_rounds": max_rounds}
+
+    def probe_key(partition):
+        return run_key(
+            "heartbeat-only", network, fingerprint, partition, 0, probe_kwargs
+        )
+
     context = (network, transducer, max_rounds)
-    chunk_size = 1 if executor.backend == "serial" else executor.workers
-    tried = 0
-    # One session for the whole search: the worker pool is forked once
-    # and reused across chunks (probes are small; per-chunk pools would
-    # be dominated by fork setup).
-    with executor.open(_heartbeat_probe, context) as session:
+    if pool is not None:
+        session = None
+        mapper = lambda items: pool.map(_heartbeat_probe, context, items)  # noqa: E731
+        chunk_size = pool.workers if pool.parallel else 1
+    else:
+        executor = SweepExecutor(workers=workers, backend=backend)
+        session = executor.open(_heartbeat_probe, context)
+        mapper = session.map
+        chunk_size = 1 if executor.backend == "serial" else executor.workers
+    # One session (or one caller-owned pool) for the whole search: the
+    # worker pool is forked once and reused across chunks (probes are
+    # small; per-chunk pools would be dominated by fork setup).
+    def scan() -> CoordinationFreenessReport:
+        tried = 0
         while True:
             chunk = list(islice(candidates, chunk_size))
             if not chunk:
                 break
-            outputs = session.map(chunk)
+            if cache is not None:
+                outputs = [cache.get(probe_key(p)) for p in chunk]
+                missing = [i for i, out in enumerate(outputs) if out is None]
+                fresh = mapper([chunk[i] for i in missing])
+                for i, output in zip(missing, fresh):
+                    outputs[i] = output
+                    cache.record(probe_key(chunk[i]), output)
+            else:
+                outputs = mapper(chunk)
             for partition, output in zip(chunk, outputs):
                 tried += 1
                 if output == expected_output:
@@ -157,13 +195,18 @@ def check_coordination_free_on(
                         partitions_tried=tried,
                         exhaustive=exhaustive,
                     )
-    return CoordinationFreenessReport(
-        coordination_free=False,
-        witness=None,
-        expected_output=expected_output,
-        partitions_tried=tried,
-        exhaustive=exhaustive,
-    )
+        return CoordinationFreenessReport(
+            coordination_free=False,
+            witness=None,
+            expected_output=expected_output,
+            partitions_tried=tried,
+            exhaustive=exhaustive,
+        )
+
+    if session is not None:
+        with session:
+            return scan()
+    return scan()
 
 
 def full_replication_suffices(

@@ -1,0 +1,538 @@
+"""Run-level result caching and persistent sweep pools.
+
+The semantic harnesses (consistency, NTI, coordination-freeness, CALM)
+quantify over *every* fair run, so they repeatedly execute the same
+``(network, transducer, partition, seed, kwargs)`` cells: the NTI probe
+re-runs the consistency grid per topology, the CALM diagnostic re-runs
+the NTI grid *and* evaluates the computed query on dozens of instances,
+and a CI job re-runs yesterday's whole suite.  A seeded
+:class:`~repro.net.run.RunResult` is a pure function of that tuple —
+the same independence observation that made the PR 3 sweeps parallel
+also makes whole runs memoizable.  Two layers live here:
+
+* :class:`RunCache` — a picklable store of finished run results keyed
+  on ``(kind, network, transducer-fingerprint, partition, seed,
+  run-kwargs)``.  :func:`repro.net.sweep.sweep_runs` (and through it
+  every checker) short-circuits cached cells with the stored result —
+  property-tested bit-identical to a fresh run.  The cache also
+  bundles :class:`~repro.net.convergence.ConvergenceMemo` snapshots
+  per transducer fingerprint, so one :meth:`save` file warms both
+  stores of a later session (the ROADMAP's memo-persistence item).
+* :class:`SweepPool` — one fork worker pool kept alive across
+  *consecutive* sweeps.  The PR 3 executor forks a fresh pool per
+  ``map`` call, which the CALM/NTI probe grids pay dozens of times;
+  the pool instead forks once and ships each sweep's ``(fn, context)``
+  payload as a single pickle blob that workers unpickle once each.
+
+Fingerprints are the soundness boundary: a cache entry recorded for
+one transducer must never be served to a different one.
+:func:`transducer_fingerprint` hashes a canonical description of the
+schema and every query (rules, formulas, arities), so two structurally
+identical transducers — e.g. ``transitive_closure_transducer()`` built
+in two different processes — share entries, which is exactly what lets
+CI start warm from a saved cache.  Query objects that cannot be
+described canonically (closures, ad-hoc ``Query`` subclasses) fall
+back to a session-local fingerprint: caching still works within the
+process, and persisted entries are conservatively never matched by a
+later session (a silent wrong hit is impossible, a cold start is
+merely slow).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import os
+import pathlib
+import pickle
+import sys
+
+from ..lang.query import EmptyQuery, FOQuery, PythonQuery, Query
+from ..lang.ucq import UCQNegQuery
+from .convergence import ConvergenceMemo
+
+__all__ = [
+    "RunCache",
+    "SweepPool",
+    "resolve_run_cache",
+    "run_key",
+    "runtime_token",
+    "shared_run_cache",
+    "transducer_fingerprint",
+]
+
+_CACHE_FORMAT = "repro-runcache"
+_CACHE_VERSION = 1
+
+_RUNTIME_TOKEN = None
+
+
+def runtime_token() -> str:
+    """A digest of the library's own source code.
+
+    A ``RunResult`` is a pure function of its key *under one runtime*:
+    change the scheduler's RNG draws, the delivery semantics, or the
+    query evaluator, and the same key maps to a different result.
+    Persisted bundles therefore carry this token and :meth:`RunCache.load`
+    rejects files written by different code — a stale CI bundle after
+    any source change is discarded (cold start), never served.
+    In-memory caching is unaffected.
+    """
+    global _RUNTIME_TOKEN
+    if _RUNTIME_TOKEN is None:
+        import repro
+
+        root = pathlib.Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(path.read_bytes())
+        _RUNTIME_TOKEN = digest.hexdigest()
+    return _RUNTIME_TOKEN
+
+
+# ---------------------------------------------------------------------------
+# Transducer fingerprints
+# ---------------------------------------------------------------------------
+
+
+class _Unfingerprintable(Exception):
+    """Raised when a query has no canonical cross-process description."""
+
+
+def _code_digest(code) -> str:
+    """A digest of a function's bytecode (nested code objects included),
+    so editing the function's *body* changes its fingerprint even
+    though its name stays put."""
+    digest = hashlib.sha256()
+
+    def feed(c) -> None:
+        digest.update(c.co_code)
+        digest.update(repr(c.co_names).encode())
+        digest.update(repr(c.co_varnames).encode())
+        for const in c.co_consts:
+            if hasattr(const, "co_code"):
+                feed(const)
+            elif isinstance(const, frozenset):
+                # Set-literal consts iterate in hash order, which is
+                # PYTHONHASHSEED-randomized per process; sort for a
+                # canonical rendering.
+                digest.update(repr(sorted(const, key=repr)).encode())
+            else:
+                digest.update(repr(const).encode())
+
+    feed(code)
+    return digest.hexdigest()[:16]
+
+
+def _python_query_token(query: PythonQuery) -> str:
+    """A token for a PythonQuery wrapping an importable module-level
+    function (pickle's criterion for function identity), salted with
+    the function's bytecode digest so a changed body never serves the
+    old body's cached results; closures and lambdas have no stable
+    cross-process identity and must not be persisted."""
+    func = query.func
+    module = sys.modules.get(getattr(func, "__module__", None))
+    qualname = getattr(func, "__qualname__", "")
+    if module is None or getattr(module, qualname, None) is not func:
+        raise _Unfingerprintable(f"non-module-level function {qualname!r}")
+    return (
+        f"py:{func.__module__}.{qualname}/{query.arity}"
+        f"#{_code_digest(func.__code__)}"
+    )
+
+
+def _query_token(query: Query) -> str:
+    """A canonical, deterministic description of one transducer query.
+
+    Deterministic across processes: built from rule/formula reprs
+    (stable AST dataclasses) and sorted schema names — never from
+    ``hash()`` (randomized per process) or object identity.
+    """
+    token = getattr(query, "cache_token", None)
+    if token is not None:
+        return str(token() if callable(token) else token)
+    if isinstance(query, EmptyQuery):
+        return f"empty/{query.arity}"
+    if isinstance(query, FOQuery):
+        answers = ",".join(v.name for v in query.answer_vars)
+        return f"fo[{answers}]{{{query.formula!r}}}"
+    if isinstance(query, UCQNegQuery):
+        rules = " ; ".join(repr(rule) for rule in query.rules)
+        return f"{type(query).__name__}[{rules}]"
+    if isinstance(query, PythonQuery):
+        return _python_query_token(query)
+    # Program-backed queries (Datalog, nonrecursive, stratified) all
+    # carry a .program with a .rules tuple of AST Rule objects.
+    program = getattr(query, "program", None)
+    rules = getattr(program, "rules", None)
+    if rules is not None:
+        body = " ; ".join(repr(rule) for rule in rules)
+        output = getattr(query, "output", "")
+        return f"{type(query).__name__}:{output}[{body}]"
+    raise _Unfingerprintable(type(query).__name__)
+
+
+_SESSION_TOKENS = itertools.count()
+
+
+def transducer_fingerprint(transducer) -> str:
+    """A stable identity token for *transducer*'s semantics.
+
+    ``sha256:…`` fingerprints are canonical — equal for structurally
+    identical transducers, across processes — and safe to persist.
+    ``mem:…`` fingerprints (some query had no canonical description)
+    are unique per transducer object and per process: same-session
+    cache hits still work, persisted entries never match again.
+
+    The token is computed once and cached on the transducer (it ships
+    with the pickle, so forked/pooled workers agree with the parent).
+    """
+    token = getattr(transducer, "_runcache_fingerprint", None)
+    if token is None:
+        try:
+            parts = [repr(transducer.schema)]
+            for role, query in transducer.all_queries():
+                parts.append(f"{role}={_query_token(query)}")
+            digest = hashlib.sha256("\n".join(parts).encode()).hexdigest()
+            token = f"sha256:{digest}"
+        except _Unfingerprintable:
+            token = f"mem:{os.getpid()}:{next(_SESSION_TOKENS)}"
+        transducer._runcache_fingerprint = token
+    return token
+
+
+def program_fingerprint(program) -> str:
+    """The canonical fingerprint of a Dedalus program (rule reprs are
+    deterministic ASTs, so this is always persistable)."""
+    parts = [repr(program.edb_schema)]
+    parts.extend(repr(rule) for rule in program.rules)
+    digest = hashlib.sha256("\n".join(parts).encode()).hexdigest()
+    return f"sha256:{digest}"
+
+
+def run_key(
+    kind: str,
+    network,
+    fingerprint: str,
+    partition,
+    seed,
+    run_kwargs: dict,
+) -> tuple:
+    """The cache key of one run cell.
+
+    *kind* names the schedule family (``"fair-random"``,
+    ``"heartbeat-only"``, ``"dedalus"`` …) so differently shaped runs
+    of the same cell never collide.  Networks and partitions are
+    hashable value objects; *run_kwargs* is frozen into sorted items.
+    """
+    return (
+        kind,
+        network,
+        fingerprint,
+        partition,
+        seed,
+        tuple(sorted(run_kwargs.items())),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The run-level cache
+# ---------------------------------------------------------------------------
+
+
+class RunCache:
+    """A store of finished run results, keyed by :func:`run_key`.
+
+    One cache may serve many transducers — the fingerprint in the key
+    is the isolation boundary, unlike :class:`ConvergenceMemo` which
+    is scoped to a single transducer.  Values are whatever the
+    recording harness produced for the cell (a
+    :class:`~repro.net.run.RunResult` for fair-run sweeps, an output
+    frozenset for heartbeat probes, a ``DedalusTrace`` for distributed
+    Dedalus cells); callers must treat returned objects as immutable —
+    they are shared, not copied.
+
+    The cache also bundles per-fingerprint convergence-memo snapshots
+    (:meth:`store_memo` / :meth:`memo_for`), so one :meth:`save` file
+    restores both the run results *and* the quiescence certificates a
+    warm CI job needs.
+    """
+
+    def __init__(
+        self, entries: dict | None = None, memos: dict | None = None
+    ):
+        self.entries: dict[tuple, object] = dict(entries) if entries else {}
+        #: fingerprint -> ConvergenceMemo entry dict
+        self.memos: dict[str, dict] = dict(memos) if memos else {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def get(self, key: tuple):
+        """The cached result for *key* (None on miss), counting."""
+        value = self.entries.get(key)
+        if value is None:
+            self.cache_misses += 1
+        else:
+            self.cache_hits += 1
+        return value
+
+    def record(self, key: tuple, value) -> None:
+        self.entries[key] = value
+
+    def merge(self, other: "RunCache") -> int:
+        """Fold another cache in; returns the number of new run entries.
+
+        Under one runtime, overlaps are identical (values are
+        deterministic functions of their key) and the direction is
+        moot; existing entries still win on overlap, so folding an
+        older snapshot into a live cache can never shadow freshly
+        computed results.
+        """
+        before = len(self.entries)
+        for key, value in other.entries.items():
+            self.entries.setdefault(key, value)
+        for fingerprint, memo_entries in other.memos.items():
+            mine = self.memos.setdefault(fingerprint, {})
+            for key, value in memo_entries.items():
+                mine.setdefault(key, value)
+        return len(self.entries) - before
+
+    # -- bundled convergence memos --------------------------------------
+
+    def store_memo(self, transducer, memo: ConvergenceMemo) -> None:
+        """Snapshot *memo*'s certificates under *transducer*'s fingerprint."""
+        fingerprint = transducer_fingerprint(transducer)
+        self.memos.setdefault(fingerprint, {}).update(memo.entries)
+
+    def memo_for(self, transducer) -> ConvergenceMemo | None:
+        """A fresh :class:`ConvergenceMemo` seeded with the snapshot
+        stored for *transducer*, or None when nothing was stored.
+        Sound by the fingerprint contract: entries only come back for a
+        structurally identical transducer."""
+        entries = self.memos.get(transducer_fingerprint(transducer))
+        if entries is None:
+            return None
+        return ConvergenceMemo(entries)
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist run entries and memo snapshots to *path* (pickle).
+
+        Session-local ``mem:`` fingerprints are dropped on the way out:
+        they can never match in another process, so persisting them
+        would only bloat the file.
+        """
+        def persistable(key) -> bool:
+            fingerprint = key[2] if len(key) > 2 else ""
+            return not (
+                isinstance(fingerprint, str)
+                and fingerprint.startswith("mem:")
+            )
+
+        payload = {
+            "format": _CACHE_FORMAT,
+            "version": _CACHE_VERSION,
+            "runtime": runtime_token(),
+            "entries": {
+                key: value
+                for key, value in self.entries.items()
+                if persistable(key)
+            },
+            "memos": {
+                fingerprint: entries
+                for fingerprint, entries in self.memos.items()
+                if not fingerprint.startswith("mem:")
+            },
+        }
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path) -> "RunCache":
+        """Load a cache persisted by :meth:`save`."""
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != _CACHE_FORMAT
+        ):
+            raise ValueError(f"{path!r} is not a saved RunCache")
+        if payload.get("version") != _CACHE_VERSION:
+            raise ValueError(
+                f"unsupported RunCache version {payload.get('version')!r}"
+            )
+        if payload.get("runtime") != runtime_token():
+            # Results are pure functions of their key only under the
+            # code that produced them; a bundle from different source
+            # is a cold start, never a wrong hit.
+            raise ValueError(
+                f"{path!r} was saved by a different runtime version; "
+                "discard it and start cold"
+            )
+        return cls(payload["entries"], payload["memos"])
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self.entries),
+            "memo_fingerprints": len(self.memos),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+    def __reduce__(self):
+        return (RunCache, (self.entries, self.memos))
+
+    def __repr__(self) -> str:
+        return (
+            f"RunCache({len(self.entries)} runs, {len(self.memos)} memos, "
+            f"hits={self.cache_hits}, misses={self.cache_misses})"
+        )
+
+
+def shared_run_cache(transducer) -> RunCache:
+    """Get-or-create the run cache hung off *transducer* (mirrors
+    :func:`repro.net.convergence.shared_memo`; unlike the memo, a
+    RunCache is fingerprint-keyed and could be shared wider — the
+    transducer is simply the convenient per-harness scope)."""
+    cache = getattr(transducer, "run_cache", None)
+    if cache is None:
+        cache = RunCache()
+        transducer.run_cache = cache
+    return cache
+
+
+def resolve_run_cache(run_cache, transducer) -> RunCache | None:
+    """Normalize the ``run_cache=`` knob the harness entry points accept.
+
+    ``None``/``False`` → no caching; ``True`` → the cache hung off the
+    transducer (created on first use); a :class:`RunCache` → itself.
+    """
+    if run_cache is None or run_cache is False:
+        return None
+    if run_cache is True:
+        return shared_run_cache(transducer)
+    if not isinstance(run_cache, RunCache):
+        raise TypeError(
+            f"run_cache must be a RunCache or bool, got {run_cache!r}"
+        )
+    return run_cache
+
+
+# ---------------------------------------------------------------------------
+# The persistent sweep pool
+# ---------------------------------------------------------------------------
+
+# Worker-side payload cache: token -> (fn, context).  Each forked
+# worker process owns its copy (the parent never populates it), so a
+# payload is unpickled once per worker per map call, not once per task.
+_POOL_PAYLOADS: dict = {}
+_POOL_PAYLOAD_LIMIT = 8
+
+
+def _pool_call(task):
+    token, blob, item = task
+    payload = _POOL_PAYLOADS.get(token)
+    if payload is None:
+        payload = pickle.loads(blob)
+        if len(_POOL_PAYLOADS) >= _POOL_PAYLOAD_LIMIT:
+            _POOL_PAYLOADS.pop(next(iter(_POOL_PAYLOADS)))
+        _POOL_PAYLOADS[token] = payload
+    fn, context = payload
+    return fn(context, item)
+
+
+class SweepPool:
+    """One fork worker pool reused across consecutive sweeps.
+
+    The :class:`~repro.net.sweep.SweepExecutor` forks a fresh pool per
+    ``map`` call, binding ``(fn, context)`` into the workers by fork
+    inheritance.  That is optimal for a single big sweep but the
+    CALM/NTI harnesses issue *many small* sweeps back to back, each
+    paying the fork again.  A ``SweepPool`` forks its workers once;
+    each :meth:`map` call then pickles its ``(fn, context)`` payload
+    exactly once into a blob that every task carries (re-pickling a
+    ``bytes`` object is a memcpy, not an object-graph walk) and each
+    worker unpickles at most once.  Results come back in item order —
+    the same determinism contract as the executor.
+
+    Because payloads are pickled, contexts must round-trip — which all
+    repro core types do, but ``PythonQuery`` closures do not; use the
+    per-sweep executor (fork inheritance) for those.  Where fork is
+    unavailable, or with ``workers=1``, the pool degrades to an
+    in-process map (``pool.parallel`` is False) so callers can keep one
+    code path.
+
+    Use as a context manager, or call :meth:`close` explicitly; a clean
+    shutdown lets workers finish (`close` + `join`), the exceptional
+    ``__exit__`` path terminates them.
+    """
+
+    def __init__(self, workers: int = 2):
+        from .sweep import _fork_context
+
+        workers = max(1, int(workers))
+        self._mp_context = _fork_context()
+        self.workers = workers
+        #: True when maps actually fan out to forked workers.
+        self.parallel = workers > 1 and self._mp_context is not None
+        self._pool = None
+        self._tokens = itertools.count()
+        #: Maps served by the live pool (amortization observability).
+        self.maps_served = 0
+
+    def map(self, fn, context, items) -> list:
+        """Apply ``fn(context, item)`` to every item, in item order.
+
+        *fn* must be a module-level function (it crosses the process
+        boundary by pickle).  Single-item and serial-mode maps run
+        in-process; callers whose task function carries worker-side
+        bookkeeping (journalling memo deltas, say) must branch on
+        :attr:`parallel` and item count themselves, exactly like
+        :func:`~repro.net.sweep.sweep_runs` does.
+        """
+        items = list(items)
+        if not self.parallel or len(items) <= 1:
+            return [fn(context, item) for item in items]
+        if self._pool is None:
+            self._pool = self._mp_context.Pool(self.workers)
+        token = next(self._tokens)
+        blob = pickle.dumps((fn, context), protocol=pickle.HIGHEST_PROTOCOL)
+        self.maps_served += 1
+        return self._pool.map(
+            _pool_call, [(token, blob, item) for item in items], chunksize=1
+        )
+
+    def close(self) -> None:
+        """Clean shutdown: let workers drain, then reap them."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def terminate(self) -> None:
+        """Hard shutdown for error paths: kill workers immediately."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "SweepPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.terminate()
+        else:
+            self.close()
+
+    def __repr__(self) -> str:
+        state = "live" if self._pool is not None else "idle"
+        return (
+            f"SweepPool(workers={self.workers}, parallel={self.parallel}, "
+            f"{state}, maps_served={self.maps_served})"
+        )

@@ -32,6 +32,12 @@ Two layers:
   verdicts (its certificates are pure functions of the transducer), so
   the determinism contract survives memo sharing — the Hypothesis
   suite pins both halves.
+
+On top of both, :mod:`repro.net.runcache` adds run-*level*
+memoization (``run_cache=``: skip cells whose ``RunResult`` is
+already recorded) and a persistent worker pool (``pool=``: one fork
+pool reused across consecutive sweeps); both knobs thread through
+here and leave every observation unchanged.
 """
 
 from __future__ import annotations
@@ -100,6 +106,7 @@ class SweepExecutor:
 
     def __init__(self, workers: int = 1, backend: str | None = None):
         workers = max(1, int(workers))
+        requested = backend
         if backend is None:
             backend = "multiprocessing" if workers > 1 else "serial"
         if backend not in BACKENDS:
@@ -109,6 +116,21 @@ class SweepExecutor:
         if backend == "multiprocessing" and (
             workers == 1 or _fork_context() is None
         ):
+            # Quietly degrading is only acceptable when the caller left
+            # the choice to us (backend=None).  An *explicitly*
+            # requested multiprocessing backend that cannot actually
+            # parallelize is a misconfiguration — honoring it silently
+            # used to hide wrong worker counts and fork-less platforms.
+            if requested == "multiprocessing":
+                reason = (
+                    "workers=1 cannot parallelize"
+                    if workers == 1
+                    else "the fork start method is unavailable on this platform"
+                )
+                raise ValueError(
+                    f"backend='multiprocessing' was requested explicitly but "
+                    f"{reason}; pass backend=None to allow the serial fallback"
+                )
             backend = "serial"
         self.workers = workers
         self.backend = backend
@@ -159,6 +181,20 @@ class SweepSession:
         return self._pool.map(_call_worker, items, chunksize=1)
 
     def close(self) -> None:
+        """Clean shutdown: let workers finish queued work, then reap.
+
+        ``terminate()`` here used to kill workers mid-cleanup on every
+        happy-path exit, leaking semaphore-tracker warnings; the hard
+        kill is reserved for :meth:`terminate` (the exceptional
+        ``__exit__`` path).
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def terminate(self) -> None:
+        """Hard shutdown for error paths: kill workers immediately."""
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
@@ -167,8 +203,11 @@ class SweepSession:
     def __enter__(self) -> "SweepSession":
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.terminate()
+        else:
+            self.close()
 
 
 def resolve_memo(
@@ -238,6 +277,8 @@ def sweep_runs(
     workers: int = 1,
     backend: str | None = None,
     memo: "ConvergenceMemo | bool | None" = None,
+    run_cache=None,
+    pool=None,
 ) -> list[RunObservation]:
     """Run the partitions × seeds grid of fair runs, possibly in parallel.
 
@@ -248,28 +289,92 @@ def sweep_runs(
     pre-seeded with the accumulated cross-run certificates and its new
     ones are folded back, warming later runs; verdicts (and hence
     observations) are unaffected.
+
+    *run_cache* (a :class:`~repro.net.runcache.RunCache`, or ``True``
+    for the one hung off the transducer) short-circuits grid cells
+    whose :class:`~repro.net.run.RunResult` is already known — each
+    cell is a pure function of ``(network, transducer, partition,
+    seed, kwargs)``, so a cached result is bit-identical to a fresh
+    one, and only the uncached cells are executed.  *pool* (a
+    :class:`~repro.net.runcache.SweepPool`) reuses one live fork pool
+    across consecutive sweeps instead of forking per call; it takes
+    precedence over *workers*/*backend*.
     """
+    from .runcache import resolve_run_cache, run_key, transducer_fingerprint
+
     memo = resolve_memo(memo, transducer)
-    executor = SweepExecutor(workers=workers, backend=backend)
+    cache = resolve_run_cache(run_cache, transducer)
     run_kwargs = {
         "max_steps": max_steps,
         "batch_delivery": batch_delivery,
         "convergence": convergence,
     }
     tasks = [(partition, seed) for partition in partitions for seed in seeds]
+
+    observations: list[RunObservation | None] = [None] * len(tasks)
+    keys: list[tuple] | None = None
+    pending = list(range(len(tasks)))
+    if cache is not None:
+        fingerprint = transducer_fingerprint(transducer)
+        keys = [
+            run_key(
+                "fair-random", network, fingerprint, partition, seed, run_kwargs
+            )
+            for partition, seed in tasks
+        ]
+        pending = []
+        first_for_key: dict[tuple, int] = {}
+        duplicates: list[tuple[int, int]] = []
+        for i, key in enumerate(keys):
+            result = cache.get(key)
+            if result is not None:
+                partition, seed = tasks[i]
+                observations[i] = RunObservation(
+                    network, partition, seed, result
+                )
+            elif key in first_for_key:
+                # Equal cells inside one grid (e.g. full replication ==
+                # all-at-one on a single-node network) are the same
+                # pure function: run once, reuse the result.
+                duplicates.append((i, first_for_key[key]))
+            else:
+                first_for_key[key] = i
+                pending.append(i)
+
     context = (network, transducer, memo, run_kwargs)
-    if executor.backend == "serial" or len(tasks) <= 1:
+    pending_tasks = [tasks[i] for i in pending]
+    if pool is not None:
+        parallel = pool.parallel and len(pending_tasks) > 1
+    else:
+        executor = SweepExecutor(workers=workers, backend=backend)
+        parallel = executor.backend != "serial" and len(pending_tasks) > 1
+    if not parallel:
         # In-process execution (including the nothing-to-fan-out case):
         # the tracker records straight into the parent memo — runs warm
         # each other directly, nothing to merge.  _run_task_mp must not
         # run in-parent: its journal/counter bookkeeping assumes a
-        # forked memo copy and would double-count on the shared one.
-        return [_run_task(context, task) for task in tasks]
-    outcomes = executor.map(_run_task_mp, context, tasks)
-    observations = []
-    for observation, delta, hits, misses in outcomes:
-        observations.append(observation)
-        if memo is not None and delta is not None:
-            memo.merge(delta)
-            memo.add_counts(hits, misses)
+        # worker-side memo copy and would double-count on the shared
+        # one.
+        fresh = [_run_task(context, task) for task in pending_tasks]
+    else:
+        if pool is not None:
+            outcomes = pool.map(_run_task_mp, context, pending_tasks)
+        else:
+            outcomes = executor.map(_run_task_mp, context, pending_tasks)
+        fresh = []
+        for observation, delta, hits, misses in outcomes:
+            fresh.append(observation)
+            if memo is not None and delta is not None:
+                memo.merge(delta)
+                memo.add_counts(hits, misses)
+    for i, observation in zip(pending, fresh):
+        observations[i] = observation
+        if cache is not None:
+            cache.record(keys[i], observation.result)
+    if cache is not None:
+        for i, primary in duplicates:
+            partition, seed = tasks[i]
+            observations[i] = RunObservation(
+                network, partition, seed, observations[primary].result
+            )
     return observations

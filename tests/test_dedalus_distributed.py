@@ -178,7 +178,8 @@ class TestDistributedSweep:
         )
         swept = sweep_distributed(
             prog, net, partitions, seeds=(0, 1), max_steps=300,
-            workers=workers, backend="multiprocessing",
+            workers=workers,
+            backend="multiprocessing" if workers > 1 else None,
         )
         assert len(swept) == len(serial) == 4
         for a, b in zip(serial, swept):

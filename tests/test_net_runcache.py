@@ -1,0 +1,526 @@
+"""The run-level result cache and the persistent sweep pool.
+
+Four property suites pin the PR 4 guarantees:
+
+* **cache determinism** — a :class:`~repro.net.runcache.RunCache` hit
+  reproduces the exact :class:`~repro.net.run.RunResult` a fresh run
+  computes (the run is a pure function of its key), for workers ∈
+  {1, 2};
+* **pool reuse determinism** — two back-to-back sweeps through one
+  persistent :class:`~repro.net.runcache.SweepPool` are
+  observation-for-observation identical to the serial sweeps;
+* **fingerprint soundness** — structurally identical transducers share
+  a canonical fingerprint (what makes persisted entries reusable
+  across processes), different transducers never do, and transducers
+  with non-canonical queries get session-local fingerprints that a
+  save file refuses to carry;
+* **shutdown discipline** — clean exits drain worker pools
+  (``close``+``join``), only exceptional exits terminate them.
+"""
+
+import pickle
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis import calm_verdict
+from repro.core import (
+    relay_identity_transducer,
+    transitive_closure_transducer,
+)
+from repro.core.schema import TransducerSchema
+from repro.core.transducer import Transducer
+from repro.db import Fact, Instance, schema
+from repro.lang.query import PythonQuery
+from repro.net import (
+    ConvergenceMemo,
+    RunCache,
+    SweepPool,
+    check_consistency,
+    check_coordination_free_on,
+    computed_output,
+    line,
+    ring,
+    sample_partitions,
+    sweep_runs,
+    transducer_fingerprint,
+)
+from repro.net.runcache import resolve_run_cache, run_key, shared_run_cache
+from repro.net.sweep import SweepExecutor, SweepSession
+
+S2 = schema(S=2)
+S1 = schema(S=1)
+GRAPH = Instance(S2, [Fact("S", (1, 2)), Fact("S", (2, 3)), Fact("S", (3, 1))])
+ELEMENTS = Instance(S1, [Fact("S", (1,)), Fact("S", (2,)), Fact("S", (3,))])
+TC = transitive_closure_transducer()
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+
+
+def _identity(instance):
+    return instance.relation("S")
+
+
+class TestTransducerFingerprint:
+    def test_structurally_identical_transducers_share_fingerprints(self):
+        a = transducer_fingerprint(transitive_closure_transducer())
+        b = transducer_fingerprint(transitive_closure_transducer())
+        assert a == b
+        assert a.startswith("sha256:")
+
+    def test_different_transducers_differ(self):
+        a = transducer_fingerprint(transitive_closure_transducer())
+        b = transducer_fingerprint(relay_identity_transducer())
+        assert a != b
+
+    def test_fingerprint_cached_and_shipped_with_pickle(self):
+        td = transitive_closure_transducer()
+        token = transducer_fingerprint(td)
+        assert transducer_fingerprint(td) is token
+        clone = pickle.loads(pickle.dumps(td))
+        assert transducer_fingerprint(clone) == token
+
+    def test_module_level_python_query_is_canonical(self):
+        tschema = TransducerSchema(S1, schema(), schema(), 1)
+        td = Transducer(
+            tschema,
+            output=PythonQuery(_identity, 1, tschema.combined),
+        )
+        token = transducer_fingerprint(td)
+        assert token.startswith("sha256:")
+        again = Transducer(
+            tschema,
+            output=PythonQuery(_identity, 1, tschema.combined),
+        )
+        assert transducer_fingerprint(again) == token
+
+    def test_closure_query_falls_back_to_session_token(self):
+        tschema = TransducerSchema(S1, schema(), schema(), 1)
+
+        def make():
+            return Transducer(
+                tschema,
+                output=PythonQuery(
+                    lambda inst: inst.relation("S"), 1, tschema.combined
+                ),
+            )
+
+        a, b = make(), make()
+        assert transducer_fingerprint(a).startswith("mem:")
+        # session tokens are per-object: no accidental sharing
+        assert transducer_fingerprint(a) != transducer_fingerprint(b)
+        # but stable for one object
+        assert transducer_fingerprint(a) == transducer_fingerprint(a)
+
+
+# ---------------------------------------------------------------------------
+# RunCache mechanics and persistence
+# ---------------------------------------------------------------------------
+
+
+class TestRunCache:
+    def test_get_record_merge_counters(self):
+        cache = RunCache()
+        key = ("k",)
+        assert cache.get(key) is None
+        cache.record(key, "value")
+        assert cache.get(key) == "value"
+        assert (cache.cache_hits, cache.cache_misses) == (1, 1)
+        other = RunCache()
+        other.record(("k2",), "v2")
+        assert cache.merge(other) == 1
+        assert len(cache) == 2
+        assert cache.stats()["entries"] == 2
+
+    def test_resolve_run_cache(self):
+        td = relay_identity_transducer()
+        assert resolve_run_cache(None, td) is None
+        assert resolve_run_cache(False, td) is None
+        cache = RunCache()
+        assert resolve_run_cache(cache, td) is cache
+        created = resolve_run_cache(True, td)
+        assert isinstance(created, RunCache)
+        assert td.run_cache is created
+        assert resolve_run_cache(True, td) is created
+        assert shared_run_cache(td) is created
+        with pytest.raises(TypeError):
+            resolve_run_cache(42, td)
+
+    def test_transducer_pickle_drops_hung_cache(self):
+        td = relay_identity_transducer()
+        shared_run_cache(td).record(("k",), "v")
+        clone = pickle.loads(pickle.dumps(td))
+        assert getattr(clone, "run_cache", None) is None
+
+    def test_save_load_roundtrip(self, tmp_path):
+        td = transitive_closure_transducer()
+        cache = RunCache()
+        partition = sample_partitions(GRAPH, line(2), 1)[0]
+        sweep_runs(line(2), td, [partition], (0,), run_cache=cache, memo=True)
+        cache.store_memo(td, td.convergence_memo)
+        path = tmp_path / "cache.pkl"
+        cache.save(path)
+        loaded = RunCache.load(path)
+        assert loaded.entries == cache.entries
+        fresh = transitive_closure_transducer()
+        memo = loaded.memo_for(fresh)
+        assert isinstance(memo, ConvergenceMemo)
+        assert len(memo) == len(td.convergence_memo)
+        # a different transducer gets nothing back
+        assert loaded.memo_for(relay_identity_transducer()) is None
+
+    def test_save_drops_session_local_fingerprints(self, tmp_path):
+        cache = RunCache()
+        net = line(2)
+        partition = sample_partitions(GRAPH, net, 1)[0]
+        cache.record(
+            run_key("fair-random", net, "mem:1:2", partition, 0, {}), "x"
+        )
+        cache.record(
+            run_key("fair-random", net, "sha256:abc", partition, 0, {}), "y"
+        )
+        cache.memos["mem:1:2"] = {"k": "v"}
+        path = tmp_path / "cache.pkl"
+        cache.save(path)
+        loaded = RunCache.load(path)
+        assert len(loaded) == 1
+        assert loaded.memos == {}
+
+    def test_load_rejects_junk(self, tmp_path):
+        path = tmp_path / "junk.pkl"
+        path.write_bytes(pickle.dumps({"hello": "world"}))
+        with pytest.raises(ValueError):
+            RunCache.load(path)
+
+    def test_load_rejects_cross_runtime_bundles(self, tmp_path, monkeypatch):
+        from repro.net import convergence as convergence_module
+        from repro.net import runcache as runcache_module
+
+        cache = RunCache()
+        cache.record(("k",), "v")
+        cache_path = tmp_path / "cache.pkl"
+        cache.save(cache_path)
+        memo = ConvergenceMemo()
+        memo.record("k", "v")
+        memo_path = tmp_path / "memo.pkl"
+        memo.save(memo_path)
+        # Same files, "next release": the library's source changed.
+        monkeypatch.setattr(runcache_module, "_RUNTIME_TOKEN", "changed")
+        with pytest.raises(ValueError, match="different runtime"):
+            RunCache.load(cache_path)
+        with pytest.raises(ValueError, match="different runtime"):
+            convergence_module.ConvergenceMemo.load(memo_path)
+
+    def test_merge_keeps_existing_entries_on_overlap(self):
+        live = RunCache()
+        live.record(("k",), "fresh")
+        live.memos["fp"] = {"m": "fresh"}
+        stale = RunCache()
+        stale.record(("k",), "stale")
+        stale.record(("k2",), "new")
+        stale.memos["fp"] = {"m": "stale", "m2": "new"}
+        assert live.merge(stale) == 1
+        assert live.entries[("k",)] == "fresh"
+        assert live.entries[("k2",)] == "new"
+        assert live.memos["fp"] == {"m": "fresh", "m2": "new"}
+
+    def test_python_query_fingerprint_tracks_function_body(self):
+        from repro.net.runcache import _code_digest
+
+        def one(inst):
+            return inst.relation("S")
+
+        def two(inst):
+            return frozenset()
+
+        assert _code_digest(one.__code__) != _code_digest(two.__code__)
+        assert _code_digest(one.__code__) == _code_digest(one.__code__)
+
+    def test_memo_save_load_roundtrip(self, tmp_path):
+        td = transitive_closure_transducer()
+        partition = sample_partitions(GRAPH, line(2), 1)[0]
+        sweep_runs(line(2), td, [partition], (0,), memo=True)
+        memo = td.convergence_memo
+        assert len(memo) > 0
+        path = tmp_path / "memo.pkl"
+        memo.save(path)
+        loaded = ConvergenceMemo.load(path)
+        assert loaded.entries == memo.entries
+        assert (loaded.memo_hits, loaded.memo_misses) == (0, 0)
+        with pytest.raises(ValueError):
+            RunCache.load(path)
+
+
+# ---------------------------------------------------------------------------
+# Cache determinism: a hit reproduces the exact RunResult
+# ---------------------------------------------------------------------------
+
+values = st.integers(min_value=0, max_value=3)
+
+
+@st.composite
+def sweep_cases(draw):
+    pairs = draw(st.lists(st.tuples(values, values), min_size=1, max_size=5))
+    network = draw(st.sampled_from([line(2), line(3), ring(3)]))
+    seed = draw(st.integers(0, 50))
+    return Instance(S2, [Fact("S", p) for p in pairs]), network, seed
+
+
+class TestRunCacheDeterminism:
+    @settings(max_examples=6, deadline=None)
+    @given(sweep_cases(), st.sampled_from([1, 2]))
+    def test_cached_sweep_equals_fresh_sweep(self, case, workers):
+        inst, network, seed = case
+        partitions = sample_partitions(inst, network, 3)
+        fresh = sweep_runs(network, TC, partitions, (seed, seed + 1))
+        cache = RunCache()
+        first = sweep_runs(
+            network, TC, partitions, (seed, seed + 1),
+            workers=workers, run_cache=cache,
+        )
+        assert first == fresh
+        hits0 = cache.cache_hits
+        second = sweep_runs(
+            network, TC, partitions, (seed, seed + 1),
+            workers=workers, run_cache=cache,
+        )
+        assert second == fresh  # bit-identical observations off the cache
+        assert cache.cache_hits - hits0 == len(fresh)
+        for cached_obs, fresh_obs in zip(second, fresh):
+            assert cached_obs.result == fresh_obs.result
+
+    def test_cache_shared_between_sweep_and_computed_output(self):
+        cache = RunCache()
+        td = transitive_closure_transducer()
+        out = computed_output(line(2), td, GRAPH, run_cache=cache)
+        assert cache.cache_misses == 1
+        again = computed_output(line(2), td, GRAPH, run_cache=cache)
+        assert again == out
+        assert cache.cache_hits == 1
+        # a structurally identical transducer hits the same entries
+        clone_out = computed_output(
+            line(2), transitive_closure_transducer(), GRAPH, run_cache=cache
+        )
+        assert clone_out == out
+        assert cache.cache_hits == 2
+
+    def test_check_consistency_surfaces_cache_counters(self):
+        cache = RunCache()
+        td = transitive_closure_transducer()
+        first = check_consistency(
+            line(3), td, GRAPH, partition_count=3, seeds=(0, 1),
+            run_cache=cache,
+        )
+        assert first.cache_misses == 6 and first.cache_hits == 0
+        second = check_consistency(
+            line(3), td, GRAPH, partition_count=3, seeds=(0, 1),
+            run_cache=cache,
+        )
+        assert second.cache_hits == 6 and second.cache_misses == 0
+        assert second.observations == first.observations
+        assert second.consistent == first.consistent
+
+    def test_coordination_probe_caching_keeps_report_identical(self):
+        td = relay_identity_transducer()
+        expected = computed_output(line(2), td, ELEMENTS)
+        plain = check_coordination_free_on(line(2), td, ELEMENTS, expected)
+        cache = RunCache()
+        first = check_coordination_free_on(
+            line(2), td, ELEMENTS, expected, run_cache=cache
+        )
+        misses = cache.cache_misses
+        assert misses > 0
+        second = check_coordination_free_on(
+            line(2), td, ELEMENTS, expected, run_cache=cache
+        )
+        assert cache.cache_misses == misses  # all probes served from cache
+        for report in (first, second):
+            assert report.coordination_free == plain.coordination_free
+            assert report.partitions_tried == plain.partitions_tried
+            assert report.witness == plain.witness
+
+    def test_calm_verdict_with_cache_and_pool_matches_plain(self):
+        plain = calm_verdict(transitive_closure_transducer(), GRAPH)
+        cache = RunCache()
+        with SweepPool(workers=2) as pool:
+            cached = calm_verdict(
+                transitive_closure_transducer(), GRAPH,
+                run_cache=cache, pool=pool,
+            )
+            assert cache.cache_misses > 0
+            rerun = calm_verdict(
+                transitive_closure_transducer(), GRAPH,
+                run_cache=cache, pool=pool,
+            )
+        assert cached == plain
+        assert rerun == plain
+
+
+# ---------------------------------------------------------------------------
+# Persistent pool: reuse across sweeps, determinism
+# ---------------------------------------------------------------------------
+
+
+class TestSweepPool:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_back_to_back_sweeps_match_serial(self, workers):
+        partitions = sample_partitions(GRAPH, line(3), 3)
+        serial_a = sweep_runs(line(3), TC, partitions, (0, 1))
+        serial_b = sweep_runs(line(3), TC, partitions, (2, 3))
+        with SweepPool(workers=workers) as pool:
+            pooled_a = sweep_runs(line(3), TC, partitions, (0, 1), pool=pool)
+            pooled_b = sweep_runs(line(3), TC, partitions, (2, 3), pool=pool)
+            if pool.parallel:
+                assert pool.maps_served == 2  # one fork, two sweeps
+        assert pooled_a == serial_a
+        assert pooled_b == serial_b
+
+    @settings(max_examples=4, deadline=None)
+    @given(sweep_cases(), st.sampled_from([1, 2]))
+    def test_pooled_sweeps_deterministic(self, case, workers):
+        inst, network, seed = case
+        partitions = sample_partitions(inst, network, 3)
+        serial = sweep_runs(network, TC, partitions, (seed, seed + 1))
+        with SweepPool(workers=workers) as pool:
+            pooled = sweep_runs(
+                network, TC, partitions, (seed, seed + 1), pool=pool
+            )
+        assert pooled == serial
+
+    def test_pool_memo_merge_back(self):
+        partitions = sample_partitions(GRAPH, line(3), 3)
+        baseline = ConvergenceMemo()
+        sweep_runs(line(3), TC, partitions, (0, 1), memo=baseline)
+        memo = ConvergenceMemo()
+        with SweepPool(workers=2) as pool:
+            sweep_runs(line(3), TC, partitions, (0, 1), memo=memo, pool=pool)
+        assert len(memo) == len(baseline)
+        assert memo._new is None  # journal never enabled in-parent
+
+    def test_map_preserves_order_and_reuses_pool(self):
+        with SweepPool(workers=2) as pool:
+            for _ in range(3):
+                out = pool.map(_double, "ctx", list(range(7)))
+                assert out == [("ctx", i * 2) for i in range(7)]
+            if pool.parallel:
+                assert pool.maps_served == 3
+
+    def test_single_item_map_runs_in_process(self):
+        with SweepPool(workers=2) as pool:
+            assert pool.map(_double, "c", [3]) == [("c", 6)]
+            assert pool.maps_served == 0  # no fan-out for one item
+
+    def test_workers_one_is_serial(self):
+        pool = SweepPool(workers=1)
+        assert not pool.parallel
+        assert pool.map(_double, "c", [1, 2]) == [("c", 2), ("c", 4)]
+        pool.close()  # no-op, never forked
+
+    def test_close_is_idempotent(self):
+        pool = SweepPool(workers=2)
+        pool.map(_double, "c", [1, 2, 3])
+        pool.close()
+        pool.close()
+        pool.terminate()
+
+
+def _double(context, item):
+    return (context, item * 2)
+
+
+# ---------------------------------------------------------------------------
+# Shutdown discipline: close on the happy path, terminate on error
+# ---------------------------------------------------------------------------
+
+
+class _FakePool:
+    def __init__(self):
+        self.calls = []
+
+    def close(self):
+        self.calls.append("close")
+
+    def terminate(self):
+        self.calls.append("terminate")
+
+    def join(self):
+        self.calls.append("join")
+
+
+class TestShutdownDiscipline:
+    def test_session_clean_exit_closes_not_terminates(self):
+        session = SweepSession(SweepExecutor(workers=2), _double, "ctx")
+        fake = _FakePool()
+        session._pool = fake
+        with session:
+            pass
+        assert fake.calls == ["close", "join"]
+
+    def test_session_exceptional_exit_terminates(self):
+        session = SweepSession(SweepExecutor(workers=2), _double, "ctx")
+        fake = _FakePool()
+        session._pool = fake
+        with pytest.raises(RuntimeError):
+            with session:
+                raise RuntimeError("boom")
+        assert fake.calls == ["terminate", "join"]
+
+    def test_pool_clean_exit_closes_not_terminates(self):
+        pool = SweepPool(workers=2)
+        fake = _FakePool()
+        pool._pool = fake
+        with pool:
+            pass
+        assert fake.calls == ["close", "join"]
+
+    def test_pool_exceptional_exit_terminates(self):
+        pool = SweepPool(workers=2)
+        fake = _FakePool()
+        pool._pool = fake
+        with pytest.raises(RuntimeError):
+            with pool:
+                raise RuntimeError("boom")
+        assert fake.calls == ["terminate", "join"]
+
+
+# ---------------------------------------------------------------------------
+# Distributed Dedalus caching
+# ---------------------------------------------------------------------------
+
+
+class TestDedalusRunCache:
+    def test_sweep_distributed_cache_hits_reproduce_traces(self):
+        from repro.dedalus import DedalusProgram
+        from repro.dedalus.distributed import sweep_distributed
+        from repro.net import full_replication, round_robin
+
+        program = DedalusProgram.parse(
+            """
+            T(x, y) :- S(x, y).
+            T(x, y) :- T(x, z), S(z, y).
+            """,
+            S2,
+        )
+        net = line(2)
+        chain = Instance(S2, [Fact("S", (1, 2)), Fact("S", (2, 3))])
+        partitions = [round_robin(chain, net), full_replication(chain, net)]
+        plain = sweep_distributed(program, net, partitions, seeds=(0, 1),
+                                  max_steps=300)
+        cache = RunCache()
+        first = sweep_distributed(
+            program, net, partitions, seeds=(0, 1), max_steps=300,
+            run_cache=cache,
+        )
+        assert cache.cache_misses == 4 and cache.cache_hits == 0
+        second = sweep_distributed(
+            program, net, partitions, seeds=(0, 1), max_steps=300,
+            run_cache=cache,
+        )
+        assert cache.cache_hits == 4
+        for a, b, c in zip(plain, first, second):
+            assert a.stabilized_at == b.stabilized_at == c.stabilized_at
+            assert a.final() == b.final() == c.final()

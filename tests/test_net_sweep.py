@@ -71,8 +71,23 @@ class TestSweepExecutor:
     def test_backend_resolution(self):
         assert SweepExecutor(workers=1).backend == "serial"
         assert SweepExecutor(workers=4, backend="serial").backend == "serial"
-        # workers=1 forces serial even when multiprocessing is named
-        assert SweepExecutor(workers=1, backend="multiprocessing").backend == "serial"
+        # the *default* path quietly resolves workers=1 to serial ...
+        assert SweepExecutor(workers=1, backend=None).backend == "serial"
+
+    def test_explicit_multiprocessing_with_one_worker_rejected(self):
+        # ... but an explicitly requested multiprocessing backend that
+        # cannot parallelize is a misconfiguration, not a preference.
+        with pytest.raises(ValueError, match="workers=1"):
+            SweepExecutor(workers=1, backend="multiprocessing")
+
+    def test_explicit_multiprocessing_without_fork_rejected(self, monkeypatch):
+        from repro.net import sweep as sweep_module
+
+        monkeypatch.setattr(sweep_module, "_fork_context", lambda: None)
+        with pytest.raises(ValueError, match="fork"):
+            SweepExecutor(workers=2, backend="multiprocessing")
+        # the default path still degrades quietly
+        assert SweepExecutor(workers=2, backend=None).backend == "serial"
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError):
@@ -169,7 +184,8 @@ class TestParallelSweepDeterminism:
         serial = sweep_runs(network, TC, partitions, (seed, seed + 1))
         parallel = sweep_runs(
             network, TC, partitions, (seed, seed + 1),
-            workers=workers, backend="multiprocessing",
+            workers=workers,
+            backend="multiprocessing" if workers > 1 else None,
         )
         assert serial == parallel  # observation-for-observation
 
