@@ -1,11 +1,12 @@
 """E24 — the parallel sweep executor (engineering, not a paper claim).
 
 Consistency checking executes a partitions × seeds grid of fair runs;
-PR 3 made the grid a :class:`~repro.net.sweep.SweepExecutor` sweep with
-two cross-run stores: the transducer's transition cache (shared by fork
-inheritance) and the new :class:`~repro.net.convergence.ConvergenceMemo`
-of quiescence certificates, pre-seeded into every run's tracker and
-merged back afterwards.
+PR 3 made the grid a parallel sweep — now the ``fork`` lifetime of the
+unified :class:`~repro.net.executor.SweepEngine` — with two cross-run
+stores: the transducer's transition cache (shared by fork inheritance)
+and the :class:`~repro.net.convergence.ConvergenceMemo` of quiescence
+certificates, pre-seeded into every run's tracker and merged back
+afterwards.
 
 The measurement, on the E17 chain workload (the transitive-closure
 flooder on a chain graph — the shape where every transition pays real

@@ -30,7 +30,17 @@ observation for observation (a cache hit reproduces the exact
 RunResult) and the CALM verdicts must match.  When
 ``$REPRO_RUNCACHE`` names a persisted cache (the CI warm-start
 artifact), it is loaded and merged before the warm pass and the
-updated cache is saved back to it afterwards.
+updated cache is saved back to it afterwards; ``$REPRO_RUNCACHE_MAX``
+makes that load take the *bounded* path (``RunCache.load(path,
+max_entries=N)``), which CI pins to exercise the LRU restore.
+
+Two **bounded-cache columns** ride along (``max_entries`` ∈ {64, 8}):
+the same warm pass through an LRU-bounded cache built from the loaded
+entries.  Eviction churn turns hits back into recomputation, so the
+bounded passes trade speed for memory — the bench asserts their
+*evidence* is still identical to the cold pass (eviction can cost
+time, never correctness) and reports the hit/miss/eviction counts; the
+speedup bar applies to the unbounded warm pass only.
 """
 
 import json
@@ -58,6 +68,14 @@ CACHE_PATH = pathlib.Path(
         pathlib.Path(__file__).with_name("CACHE_runcache.pkl"),
     )
 )
+# The bounded load path: when set (CI pins 1024), the warm-start
+# bundle is restored through RunCache.load(path, max_entries=N).
+CACHE_MAX = (
+    int(os.environ["REPRO_RUNCACHE_MAX"])
+    if os.environ.get("REPRO_RUNCACHE_MAX")
+    else None
+)
+BOUNDED_COLUMNS = (64, 8)
 
 
 def _workload(transducer, run_cache=None, memo=None):
@@ -122,7 +140,11 @@ def test_e25_run_cache_warm_pass(benchmark, report):
             except Exception:
                 pass
         cache.save(CACHE_PATH)
-        loaded = RunCache.load(CACHE_PATH)
+        if CACHE_MAX is not None:
+            loaded = RunCache.load(CACHE_PATH, max_entries=CACHE_MAX)
+            ok &= loaded.max_entries == CACHE_MAX
+        else:
+            loaded = RunCache.load(CACHE_PATH)
 
         warm_td = transitive_closure_transducer()
         warm_memo = loaded.memo_for(warm_td)
@@ -156,6 +178,41 @@ def test_e25_run_cache_warm_pass(benchmark, report):
             "cache_misses": loaded.cache_misses,
             "observations_identical": identical,
         })
+
+        # Bounded-cache columns: the same warm pass through LRU-bounded
+        # caches.  Evicted cells recompute; evidence must not change.
+        for bound in BOUNDED_COLUMNS:
+            bounded = RunCache(
+                loaded.entries, loaded.memos, max_entries=bound
+            )
+            bounded_td = transitive_closure_transducer()
+            t0 = time.perf_counter()
+            b_consistency, b_verdict = _workload(
+                bounded_td, run_cache=bounded,
+                memo=loaded.memo_for(bounded_td),
+            )
+            t_bounded = time.perf_counter() - t0
+            b_identical = (
+                b_consistency.observations == cold_consistency.observations
+            )
+            ok &= b_identical
+            ok &= b_verdict == cold_verdict
+            ok &= len(bounded) <= bound
+            rows.append([
+                f"warm (max={bound})", f"{t_bounded:.2f}s",
+                f"{t_cold / max(t_bounded, 1e-9):.1f}x",
+                bounded.cache_misses, "yes" if b_identical else "NO",
+            ])
+            snapshot.append({
+                "pass": f"warm-bounded-{bound}",
+                "seconds": round(t_bounded, 3),
+                "speedup_vs_cold": round(t_cold / max(t_bounded, 1e-9), 2),
+                "max_entries": bound,
+                "cache_hits": bounded.cache_hits,
+                "cache_misses": bounded.cache_misses,
+                "evictions": bounded.evictions,
+                "observations_identical": b_identical,
+            })
 
         loaded.merge(cache)
         loaded.save(CACHE_PATH)

@@ -138,6 +138,7 @@ def calm_verdict(
     memo=None,
     run_cache=None,
     pool=None,
+    engine=None,
 ) -> CalmVerdict:
     """Assemble the full CALM diagnostic for one transducer.
 
@@ -150,18 +151,19 @@ def calm_verdict(
     mode — only legal (and only meaningful) for oblivious, monotone,
     inflationary transducers, where CALM guarantees the same computed query.
 
-    *workers*/*backend* parallelize the run sweeps underneath
+    *workers*/*backend*/*engine* parallelize the run sweeps underneath
     (coordination witness search, NTI consistency probes); *memo*
     shares one cross-run convergence memo across every fair run the
     diagnostic performs — one transducer, hence one sound scope.
     *run_cache* skips whole runs the cache has seen (the diagnostic
     re-executes many identical cells across its probes — and across
-    *diagnostics*, since the cache is fingerprint-keyed); *pool* runs
+    *diagnostics*, since the cache is fingerprint-keyed); a
+    ``persistent``-lifetime *engine* (or the deprecated *pool*) runs
     every sweep underneath through one live fork pool.  All verdicts
     are identical with or without any of these knobs.
     """
+    from ..net.convergence import resolve_memo
     from ..net.runcache import resolve_run_cache
-    from ..net.sweep import resolve_memo
 
     network = network if network is not None else line(2)
     flags = property_report(transducer)
@@ -181,7 +183,7 @@ def calm_verdict(
             report = check_coordination_free_on(
                 network, transducer, probe, expected,
                 workers=workers, backend=backend,
-                run_cache=run_cache, pool=pool,
+                run_cache=run_cache, pool=pool, engine=engine,
             )
             verdicts.append(report.coordination_free)
         coordination_free = all(verdicts)
@@ -209,6 +211,7 @@ def calm_verdict(
         memo=memo,
         run_cache=run_cache,
         pool=pool,
+        engine=engine,
     )
 
     return CalmVerdict(

@@ -44,7 +44,7 @@ class Instance:
     Iteration yields facts in sorted order for determinism.
     """
 
-    __slots__ = ("schema", "_rels", "_size", "_hash", "_facts", "_adom")
+    __slots__ = ("schema", "_rels", "_size", "_hash", "_facts", "_adom", "_digest")
 
     schema: DatabaseSchema
 
@@ -70,6 +70,10 @@ class Instance:
         object.__setattr__(self, "_hash", None)
         object.__setattr__(self, "_facts", None)
         object.__setattr__(self, "_adom", None)
+        # Canonical sorted-fact digest, computed lazily by
+        # repro.net.runcache.instance_digest (sharing the instance's
+        # immutability the way _hash does).
+        object.__setattr__(self, "_digest", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("Instance is immutable")

@@ -179,6 +179,7 @@ def run_distributed(
     backend: str | None = None,
     run_cache=None,
     pool=None,
+    engine=None,
     **run_kwargs,
 ):
     """Localize *program*, place *partition* on *network*, and run.
@@ -197,8 +198,8 @@ def run_distributed(
 
     With *seeds* (a tuple of arrival-schedule seeds), the run becomes a
     sweep: the localized program is executed once per seed — in
-    parallel when ``workers > 1``, see :mod:`repro.net.sweep` — and a
-    list of traces comes back in seed order, identical to running the
+    parallel when ``workers > 1``, see :mod:`repro.net.executor` — and
+    a list of traces comes back in seed order, identical to running the
     seeds serially.  That is the Section 8 analogue of quantifying
     consistency over fair runs: every arrival schedule must stabilize
     to the same state.
@@ -207,8 +208,9 @@ def run_distributed(
     whole traces — a seeded localized run is a pure function of
     ``(program, network, partition, seed, kwargs)``, and Dedalus
     programs always fingerprint canonically (their rules are plain
-    ASTs).  *pool* fans a seeds sweep over a live
-    :class:`~repro.net.runcache.SweepPool`.
+    ASTs).  *engine* (a :class:`~repro.net.executor.SweepEngine`, e.g.
+    a ``persistent``-lifetime one) or the deprecated *pool* fans a
+    seeds sweep over a live worker pool.
     """
     from .interp import run_program
 
@@ -224,6 +226,7 @@ def run_distributed(
             backend=backend,
             run_cache=run_cache,
             pool=pool,
+            engine=engine,
             **run_kwargs,
         )
     localized = localize(program, broadcast)
@@ -282,56 +285,40 @@ def sweep_distributed(
     backend: str | None = None,
     run_cache=None,
     pool=None,
+    engine=None,
     **run_kwargs,
 ) -> list:
     """Run the partitions × seeds grid of distributed Dedalus runs.
 
     The localization is compiled once and shared; each (partition,
     seed) cell is an independent interpreter run, so the grid fans out
-    over the :class:`~repro.net.sweep.SweepExecutor` exactly like a
+    over the :class:`~repro.net.executor.SweepEngine` exactly like a
     transducer consistency sweep.  Traces return in grid order
     (partitions outer, seeds inner) for every worker count.
 
     *run_cache* short-circuits cells whose trace is already recorded
     (keys include the localized program's fingerprint, the network,
-    the partition, the seed and the kwargs); *pool* reuses a live
-    :class:`~repro.net.runcache.SweepPool` and takes precedence over
-    *workers*/*backend*.
+    the partition, the seed and the kwargs) — the shared
+    :class:`~repro.net.executor.CacheSplice` bookkeeping, so equal
+    cells inside one grid also collapse to a single run.  *engine*
+    selects the executor outright; the deprecated *pool* and the
+    *workers*/*backend* pair are accepted as before.
     """
-    from ..net.sweep import SweepExecutor
+    from ..net.executor import CacheSplice, resolve_engine
 
     localized = localize(program, broadcast)
     context = (localized, network, batch_async, run_kwargs)
     tasks = [(partition, seed) for partition in partitions for seed in seeds]
 
-    traces: list = [None] * len(tasks)
-    keys: list[tuple] | None = None
-    pending = list(range(len(tasks)))
-    if run_cache is not None:
-        keys = [
-            _distributed_key(localized, network, partition, seed,
-                             batch_async, run_kwargs)
-            for partition, seed in tasks
-        ]
-        pending = []
-        for i, key in enumerate(keys):
-            cached = run_cache.get(key)
-            if cached is not None:
-                traces[i] = cached
-            else:
-                pending.append(i)
-
-    pending_tasks = [tasks[i] for i in pending]
-    if pool is not None:
-        fresh = pool.map(_distributed_task, context, pending_tasks)
-    else:
-        executor = SweepExecutor(workers=workers, backend=backend)
-        fresh = executor.map(_distributed_task, context, pending_tasks)
-    for i, trace in zip(pending, fresh):
-        traces[i] = trace
-        if run_cache is not None:
-            run_cache.record(keys[i], trace)
-    return traces
+    splice = CacheSplice(
+        tasks,
+        run_cache,
+        lambda task: _distributed_key(
+            localized, network, task[0], task[1], batch_async, run_kwargs
+        ),
+    )
+    eng = resolve_engine(engine=engine, pool=pool, workers=workers, backend=backend)
+    return splice.fill(eng.map(_distributed_task, context, splice.pending_tasks))
 
 
 def node_view(state: Instance, relation: str, node) -> frozenset:

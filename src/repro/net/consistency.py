@@ -97,6 +97,7 @@ def observe_runs(
     memo=None,
     run_cache=None,
     pool=None,
+    engine=None,
 ) -> list[RunObservation]:
     """Run (N, Π) on several partitions × schedules and record outputs.
 
@@ -106,8 +107,8 @@ def observe_runs(
     inflationary) transducers are fair
     runs too, so sampling them strengthens the evidence.
 
-    *workers*/*backend* select the sweep executor (see
-    :mod:`repro.net.sweep`): runs are independent, so they execute
+    *workers*/*backend*/*engine* select the sweep engine (see
+    :mod:`repro.net.executor`): runs are independent, so they execute
     concurrently without changing a single observation — the returned
     list is identical to the serial one for every worker count.
     *memo* opts into cross-run convergence memoization (``True`` for
@@ -115,11 +116,12 @@ def observe_runs(
     :class:`~repro.net.convergence.ConvergenceMemo`); it accelerates
     checks without affecting verdicts.  *run_cache* short-circuits
     whole runs already known to the
-    :class:`~repro.net.runcache.RunCache`, and *pool* reuses one live
-    :class:`~repro.net.runcache.SweepPool` across consecutive sweeps;
-    both also leave every observation unchanged.
+    :class:`~repro.net.runcache.RunCache`, and a ``persistent``-lifetime
+    *engine* (or the deprecated *pool*) reuses one live fork pool
+    across consecutive sweeps; both also leave every observation
+    unchanged.
     """
-    from .sweep import sweep_runs
+    from .executor import sweep_runs
 
     if partitions is None:
         partitions = sample_partitions(instance, network, partition_count)
@@ -136,6 +138,7 @@ def observe_runs(
         memo=memo,
         run_cache=run_cache,
         pool=pool,
+        engine=engine,
     )
 
 
@@ -154,18 +157,19 @@ def check_consistency(
     memo=None,
     run_cache=None,
     pool=None,
+    engine=None,
 ) -> ConsistencyReport:
     """Empirical consistency check of (N, Π) on one instance.
 
     Consistency fails definitively if two fair runs produced different
     outputs; it is supported (not proved) when all sampled runs agree.
-    *workers*/*backend*/*memo*/*run_cache*/*pool* parallelize, memoize
-    and cache the underlying sweep (see :func:`observe_runs`) without
+    *workers*/*backend*/*engine*/*memo*/*run_cache*/*pool* parallelize,
+    memoize and cache the underlying sweep (see :func:`observe_runs`) without
     changing the report's evidence; memo and run-cache effectiveness
     are surfaced on the report.
     """
+    from .convergence import resolve_memo
     from .runcache import resolve_run_cache
-    from .sweep import resolve_memo
 
     memo = resolve_memo(memo, transducer)
     cache = resolve_run_cache(run_cache, transducer)
@@ -189,6 +193,7 @@ def check_consistency(
         memo=memo,
         run_cache=cache,
         pool=pool,
+        engine=engine,
     )
     outputs = [obs.result.output for obs in observations]
     unconverged = sum(1 for obs in observations if not obs.result.converged)
@@ -226,8 +231,8 @@ def computed_output(
     consistency sweep can warm the CALM reference evaluation and vice
     versa.
     """
+    from .convergence import resolve_memo
     from .runcache import resolve_run_cache, run_key, transducer_fingerprint
-    from .sweep import resolve_memo
 
     cache = resolve_run_cache(run_cache, transducer)
     partitions = sample_partitions(instance, network, 1)
@@ -292,6 +297,7 @@ def check_topology_independence(
     memo=None,
     run_cache=None,
     pool=None,
+    engine=None,
 ) -> TopologyIndependenceReport:
     """Empirically check network-topology independence on one instance.
 
@@ -303,11 +309,12 @@ def check_topology_independence(
     memoized certificates depend only on the transducer, not on the
     topology (see :class:`~repro.net.convergence.ConvergenceMemo`).
     The same holds for *run_cache* (the network is part of the cache
-    key) and *pool* — one live pool serves every per-network sweep,
-    which is the fork-amortization this probe grid exists for.
+    key) and a persistent *engine*/*pool* — one live pool serves every
+    per-network sweep, which is the fork-amortization this probe grid
+    exists for.
     """
+    from .convergence import resolve_memo
     from .runcache import resolve_run_cache
-    from .sweep import resolve_memo
 
     if networks is None:
         networks = standard_topologies(4)
@@ -330,6 +337,7 @@ def check_topology_independence(
             memo=memo,
             run_cache=run_cache,
             pool=pool,
+            engine=engine,
         )
         if not report.consistent:
             inconsistent.append(network.name)

@@ -307,6 +307,24 @@ def shared_memo(transducer: Transducer) -> ConvergenceMemo:
     return memo
 
 
+def resolve_memo(
+    memo: "ConvergenceMemo | bool | None", transducer: Transducer
+) -> ConvergenceMemo | None:
+    """Normalize the ``memo=`` knob the sweep entry points accept.
+
+    ``None``/``False`` → no cross-run memo; ``True`` → the memo hung
+    off the transducer (created on first use, like the transition
+    cache); a :class:`ConvergenceMemo` → itself.
+    """
+    if memo is None or memo is False:
+        return None
+    if memo is True:
+        return shared_memo(transducer)
+    if not isinstance(memo, ConvergenceMemo):
+        raise TypeError(f"memo must be a ConvergenceMemo or bool, got {memo!r}")
+    return memo
+
+
 class ConvergenceTracker:
     """Incremental convergence checking with delta invalidation.
 

@@ -103,6 +103,7 @@ def check_coordination_free_on(
     backend: str | None = None,
     run_cache=None,
     pool=None,
+    engine=None,
 ) -> CoordinationFreenessReport:
     """Search for a witness partition on *network* for *instance*.
 
@@ -114,26 +115,27 @@ def check_coordination_free_on(
     round bound); otherwise a negative verdict only reports that no
     sampled partition works.
 
-    *workers*/*backend* probe candidate partitions concurrently, in
-    chunks.  The report is deterministic and identical to the serial
-    search: candidates keep their enumeration order, the witness is the
-    *first* succeeding partition in that order, and ``partitions_tried``
-    counts up to it — parallelism only changes how much speculative
-    probing happens beyond the witness, never what is reported.
+    *workers*/*backend*/*engine* probe candidate partitions
+    concurrently, in chunks.  The report is deterministic and identical
+    to the serial search: candidates keep their enumeration order, the
+    witness is the *first* succeeding partition in that order, and
+    ``partitions_tried`` counts up to it — parallelism only changes how
+    much speculative probing happens beyond the witness, never what is
+    reported.
 
     *run_cache* memoizes individual probes (a heartbeat-only run is a
     pure function of ``(network, transducer, partition)``) under the
     ``"heartbeat-only"`` key kind, so re-checks — the CALM diagnostic
     probes the same transducer on the test instance *and* the empty
     instance, and CI re-probes yesterday's grid — skip straight to the
-    recorded outputs.  *pool* probes chunks through one live
-    :class:`~repro.net.runcache.SweepPool` instead of forking a
-    session per search.
+    recorded outputs.  A ``persistent``-lifetime *engine* (or the
+    deprecated *pool*) probes chunks through one live fork pool
+    instead of forking a session per search.
     """
     from itertools import islice
 
+    from .executor import CacheSplice, resolve_engine
     from .runcache import resolve_run_cache, run_key, transducer_fingerprint
-    from .sweep import SweepExecutor
 
     nodes = len(network)
     space = (2**nodes - 1) ** max(len(instance), 1)
@@ -158,55 +160,59 @@ def check_coordination_free_on(
         )
 
     context = (network, transducer, max_rounds)
-    if pool is not None:
-        session = None
-        mapper = lambda items: pool.map(_heartbeat_probe, context, items)  # noqa: E731
-        chunk_size = pool.workers if pool.parallel else 1
-    else:
-        executor = SweepExecutor(workers=workers, backend=backend)
-        session = executor.open(_heartbeat_probe, context)
-        mapper = session.map
-        chunk_size = 1 if executor.backend == "serial" else executor.workers
-    # One session (or one caller-owned pool) for the whole search: the
-    # worker pool is forked once and reused across chunks (probes are
-    # small; per-chunk pools would be dominated by fork setup).
-    def scan() -> CoordinationFreenessReport:
-        tried = 0
-        while True:
-            chunk = list(islice(candidates, chunk_size))
-            if not chunk:
-                break
-            if cache is not None:
-                outputs = [cache.get(probe_key(p)) for p in chunk]
-                missing = [i for i, out in enumerate(outputs) if out is None]
-                fresh = mapper([chunk[i] for i in missing])
-                for i, output in zip(missing, fresh):
-                    outputs[i] = output
-                    cache.record(probe_key(chunk[i]), output)
-            else:
-                outputs = mapper(chunk)
-            for partition, output in zip(chunk, outputs):
-                tried += 1
-                if output == expected_output:
-                    return CoordinationFreenessReport(
-                        coordination_free=True,
-                        witness=partition,
-                        expected_output=expected_output,
-                        partitions_tried=tried,
-                        exhaustive=exhaustive,
-                    )
-        return CoordinationFreenessReport(
-            coordination_free=False,
-            witness=None,
-            expected_output=expected_output,
-            partitions_tried=tried,
-            exhaustive=exhaustive,
-        )
+    eng = resolve_engine(engine=engine, pool=pool, workers=workers, backend=backend)
+    chunk_size = eng.workers if eng.parallel else 1
 
-    if session is not None:
-        with session:
-            return scan()
-    return scan()
+    def probes():
+        # One engine session for the whole search: the worker pool is
+        # forked once and reused across chunks (probes are small;
+        # per-chunk pools would be dominated by fork setup).  The
+        # session is torn down in this generator's ``finally`` and the
+        # consumer below closes the generator explicitly, so an early
+        # exit — witness found with candidates still unprobed — still
+        # drains and joins the session's pool deterministically;
+        # abandonment cleanup used to be left to the garbage
+        # collector.  A caller-owned persistent engine is untouched
+        # (session close never reaps an engine-scoped pool).
+        session = eng.session(_heartbeat_probe, context)
+        try:
+            while True:
+                chunk = list(islice(candidates, chunk_size))
+                if not chunk:
+                    return
+                splice = CacheSplice(chunk, cache, probe_key)
+                outputs = splice.fill(session.map(splice.pending_tasks))
+                yield from zip(chunk, outputs)
+        except GeneratorExit:
+            raise
+        except BaseException:
+            session.terminate()
+            raise
+        finally:
+            session.close()
+
+    stream = probes()
+    tried = 0
+    try:
+        for partition, output in stream:
+            tried += 1
+            if output == expected_output:
+                return CoordinationFreenessReport(
+                    coordination_free=True,
+                    witness=partition,
+                    expected_output=expected_output,
+                    partitions_tried=tried,
+                    exhaustive=exhaustive,
+                )
+    finally:
+        stream.close()
+    return CoordinationFreenessReport(
+        coordination_free=False,
+        witness=None,
+        expected_output=expected_output,
+        partitions_tried=tried,
+        exhaustive=exhaustive,
+    )
 
 
 def full_replication_suffices(

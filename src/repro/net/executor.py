@@ -1,0 +1,573 @@
+"""The unified sweep engine: one executor, pluggable worker lifetimes.
+
+The paper's semantic properties (consistency, coordination-freeness,
+CALM) quantify over *many* fair runs — every partition × seed ×
+scheduler combination — and each of those runs is completely
+independent of the others: a seeded schedule is a pure function of
+``(network, transducer, partition, seed)``.  That independence is
+exactly what makes parallelism safe (the same observation the
+Canonical Amoebot Model makes for its concurrency layer: concurrent
+executions are justified by reduction to a sequential reference):
+executing the runs of a sweep concurrently cannot change any
+observation, so the engine guarantees **determinism** — the result
+list it returns is identical, result for result, to the serial
+sweep's, whatever the worker count.  Results are ordered by task
+index, never by completion.  ``tests/test_executor_conformance.py``
+enforces the contract differentially: every (lifetime × workers ×
+cache configuration) combination is run against the serial unbounded
+reference and must match it bit for bit.
+
+PR 3 grew a per-sweep ``SweepExecutor`` and PR 4 a persistent
+``SweepPool`` with near-duplicate lifecycle code; this module fuses
+them into one :class:`SweepEngine` with three worker *lifetimes*:
+
+* ``serial`` — the reference loop, in-process, no pool ever;
+* ``fork`` — a fresh fork pool per :class:`EngineSession`, with the
+  ``(fn, context)`` payload shipped to workers by **fork inheritance**
+  (never pickled) — optimal for one big sweep, and the only lifetime
+  that can carry unpicklable contexts (``PythonQuery`` closures, warm
+  transition caches);
+* ``persistent`` — one fork pool kept alive across *consecutive*
+  sweeps (the CALM/NTI probe grids issue many small sweeps back to
+  back); each map call pickles its payload once into a blob that every
+  task carries and each worker unpickles at most once per map.
+
+On top of the engine, :class:`CacheSplice` is the one shared
+implementation of the cached/pending bookkeeping every sweep needs
+with a :class:`~repro.net.runcache.RunCache`: split the task grid into
+cache hits, in-grid duplicates and pending work, fan only the pending
+tasks out, and splice the fresh results back in task order.  It used
+to be hand-rolled three times (``sweep_runs``,
+``check_coordination_free_on``, ``sweep_distributed``); the three
+copies are gone.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import pickle
+
+from .consistency import RunObservation
+from .convergence import ConvergenceMemo, resolve_memo
+from .network import Network
+from .partition import HorizontalPartition
+from .run import run_fair
+
+__all__ = [
+    "BACKENDS",
+    "CacheSplice",
+    "EngineSession",
+    "LIFETIMES",
+    "SweepEngine",
+    "lifetime_for_backend",
+    "resolve_engine",
+    "sweep_runs",
+]
+
+LIFETIMES = ("serial", "fork", "persistent")
+
+#: Legacy backend names accepted by the deprecated ``backend=`` knob.
+BACKENDS = ("serial", "multiprocessing")
+
+
+def _fork_context():
+    """The fork multiprocessing context, or None where unsupported."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Worker-side plumbing
+# ---------------------------------------------------------------------------
+
+# The (fn, context) pair installed in each fork-lifetime pool worker by
+# the initializer.  With the fork start method this is inherited
+# memory, not a pickle — which is what lets the context carry
+# transducers with arbitrary (unpicklable) PythonQuery closures and
+# warm caches.
+_WORKER_PAYLOAD = None
+
+
+def _init_worker(payload) -> None:
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = payload
+
+
+def _call_worker(item):
+    fn, context = _WORKER_PAYLOAD
+    return fn(context, item)
+
+
+# Persistent-lifetime payload cache: token -> (fn, context).  Each
+# forked worker process owns its copy (the parent never populates it),
+# so a payload is unpickled once per worker per map call, not once per
+# task.
+_POOL_PAYLOADS: dict = {}
+_POOL_PAYLOAD_LIMIT = 8
+
+
+def _pool_call(task):
+    token, blob, item = task
+    payload = _POOL_PAYLOADS.get(token)
+    if payload is None:
+        payload = pickle.loads(blob)
+        if len(_POOL_PAYLOADS) >= _POOL_PAYLOAD_LIMIT:
+            _POOL_PAYLOADS.pop(next(iter(_POOL_PAYLOADS)))
+        _POOL_PAYLOADS[token] = payload
+    fn, context = payload
+    return fn(context, item)
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+class SweepEngine:
+    """A deterministic ordered map over sweep tasks, with a pluggable
+    worker lifetime.
+
+    ``lifetime`` is one of :data:`LIFETIMES` (default: ``fork`` exactly
+    when ``workers > 1`` and the platform has the fork start method,
+    else ``serial``).  The lifetime is resolved once at construction —
+    a quietly degraded engine *is* serial from then on, so callers can
+    branch on ``engine.parallel`` to decide merge-back bookkeeping.
+    An *explicitly* requested parallel lifetime that cannot actually
+    parallelize (``workers == 1``, or no fork) is a misconfiguration
+    and raises ``ValueError`` — honoring it silently used to hide wrong
+    worker counts and fork-less platforms.
+
+    :meth:`map` applies a module-level function ``fn(context, item)``
+    to every item and returns the results in item order regardless of
+    completion order — the determinism contract every sweep in the
+    library relies on.  :meth:`session` opens a reusable mapping
+    session for chunked searches.  A ``persistent`` engine owns one
+    live pool across all its sessions and maps; use it as a context
+    manager (or call :meth:`close`) to reap the workers.
+    """
+
+    def __init__(self, workers: int = 1, lifetime: str | None = None):
+        workers = max(1, int(workers))
+        mp_context = _fork_context()
+        if lifetime is None:
+            lifetime = "fork" if workers > 1 and mp_context is not None else "serial"
+        elif lifetime not in LIFETIMES:
+            raise ValueError(
+                f"unknown engine lifetime {lifetime!r}; expected one of {LIFETIMES}"
+            )
+        elif lifetime != "serial":
+            if workers == 1:
+                raise ValueError(
+                    f"lifetime={lifetime!r} was requested explicitly but "
+                    f"workers=1 cannot parallelize; pass lifetime=None to "
+                    f"allow the serial fallback"
+                )
+            if mp_context is None:
+                raise ValueError(
+                    f"lifetime={lifetime!r} was requested explicitly but the "
+                    f"fork start method is unavailable on this platform; "
+                    f"pass lifetime=None to allow the serial fallback"
+                )
+        self.workers = workers
+        self.lifetime = lifetime
+        self._mp_context = mp_context
+        # The persistent lifetime's one live pool (forked lazily).
+        self._pool = None
+        self._tokens = itertools.count()
+        #: Pool maps actually fanned out (amortization observability).
+        self.maps_served = 0
+
+    @property
+    def parallel(self) -> bool:
+        """True when maps actually fan out to forked workers."""
+        return self.lifetime != "serial"
+
+    def session(self, fn, context) -> "EngineSession":
+        """A reusable mapping session (one worker pool for its lifetime).
+
+        Chunked searches (the coordination-freeness witness probe) call
+        :meth:`EngineSession.map` repeatedly; a ``fork``-lifetime
+        session opens its pool once, amortizing the fork setup across
+        every chunk instead of paying it per chunk.  Sessions of a
+        ``persistent`` engine share the engine's one pool and their
+        ``close`` leaves it running.
+        """
+        return EngineSession(self, fn, context)
+
+    def map(self, fn, context, items) -> list:
+        """Apply ``fn(context, item)`` to every item, in item order."""
+        if self.lifetime == "persistent":
+            return self._persistent_map(fn, context, list(items))
+        with self.session(fn, context) as session:
+            return session.map(items)
+
+    def _persistent_map(self, fn, context, items: list) -> list:
+        """One map through the engine's long-lived pool.
+
+        The ``(fn, context)`` payload is pickled exactly once into a
+        blob that every task carries (re-pickling a ``bytes`` object is
+        a memcpy, not an object-graph walk) and each worker unpickles
+        at most once.  Single-item maps run in-process; callers whose
+        task function carries worker-side bookkeeping (journalling memo
+        deltas, say) must branch on :attr:`parallel` and item count
+        themselves, exactly like :func:`sweep_runs` does.
+        """
+        if not self.parallel or len(items) <= 1:
+            return [fn(context, item) for item in items]
+        if self._pool is None:
+            self._pool = self._mp_context.Pool(self.workers)
+        token = next(self._tokens)
+        blob = pickle.dumps((fn, context), protocol=pickle.HIGHEST_PROTOCOL)
+        self.maps_served += 1
+        return self._pool.map(
+            _pool_call, [(token, blob, item) for item in items], chunksize=1
+        )
+
+    def close(self) -> None:
+        """Clean shutdown of the persistent pool: drain workers, reap."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def terminate(self) -> None:
+        """Hard shutdown for error paths: kill workers immediately."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "SweepEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.terminate()
+        else:
+            self.close()
+
+    def __repr__(self) -> str:
+        state = "live" if self._pool is not None else "idle"
+        return (
+            f"{type(self).__name__}(workers={self.workers}, "
+            f"lifetime={self.lifetime!r}, {state})"
+        )
+
+
+class EngineSession:
+    """A live mapping session of a :class:`SweepEngine`.
+
+    Serial sessions apply the function inline; ``fork`` sessions hold
+    one fork pool, created lazily on the first non-trivial :meth:`map`
+    (the payload crosses by fork inheritance) and reused until
+    :meth:`close` (or the ``with`` block) tears it down; ``persistent``
+    sessions delegate to the engine's shared pool, which outlives them.
+    Results always come back in item order.
+    """
+
+    def __init__(self, engine: SweepEngine, fn, context):
+        self._engine = engine
+        self._fn = fn
+        self._context = context
+        self._pool = None
+
+    def map(self, items) -> list:
+        items = list(items)
+        engine = self._engine
+        if engine.lifetime == "persistent":
+            return engine._persistent_map(self._fn, self._context, items)
+        if engine.lifetime == "serial" or not items:
+            return [self._fn(self._context, item) for item in items]
+        if self._pool is None:
+            self._pool = engine._mp_context.Pool(
+                engine.workers,
+                initializer=_init_worker,
+                initargs=((self._fn, self._context),),
+            )
+        return self._pool.map(_call_worker, items, chunksize=1)
+
+    def close(self) -> None:
+        """Clean shutdown: let workers finish queued work, then reap.
+
+        Only touches the session-owned pool (``fork`` lifetime); a
+        ``persistent`` engine's pool is engine-scoped and stays live.
+        ``terminate()`` on the happy path used to kill workers
+        mid-cleanup, leaking semaphore-tracker warnings; the hard kill
+        is reserved for :meth:`terminate` (the exceptional ``__exit__``
+        path).
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def terminate(self) -> None:
+        """Hard shutdown for error paths: kill workers immediately."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "EngineSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.terminate()
+        else:
+            self.close()
+
+
+def lifetime_for_backend(backend: str | None) -> str | None:
+    """Translate the deprecated ``backend=`` knob into an engine lifetime.
+
+    ``None`` keeps the engine's auto choice; ``"serial"`` pins serial;
+    ``"multiprocessing"`` maps to the strict ``"fork"`` lifetime (an
+    explicit request that cannot parallelize raises, exactly as the old
+    executor did).
+    """
+    if backend is None:
+        return None
+    if backend == "serial":
+        return "serial"
+    if backend == "multiprocessing":
+        return "fork"
+    raise ValueError(
+        f"unknown sweep backend {backend!r}; expected one of {BACKENDS}"
+    )
+
+
+def resolve_engine(
+    engine: "SweepEngine | None" = None,
+    pool=None,
+    workers: int = 1,
+    backend: str | None = None,
+) -> SweepEngine:
+    """Normalize the execution knobs every sweep entry point accepts.
+
+    Precedence: an explicit *engine* wins; then *pool* (the deprecated
+    :class:`~repro.net.runcache.SweepPool`, which is an engine shim);
+    otherwise a fresh engine is built from the *workers*/*backend*
+    pair with the historical semantics (``backend=None`` quietly
+    degrades, an explicit ``"multiprocessing"`` that cannot
+    parallelize raises).  Caller-provided engines and pools are never
+    closed here — their lifecycle belongs to the caller.
+    """
+    if engine is not None:
+        if not isinstance(engine, SweepEngine):
+            raise TypeError(f"engine must be a SweepEngine, got {engine!r}")
+        return engine
+    if pool is not None:
+        if not isinstance(pool, SweepEngine):
+            raise TypeError(f"pool must be a SweepPool/SweepEngine, got {pool!r}")
+        return pool
+    return SweepEngine(workers=workers, lifetime=lifetime_for_backend(backend))
+
+
+# ---------------------------------------------------------------------------
+# The shared cache-splice bookkeeping
+# ---------------------------------------------------------------------------
+
+
+class CacheSplice:
+    """The one shared cached/pending bookkeeping of every cached sweep.
+
+    Given a task grid, a :class:`~repro.net.runcache.RunCache` (or
+    None) and a key function, the splice partitions the grid into
+
+    * **hits** — tasks whose value the cache already holds (resolved
+      immediately, in grid order);
+    * **duplicates** — tasks whose key equals an earlier *pending*
+      task's (equal cells inside one grid — e.g. full replication ==
+      all-at-one on a single-node network — are the same pure
+      function: run once, reuse the result);
+    * **pending** — tasks that must actually execute.
+
+    Fan :attr:`pending_tasks` out however you like (engine map, chunked
+    session, inline loop) and hand the fresh results to :meth:`fill`,
+    which records them into the cache, resolves the duplicates and
+    returns the full result list in task order.  With ``cache=None``
+    every task is pending and the splice is a transparent pass-through.
+
+    *hit* adapts a raw cached value to the caller's result shape (e.g.
+    wrapping a cached ``RunResult`` into a ``RunObservation`` for the
+    task's own partition and seed); *store* (on :meth:`fill`) extracts
+    the cacheable raw value back out of a fresh result.  Both default
+    to the identity.
+    """
+
+    def __init__(self, tasks, cache, key_fn, hit=None):
+        self.tasks = list(tasks)
+        self.cache = cache
+        self._hit = hit if hit is not None else (lambda task, value: value)
+        self.results: list = [None] * len(self.tasks)
+        self.keys: list | None = None
+        self.pending: list[int] = list(range(len(self.tasks)))
+        self.duplicates: list[tuple[int, int]] = []
+        if cache is not None:
+            self.keys = [key_fn(task) for task in self.tasks]
+            self.pending = []
+            first_for_key: dict = {}
+            for i, key in enumerate(self.keys):
+                value = cache.get(key)
+                if value is not None:
+                    self.results[i] = self._hit(self.tasks[i], value)
+                elif key in first_for_key:
+                    self.duplicates.append((i, first_for_key[key]))
+                else:
+                    first_for_key[key] = i
+                    self.pending.append(i)
+
+    @property
+    def pending_tasks(self) -> list:
+        """The tasks that must actually execute, in grid order."""
+        return [self.tasks[i] for i in self.pending]
+
+    def fill(self, fresh, store=None) -> list:
+        """Splice *fresh* results (one per pending task, in pending
+        order) back into the grid; returns the full result list."""
+        store = store if store is not None else (lambda row: row)
+        raw: dict[int, object] = {}
+        for i, row in zip(self.pending, fresh):
+            self.results[i] = row
+            if self.cache is not None:
+                value = store(row)
+                self.cache.record(self.keys[i], value)
+                raw[i] = value
+        for i, primary in self.duplicates:
+            self.results[i] = self._hit(self.tasks[i], raw[primary])
+        return self.results
+
+
+# ---------------------------------------------------------------------------
+# The fair-run sweep
+# ---------------------------------------------------------------------------
+
+
+def _run_task(context, task):
+    """One unit of work: a full seeded fair run (in-process path)."""
+    network, transducer, memo, run_kwargs = context
+    partition, seed = task
+    result = run_fair(
+        network, transducer, partition, seed=seed, memo=memo, **run_kwargs
+    )
+    return RunObservation(network, partition, seed, result)
+
+
+def _run_task_mp(context, task):
+    """One unit of work in a forked worker: run, then ship the memo delta.
+
+    The worker's memo is the fork-inherited copy of the parent's — warm
+    with everything known at pool creation, plus whatever this worker
+    has proven since (per-worker warmth accumulates across its tasks).
+    The freshly proven entries and the hit/miss counter deltas travel
+    back with the observation for the parent to merge.
+    """
+    network, transducer, memo, run_kwargs = context
+    partition, seed = task
+    if memo is not None:
+        memo.start_journal()
+        hits0, misses0 = memo.memo_hits, memo.memo_misses
+    result = run_fair(
+        network, transducer, partition, seed=seed, memo=memo, **run_kwargs
+    )
+    observation = RunObservation(network, partition, seed, result)
+    if memo is None:
+        return observation, None, 0, 0
+    return (
+        observation,
+        memo.drain_new(),
+        memo.memo_hits - hits0,
+        memo.memo_misses - misses0,
+    )
+
+
+def sweep_runs(
+    network: Network,
+    transducer,
+    partitions: list[HorizontalPartition],
+    seeds: tuple[int, ...],
+    max_steps: int = 20_000,
+    batch_delivery: bool = False,
+    convergence: str = "incremental",
+    workers: int = 1,
+    backend: str | None = None,
+    memo: "ConvergenceMemo | bool | None" = None,
+    run_cache=None,
+    pool=None,
+    engine: "SweepEngine | None" = None,
+) -> list[RunObservation]:
+    """Run the partitions × seeds grid of fair runs, possibly in parallel.
+
+    Returns the observations in grid order (partitions outer, seeds
+    inner) — identical to the serial loop for every worker count and
+    lifetime: same seeds, same runs, just executed concurrently.  With
+    *memo*, every run's :class:`~repro.net.convergence.ConvergenceTracker`
+    is pre-seeded with the accumulated cross-run certificates and its
+    new ones are folded back, warming later runs; verdicts (and hence
+    observations) are unaffected.
+
+    *engine* (a :class:`SweepEngine`) selects the executor outright;
+    otherwise one is resolved from the legacy *pool* / *workers* /
+    *backend* knobs (see :func:`resolve_engine`).  *run_cache* (a
+    :class:`~repro.net.runcache.RunCache`, or ``True`` for the one
+    hung off the transducer) short-circuits grid cells whose
+    :class:`~repro.net.run.RunResult` is already known — each cell is
+    a pure function of ``(network, transducer, partition, seed,
+    kwargs)``, so a cached result is bit-identical to a fresh one, and
+    only the uncached cells are executed (the :class:`CacheSplice`
+    bookkeeping).
+    """
+    from .runcache import resolve_run_cache, run_key, transducer_fingerprint
+
+    memo = resolve_memo(memo, transducer)
+    cache = resolve_run_cache(run_cache, transducer)
+    run_kwargs = {
+        "max_steps": max_steps,
+        "batch_delivery": batch_delivery,
+        "convergence": convergence,
+    }
+    tasks = [(partition, seed) for partition in partitions for seed in seeds]
+
+    if cache is not None:
+        fingerprint = transducer_fingerprint(transducer)
+
+        def key_fn(task):
+            return run_key(
+                "fair-random", network, fingerprint, task[0], task[1], run_kwargs
+            )
+    else:
+        key_fn = None
+
+    splice = CacheSplice(
+        tasks,
+        cache,
+        key_fn,
+        hit=lambda task, result: RunObservation(
+            network, task[0], task[1], result
+        ),
+    )
+    pending_tasks = splice.pending_tasks
+
+    eng = resolve_engine(engine=engine, pool=pool, workers=workers, backend=backend)
+    context = (network, transducer, memo, run_kwargs)
+    if not (eng.parallel and len(pending_tasks) > 1):
+        # In-process execution (including the nothing-to-fan-out case):
+        # the tracker records straight into the parent memo — runs warm
+        # each other directly, nothing to merge.  _run_task_mp must not
+        # run in-parent: its journal/counter bookkeeping assumes a
+        # worker-side memo copy and would double-count on the shared
+        # one.
+        fresh = [_run_task(context, task) for task in pending_tasks]
+    else:
+        outcomes = eng.map(_run_task_mp, context, pending_tasks)
+        fresh = []
+        for observation, delta, hits, misses in outcomes:
+            fresh.append(observation)
+            if memo is not None and delta is not None:
+                memo.merge(delta)
+                memo.add_counts(hits, misses)
+    return splice.fill(fresh, store=lambda obs: obs.result)

@@ -25,7 +25,7 @@ from .network import Network, Node
 class HorizontalPartition:
     """A mapping from nodes to sub-instances whose union is the instance."""
 
-    __slots__ = ("instance", "_fragments")
+    __slots__ = ("instance", "_fragments", "_digest")
 
     def __init__(self, instance: Instance, fragments: Mapping[Node, Instance]):
         union: set[Fact] = set()
@@ -38,6 +38,9 @@ class HorizontalPartition:
             raise ValueError(f"fragments do not cover I; missing {sorted(missing)}")
         object.__setattr__(self, "instance", instance)
         object.__setattr__(self, "_fragments", dict(fragments))
+        # Canonical placement digest, computed lazily by
+        # repro.net.runcache.partition_digest.
+        object.__setattr__(self, "_digest", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("HorizontalPartition is immutable")
@@ -92,6 +95,7 @@ def _unpickle_partition(
     partition = object.__new__(HorizontalPartition)
     object.__setattr__(partition, "instance", instance)
     object.__setattr__(partition, "_fragments", fragments)
+    object.__setattr__(partition, "_digest", None)
     return partition
 
 

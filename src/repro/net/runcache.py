@@ -1,4 +1,4 @@
-"""Run-level result caching and persistent sweep pools.
+"""Run-level result caching with an optional LRU bound.
 
 The semantic harnesses (consistency, NTI, coordination-freeness, CALM)
 quantify over *every* fair run, so they repeatedly execute the same
@@ -8,21 +8,24 @@ the NTI grid *and* evaluates the computed query on dozens of instances,
 and a CI job re-runs yesterday's whole suite.  A seeded
 :class:`~repro.net.run.RunResult` is a pure function of that tuple —
 the same independence observation that made the PR 3 sweeps parallel
-also makes whole runs memoizable.  Two layers live here:
+also makes whole runs memoizable.
 
-* :class:`RunCache` — a picklable store of finished run results keyed
-  on ``(kind, network, transducer-fingerprint, partition, seed,
-  run-kwargs)``.  :func:`repro.net.sweep.sweep_runs` (and through it
-  every checker) short-circuits cached cells with the stored result —
-  property-tested bit-identical to a fresh run.  The cache also
-  bundles :class:`~repro.net.convergence.ConvergenceMemo` snapshots
-  per transducer fingerprint, so one :meth:`save` file warms both
-  stores of a later session (the ROADMAP's memo-persistence item).
-* :class:`SweepPool` — one fork worker pool kept alive across
-  *consecutive* sweeps.  The PR 3 executor forks a fresh pool per
-  ``map`` call, which the CALM/NTI probe grids pay dozens of times;
-  the pool instead forks once and ships each sweep's ``(fn, context)``
-  payload as a single pickle blob that workers unpickle once each.
+:class:`RunCache` is a picklable store of finished run results keyed
+on ``(kind, network, transducer-fingerprint, partition-digest, seed,
+run-kwargs)``.  :func:`repro.net.executor.sweep_runs` (and through it
+every checker) short-circuits cached cells with the stored result —
+property-tested bit-identical to a fresh run.  The cache also bundles
+:class:`~repro.net.convergence.ConvergenceMemo` snapshots per
+transducer fingerprint, so one :meth:`save` file warms both stores of
+a later session.  For long-running services the cache can be
+*bounded*: ``max_entries=`` turns it into an LRU keyed by last hit
+(the transition cache's pattern — hits promote, inserts evict the
+stalest entry), and ``compress_traces=`` transparently compresses
+``keep_trace=True`` results, whose traces dominate the footprint.
+Both knobs survive :meth:`save`/:meth:`load` round-trips, and an
+evict-then-recompute cycle is property-tested bit-identical to an
+unbounded cache (results are pure functions of their keys, so an
+eviction costs time, never correctness).
 
 Fingerprints are the soundness boundary: a cache entry recorded for
 one transducer must never be served to a different one.
@@ -35,7 +38,15 @@ described canonically (closures, ad-hoc ``Query`` subclasses) fall
 back to a session-local fingerprint: caching still works within the
 process, and persisted entries are conservatively never matched by a
 later session (a silent wrong hit is impossible, a cold start is
-merely slow).
+merely slow).  Partitions are keyed by :func:`partition_digest` —
+canonical sorted-fact digests — so differently-ordered but equal
+instances (the monotonicity probes regenerate theirs per diagnostic)
+land on the same cell, and keys stay compact strings instead of
+pinning whole partition object graphs in every persisted bundle.
+
+The persistent ``SweepPool`` that used to live here was fused into
+:class:`repro.net.executor.SweepEngine` (the ``persistent`` lifetime);
+the old name remains importable as a deprecation shim.
 """
 
 from __future__ import annotations
@@ -46,14 +57,20 @@ import os
 import pathlib
 import pickle
 import sys
+import warnings
+import zlib
 
 from ..lang.query import EmptyQuery, FOQuery, PythonQuery, Query
 from ..lang.ucq import UCQNegQuery
 from .convergence import ConvergenceMemo
+from .executor import SweepEngine, _fork_context
+from .partition import HorizontalPartition
 
 __all__ = [
     "RunCache",
     "SweepPool",
+    "instance_digest",
+    "partition_digest",
     "resolve_run_cache",
     "run_key",
     "runtime_token",
@@ -62,7 +79,7 @@ __all__ = [
 ]
 
 _CACHE_FORMAT = "repro-runcache"
-_CACHE_VERSION = 1
+_CACHE_VERSION = 2
 
 _RUNTIME_TOKEN = None
 
@@ -211,6 +228,94 @@ def program_fingerprint(program) -> str:
     return f"sha256:{digest}"
 
 
+# ---------------------------------------------------------------------------
+# Canonical instance / partition digests
+# ---------------------------------------------------------------------------
+
+
+class _Undigestable(ValueError):
+    """Raised when a value has no canonical, collision-free rendering."""
+
+
+#: Exact types whose repr is canonical and injective (within the type,
+#: and across these types once the type name is mixed in).  ``dom``
+#: admits *any* hashable, and an arbitrary object's repr does not
+#: determine its identity — two distinct values could render alike and
+#: silently collide; those fall back to true-equality keys instead.
+_DIGESTABLE_TYPES = (bool, int, float, str, bytes, type(None))
+
+
+def _value_token(value) -> str:
+    if type(value) not in _DIGESTABLE_TYPES:
+        raise _Undigestable(
+            f"dom value {value!r} of type {type(value).__name__} has no "
+            f"canonical digest rendering"
+        )
+    return f"{type(value).__name__}:{value!r}"
+
+
+def instance_digest(instance) -> str:
+    """A canonical sorted-fact digest of one instance.
+
+    Deterministic across processes and across construction orders:
+    facts are rendered from typed value tokens, sorted, and mixed with
+    the schema's canonical repr — so two equal instances, however
+    their fact sets were built, always digest identically, and
+    distinct instances never collide (typed tokens are injective,
+    SHA-256 does the rest).  Values outside the canonically
+    renderable types (:data:`_DIGESTABLE_TYPES`) raise
+    ``ValueError`` — callers like :func:`run_key` fall back to
+    true-equality keys, mirroring the conservative ``mem:``
+    fingerprint fallback: a wrong hit is impossible, canonicalization
+    is merely skipped.  The digest is cached on the immutable
+    instance.
+    """
+    cached = getattr(instance, "_digest", None)
+    if cached is not None:
+        return cached
+    tokens = sorted(
+        f"{f.relation}({','.join(_value_token(v) for v in f.values)})"
+        for f in instance.facts()
+    )
+    digest = hashlib.sha256()
+    digest.update(repr(instance.schema).encode())
+    for token in tokens:
+        digest.update(token.encode())
+    value = digest.hexdigest()[:24]
+    object.__setattr__(instance, "_digest", value)
+    return value
+
+
+def partition_digest(partition: HorizontalPartition) -> str:
+    """A canonical digest of one horizontal partition.
+
+    Built from the per-node fragment digests in sorted node order, so
+    it identifies *which facts sit where* and nothing else — the
+    partition's identity for run-cache purposes.  Using digests
+    instead of the partition objects themselves keeps cache keys
+    compact (persisted bundles no longer pin whole partition object
+    graphs) and makes the cross-harness key-reuse canonical: the CALM
+    monotonicity probes regenerate their instances per diagnostic, and
+    differently-ordered but equal instances land on the same cell.
+    Raises ``ValueError`` when a node or dom value has no canonical
+    rendering (see :func:`instance_digest`); cached on the partition.
+    """
+    cached = getattr(partition, "_digest", None)
+    if cached is not None:
+        return cached
+    node_tokens = sorted(
+        (_value_token(node), instance_digest(partition.fragment(node)))
+        for node in partition.nodes
+    )
+    digest = hashlib.sha256()
+    for token, fragment_digest in node_tokens:
+        digest.update(token.encode())
+        digest.update(fragment_digest.encode())
+    value = "hp:" + digest.hexdigest()[:24]
+    object.__setattr__(partition, "_digest", value)
+    return value
+
+
 def run_key(
     kind: str,
     network,
@@ -223,9 +328,19 @@ def run_key(
 
     *kind* names the schedule family (``"fair-random"``,
     ``"heartbeat-only"``, ``"dedalus"`` …) so differently shaped runs
-    of the same cell never collide.  Networks and partitions are
-    hashable value objects; *run_kwargs* is frozen into sorted items.
+    of the same cell never collide.  A :class:`HorizontalPartition` is
+    canonicalized to its :func:`partition_digest` (pre-digested
+    strings pass through); partitions carrying values with no
+    canonical rendering stay in the key as objects, compared by true
+    set equality — correctness never rests on the digest.  Networks
+    are hashable value objects; *run_kwargs* is frozen into sorted
+    items.
     """
+    if isinstance(partition, HorizontalPartition):
+        try:
+            partition = partition_digest(partition)
+        except _Undigestable:
+            pass
     return (
         kind,
         network,
@@ -241,6 +356,41 @@ def run_key(
 # ---------------------------------------------------------------------------
 
 
+class _CompressedResult:
+    """A zlib-compressed pickle of one cached value (trace-heavy
+    ``RunResult``s).  Thawed transparently on :meth:`RunCache.get`;
+    pickle round-trips are pinned bit-identical by the conformance
+    suite, so compression never changes an observation."""
+
+    __slots__ = ("blob",)
+
+    def __init__(self, blob: bytes):
+        self.blob = blob
+
+    @classmethod
+    def freeze(cls, value) -> "_CompressedResult":
+        return cls(
+            zlib.compress(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+        )
+
+    def thaw(self):
+        return pickle.loads(zlib.decompress(self.blob))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _CompressedResult):
+            return NotImplemented
+        return self.blob == other.blob
+
+    def __hash__(self) -> int:
+        return hash(self.blob)
+
+    def __reduce__(self):
+        return (_CompressedResult, (self.blob,))
+
+    def __repr__(self) -> str:
+        return f"_CompressedResult({len(self.blob)} bytes)"
+
+
 class RunCache:
     """A store of finished run results, keyed by :func:`run_key`.
 
@@ -253,35 +403,87 @@ class RunCache:
     Dedalus cells); callers must treat returned objects as immutable —
     they are shared, not copied.
 
+    *max_entries* bounds the store as an LRU keyed by last hit: a
+    :meth:`get` hit promotes its entry to most-recent, a
+    :meth:`record` past the bound evicts the least-recently-used entry
+    first (``evictions`` counts them).  ``None`` (the default) keeps
+    the historical unbounded behaviour.  Because every value is a pure
+    function of its key, eviction is always safe — a later miss on an
+    evicted key recomputes the identical value (property-tested).
+
+    *compress_traces* compresses ``RunResult`` values that carry a
+    nonempty ``keep_trace=True`` trace (the entries that dominate a
+    bounded cache's footprint); :meth:`get` thaws them transparently.
+
     The cache also bundles per-fingerprint convergence-memo snapshots
     (:meth:`store_memo` / :meth:`memo_for`), so one :meth:`save` file
     restores both the run results *and* the quiescence certificates a
-    warm CI job needs.
+    warm CI job needs; the bound, the compression flag and the LRU
+    recency order all survive the round-trip.
     """
 
+    _KEEP = object()  # load() sentinel: use the persisted bound
+
     def __init__(
-        self, entries: dict | None = None, memos: dict | None = None
+        self,
+        entries: dict | None = None,
+        memos: dict | None = None,
+        max_entries: int | None = None,
+        compress_traces: bool = False,
     ):
+        if max_entries is not None:
+            max_entries = int(max_entries)
+            if max_entries < 1:
+                raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.compress_traces = bool(compress_traces)
         self.entries: dict[tuple, object] = dict(entries) if entries else {}
         #: fingerprint -> ConvergenceMemo entry dict
         self.memos: dict[str, dict] = dict(memos) if memos else {}
         self.cache_hits = 0
         self.cache_misses = 0
+        self.evictions = 0
+        self._evict_over_bound()
 
     def __len__(self) -> int:
         return len(self.entries)
 
     def get(self, key: tuple):
-        """The cached result for *key* (None on miss), counting."""
+        """The cached result for *key* (None on miss), counting.
+
+        A hit promotes the entry to most-recently-used, so the LRU
+        bound evicts by last *hit*, not last insert.
+        """
         value = self.entries.get(key)
         if value is None:
             self.cache_misses += 1
-        else:
-            self.cache_hits += 1
+            return None
+        self.cache_hits += 1
+        # Promotion: dicts iterate in insertion order, so re-inserting
+        # makes insertion order *recency* order — eviction pops the
+        # front, i.e. the least recently hit entry.
+        del self.entries[key]
+        self.entries[key] = value
+        if isinstance(value, _CompressedResult):
+            value = value.thaw()
         return value
 
     def record(self, key: tuple, value) -> None:
-        self.entries[key] = value
+        self.entries.pop(key, None)
+        self.entries[key] = self._freeze(value)
+        self._evict_over_bound()
+
+    def _freeze(self, value):
+        if self.compress_traces and getattr(value, "trace", None):
+            return _CompressedResult.freeze(value)
+        return value
+
+    def _evict_over_bound(self) -> None:
+        if self.max_entries is None:
+            return
+        while len(self.entries) > self.max_entries:
+            self.entries.pop(next(iter(self.entries)))
+            self.evictions += 1
 
     def merge(self, other: "RunCache") -> int:
         """Fold another cache in; returns the number of new run entries.
@@ -290,16 +492,25 @@ class RunCache:
         deterministic functions of their key) and the direction is
         moot; existing entries still win on overlap, so folding an
         older snapshot into a live cache can never shadow freshly
-        computed results.
+        computed results.  A bound on the live cache is enforced after
+        the fold (merged-in entries count as most recent, in the other
+        cache's recency order).
         """
         before = len(self.entries)
         for key, value in other.entries.items():
-            self.entries.setdefault(key, value)
+            if key not in self.entries:
+                # Freeze on the way in, exactly like record(): merging
+                # a warm-start bundle into a compress_traces cache must
+                # not accumulate the uncompressed trace-heavy entries
+                # the knob exists to shrink.
+                self.entries[key] = self._freeze(value)
         for fingerprint, memo_entries in other.memos.items():
             mine = self.memos.setdefault(fingerprint, {})
             for key, value in memo_entries.items():
                 mine.setdefault(key, value)
-        return len(self.entries) - before
+        added = len(self.entries) - before
+        self._evict_over_bound()
+        return added
 
     # -- bundled convergence memos --------------------------------------
 
@@ -325,7 +536,9 @@ class RunCache:
 
         Session-local ``mem:`` fingerprints are dropped on the way out:
         they can never match in another process, so persisting them
-        would only bloat the file.
+        would only bloat the file.  Entries are written in LRU recency
+        order and the bound/compression knobs ride along, so a
+        :meth:`load` resumes the exact cache state (minus counters).
         """
         def persistable(key) -> bool:
             fingerprint = key[2] if len(key) > 2 else ""
@@ -338,6 +551,8 @@ class RunCache:
             "format": _CACHE_FORMAT,
             "version": _CACHE_VERSION,
             "runtime": runtime_token(),
+            "max_entries": self.max_entries,
+            "compress_traces": self.compress_traces,
             "entries": {
                 key: value
                 for key, value in self.entries.items()
@@ -353,8 +568,14 @@ class RunCache:
             pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
 
     @classmethod
-    def load(cls, path) -> "RunCache":
-        """Load a cache persisted by :meth:`save`."""
+    def load(cls, path, max_entries=_KEEP) -> "RunCache":
+        """Load a cache persisted by :meth:`save`.
+
+        *max_entries* overrides the persisted bound when given (``None``
+        unbinds, an integer re-binds — oldest entries are evicted on
+        the way in when the snapshot exceeds the new bound); by default
+        the persisted bound is kept.
+        """
         with open(path, "rb") as handle:
             payload = pickle.load(handle)
         if (
@@ -374,7 +595,14 @@ class RunCache:
                 f"{path!r} was saved by a different runtime version; "
                 "discard it and start cold"
             )
-        return cls(payload["entries"], payload["memos"])
+        if max_entries is cls._KEEP:
+            max_entries = payload.get("max_entries")
+        return cls(
+            payload["entries"],
+            payload["memos"],
+            max_entries=max_entries,
+            compress_traces=payload.get("compress_traces", False),
+        )
 
     def stats(self) -> dict:
         return {
@@ -382,15 +610,22 @@ class RunCache:
             "memo_fingerprints": len(self.memos),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "max_entries": self.max_entries,
+            "evictions": self.evictions,
         }
 
     def __reduce__(self):
-        return (RunCache, (self.entries, self.memos))
+        return (
+            RunCache,
+            (self.entries, self.memos, self.max_entries, self.compress_traces),
+        )
 
     def __repr__(self) -> str:
+        bound = "∞" if self.max_entries is None else self.max_entries
         return (
-            f"RunCache({len(self.entries)} runs, {len(self.memos)} memos, "
-            f"hits={self.cache_hits}, misses={self.cache_misses})"
+            f"RunCache({len(self.entries)}/{bound} runs, "
+            f"{len(self.memos)} memos, hits={self.cache_hits}, "
+            f"misses={self.cache_misses}, evictions={self.evictions})"
         )
 
 
@@ -424,115 +659,34 @@ def resolve_run_cache(run_cache, transducer) -> RunCache | None:
 
 
 # ---------------------------------------------------------------------------
-# The persistent sweep pool
+# Deprecated: the persistent sweep pool (now an engine lifetime)
 # ---------------------------------------------------------------------------
 
-# Worker-side payload cache: token -> (fn, context).  Each forked
-# worker process owns its copy (the parent never populates it), so a
-# payload is unpickled once per worker per map call, not once per task.
-_POOL_PAYLOADS: dict = {}
-_POOL_PAYLOAD_LIMIT = 8
 
+class SweepPool(SweepEngine):
+    """Deprecated: one fork pool reused across consecutive sweeps —
+    now the ``persistent`` lifetime of
+    :class:`~repro.net.executor.SweepEngine`.
 
-def _pool_call(task):
-    token, blob, item = task
-    payload = _POOL_PAYLOADS.get(token)
-    if payload is None:
-        payload = pickle.loads(blob)
-        if len(_POOL_PAYLOADS) >= _POOL_PAYLOAD_LIMIT:
-            _POOL_PAYLOADS.pop(next(iter(_POOL_PAYLOADS)))
-        _POOL_PAYLOADS[token] = payload
-    fn, context = payload
-    return fn(context, item)
-
-
-class SweepPool:
-    """One fork worker pool reused across consecutive sweeps.
-
-    The :class:`~repro.net.sweep.SweepExecutor` forks a fresh pool per
-    ``map`` call, binding ``(fn, context)`` into the workers by fork
-    inheritance.  That is optimal for a single big sweep but the
-    CALM/NTI harnesses issue *many small* sweeps back to back, each
-    paying the fork again.  A ``SweepPool`` forks its workers once;
-    each :meth:`map` call then pickles its ``(fn, context)`` payload
-    exactly once into a blob that every task carries (re-pickling a
-    ``bytes`` object is a memcpy, not an object-graph walk) and each
-    worker unpickles at most once.  Results come back in item order —
-    the same determinism contract as the executor.
-
-    Because payloads are pickled, contexts must round-trip — which all
-    repro core types do, but ``PythonQuery`` closures do not; use the
-    per-sweep executor (fork inheritance) for those.  Where fork is
-    unavailable, or with ``workers=1``, the pool degrades to an
-    in-process map (``pool.parallel`` is False) so callers can keep one
-    code path.
-
-    Use as a context manager, or call :meth:`close` explicitly; a clean
-    shutdown lets workers finish (`close` + `join`), the exceptional
-    ``__exit__`` path terminates them.
+    The shim keeps the historical leniency: where fork is unavailable,
+    or with ``workers=1``, it degrades to an in-process map
+    (``pool.parallel`` is False) instead of raising, so old callers
+    keep one code path.  New code should construct
+    ``SweepEngine(workers=n, lifetime="persistent")`` directly (which
+    is strict about requests it cannot honor).
     """
 
     def __init__(self, workers: int = 2):
-        from .sweep import _fork_context
-
+        warnings.warn(
+            "SweepPool is deprecated; use "
+            "repro.net.SweepEngine(lifetime='persistent')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         workers = max(1, int(workers))
-        self._mp_context = _fork_context()
-        self.workers = workers
-        #: True when maps actually fan out to forked workers.
-        self.parallel = workers > 1 and self._mp_context is not None
-        self._pool = None
-        self._tokens = itertools.count()
-        #: Maps served by the live pool (amortization observability).
-        self.maps_served = 0
-
-    def map(self, fn, context, items) -> list:
-        """Apply ``fn(context, item)`` to every item, in item order.
-
-        *fn* must be a module-level function (it crosses the process
-        boundary by pickle).  Single-item and serial-mode maps run
-        in-process; callers whose task function carries worker-side
-        bookkeeping (journalling memo deltas, say) must branch on
-        :attr:`parallel` and item count themselves, exactly like
-        :func:`~repro.net.sweep.sweep_runs` does.
-        """
-        items = list(items)
-        if not self.parallel or len(items) <= 1:
-            return [fn(context, item) for item in items]
-        if self._pool is None:
-            self._pool = self._mp_context.Pool(self.workers)
-        token = next(self._tokens)
-        blob = pickle.dumps((fn, context), protocol=pickle.HIGHEST_PROTOCOL)
-        self.maps_served += 1
-        return self._pool.map(
-            _pool_call, [(token, blob, item) for item in items], chunksize=1
+        lifetime = (
+            "persistent"
+            if workers > 1 and _fork_context() is not None
+            else "serial"
         )
-
-    def close(self) -> None:
-        """Clean shutdown: let workers drain, then reap them."""
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
-
-    def terminate(self) -> None:
-        """Hard shutdown for error paths: kill workers immediately."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-
-    def __enter__(self) -> "SweepPool":
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        if exc_type is not None:
-            self.terminate()
-        else:
-            self.close()
-
-    def __repr__(self) -> str:
-        state = "live" if self._pool is not None else "idle"
-        return (
-            f"SweepPool(workers={self.workers}, parallel={self.parallel}, "
-            f"{state}, maps_served={self.maps_served})"
-        )
+        super().__init__(workers=workers, lifetime=lifetime)

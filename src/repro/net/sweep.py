@@ -1,55 +1,36 @@
-"""Parallel sweep execution with cross-run convergence memoization.
+"""Deprecated home of the per-sweep executor (PR 3).
 
-The paper's semantic properties (consistency, coordination-freeness,
-CALM) quantify over *many* fair runs — every partition × seed ×
-scheduler combination — and each of those runs is completely
-independent of the others: a seeded schedule is a pure function of
-``(network, transducer, partition, seed)``.  That independence is
-exactly what makes parallelism safe (the same observation the
-Canonical Amoebot Model makes for its concurrency layer): executing
-the runs of a sweep concurrently cannot change any observation, so the
-executor here guarantees **determinism** — the observation list it
-returns is identical, observation for observation, to the serial
-sweep's, whatever the worker count.  Results are ordered by task
-index, never by completion.
+The execution layer was fused into :mod:`repro.net.executor`: one
+:class:`~repro.net.executor.SweepEngine` with pluggable worker
+lifetimes replaces the old per-sweep ``SweepExecutor`` (now the
+``fork`` lifetime) and the persistent ``SweepPool`` (now the
+``persistent`` lifetime), and the sweep entry point
+:func:`~repro.net.executor.sweep_runs` lives there too.
 
-Two layers:
+Everything importable from here keeps working: :func:`sweep_runs` and
+:func:`resolve_memo` are the real objects re-exported, and
+:class:`SweepExecutor` / :class:`SweepSession` are thin shims over the
+engine that emit a :class:`DeprecationWarning` on construction.  New
+code should use ``repro.net.SweepEngine`` directly::
 
-* :class:`SweepExecutor` — a deterministic ordered map over sweep
-  tasks with ``serial`` and ``multiprocessing`` backends.  The
-  multiprocessing backend uses *fork* workers, so the heavy shared
-  context (network, transducer with its warm transition cache, the
-  convergence memo) is inherited by workers without pickling; only
-  tasks and results cross process boundaries (everything they contain
-  has a cheap ``__reduce__``).  Where fork is unavailable the executor
-  quietly degrades to serial — same results, no parallelism.
-* :func:`sweep_runs` — the unit-of-work-is-one-run sweep used by
-  :func:`repro.net.consistency.observe_runs`: fan a partitions × seeds
-  grid of fair runs over the executor, with an optional cross-run
-  :class:`~repro.net.convergence.ConvergenceMemo` pre-seeded into
-  every run's tracker and merged back afterwards, so later runs in the
-  sweep start warm.  The memo only changes check *speed*, never
-  verdicts (its certificates are pure functions of the transducer), so
-  the determinism contract survives memo sharing — the Hypothesis
-  suite pins both halves.
-
-On top of both, :mod:`repro.net.runcache` adds run-*level*
-memoization (``run_cache=``: skip cells whose ``RunResult`` is
-already recorded) and a persistent worker pool (``pool=``: one fork
-pool reused across consecutive sweeps); both knobs thread through
-here and leave every observation unchanged.
+    SweepExecutor(workers=4)                      # before
+    SweepEngine(workers=4)                        # after (auto lifetime)
+    SweepExecutor(workers=4, backend="multiprocessing")
+    SweepEngine(workers=4, lifetime="fork")       # after (strict, like before)
 """
 
 from __future__ import annotations
 
-import multiprocessing
+import warnings
 
-from ..core.transducer import Transducer
-from .consistency import RunObservation
-from .convergence import ConvergenceMemo, shared_memo
-from .network import Network
-from .partition import HorizontalPartition
-from .run import run_fair
+from .convergence import resolve_memo
+from .executor import (
+    BACKENDS,
+    EngineSession,
+    SweepEngine,
+    lifetime_for_backend,
+    sweep_runs,
+)
 
 __all__ = [
     "BACKENDS",
@@ -59,322 +40,46 @@ __all__ = [
     "sweep_runs",
 ]
 
-BACKENDS = ("serial", "multiprocessing")
 
+class SweepExecutor(SweepEngine):
+    """Deprecated: the per-sweep executor, now the ``fork`` lifetime of
+    :class:`~repro.net.executor.SweepEngine`.
 
-def _fork_context():
-    """The fork multiprocessing context, or None where unsupported."""
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - platform without fork
-        return None
-
-
-# The (fn, context) pair installed in each pool worker by the
-# initializer.  With the fork start method this is inherited memory,
-# not a pickle — which is what lets the context carry transducers with
-# arbitrary (unpicklable) PythonQuery closures and warm caches.
-_WORKER_PAYLOAD = None
-
-
-def _init_worker(payload) -> None:
-    global _WORKER_PAYLOAD
-    _WORKER_PAYLOAD = payload
-
-
-def _call_worker(item):
-    fn, context = _WORKER_PAYLOAD
-    return fn(context, item)
-
-
-class SweepExecutor:
-    """A deterministic ordered map over the tasks of a sweep.
-
-    ``backend`` is ``"serial"`` or ``"multiprocessing"`` (default:
-    multiprocessing exactly when ``workers > 1``).  The backend is
-    resolved once at construction — if fork is unavailable the executor
-    *is* serial from then on, so callers can branch on
-    ``executor.backend`` to decide merge-back bookkeeping.
-
-    :meth:`map` applies a module-level function ``fn(context, item)``
-    to every item.  The context is shipped to workers by fork
-    inheritance (never pickled); items and results are pickled, so
-    they must round-trip — the repro core types all do.  Results come
-    back in item order regardless of completion order: that is the
-    determinism contract every sweep in the library relies on.
+    ``backend="multiprocessing"`` maps to ``lifetime="fork"`` with the
+    historical strictness (an explicit request that cannot parallelize
+    raises ``ValueError``); ``backend=None`` keeps the quiet
+    auto-degrade.  ``.backend`` and ``.open()`` are preserved for old
+    call sites.
     """
 
     def __init__(self, workers: int = 1, backend: str | None = None):
-        workers = max(1, int(workers))
-        requested = backend
-        if backend is None:
-            backend = "multiprocessing" if workers > 1 else "serial"
-        if backend not in BACKENDS:
-            raise ValueError(
-                f"unknown sweep backend {backend!r}; expected one of {BACKENDS}"
-            )
-        if backend == "multiprocessing" and (
-            workers == 1 or _fork_context() is None
-        ):
-            # Quietly degrading is only acceptable when the caller left
-            # the choice to us (backend=None).  An *explicitly*
-            # requested multiprocessing backend that cannot actually
-            # parallelize is a misconfiguration — honoring it silently
-            # used to hide wrong worker counts and fork-less platforms.
-            if requested == "multiprocessing":
-                reason = (
-                    "workers=1 cannot parallelize"
-                    if workers == 1
-                    else "the fork start method is unavailable on this platform"
-                )
-                raise ValueError(
-                    f"backend='multiprocessing' was requested explicitly but "
-                    f"{reason}; pass backend=None to allow the serial fallback"
-                )
-            backend = "serial"
-        self.workers = workers
-        self.backend = backend
+        warnings.warn(
+            "SweepExecutor is deprecated; use repro.net.SweepEngine"
+            " (lifetime='fork' for the old explicit multiprocessing backend)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(workers=workers, lifetime=lifetime_for_backend(backend))
 
-    def map(self, fn, context, items) -> list:
-        with self.open(fn, context) as session:
-            return session.map(items)
+    @property
+    def backend(self) -> str:
+        """The legacy backend name of the resolved lifetime."""
+        return "serial" if self.lifetime == "serial" else "multiprocessing"
 
-    def open(self, fn, context) -> "SweepSession":
-        """A reusable mapping session (one worker pool for its lifetime).
-
-        Chunked searches (the coordination-freeness witness probe) call
-        :meth:`SweepSession.map` repeatedly; opening the pool once
-        amortizes the fork setup across every chunk instead of paying
-        it per chunk.
-        """
-        return SweepSession(self, fn, context)
-
-    def __repr__(self) -> str:
-        return f"SweepExecutor(workers={self.workers}, backend={self.backend!r})"
+    def open(self, fn, context) -> EngineSession:
+        """Legacy alias of :meth:`SweepEngine.session`."""
+        return self.session(fn, context)
 
 
-class SweepSession:
-    """A live mapping session of a :class:`SweepExecutor`.
+class SweepSession(EngineSession):
+    """Deprecated: a live mapping session, now
+    :class:`~repro.net.executor.EngineSession` (the ``session()``
+    method of the engine returns one directly)."""
 
-    Serial sessions apply the function inline; multiprocessing sessions
-    hold one fork pool, created lazily on the first non-trivial
-    :meth:`map` and reused until :meth:`close` (or the ``with`` block)
-    tears it down.  Results always come back in item order.
-    """
-
-    def __init__(self, executor: SweepExecutor, fn, context):
-        self._executor = executor
-        self._fn = fn
-        self._context = context
-        self._pool = None
-
-    def map(self, items) -> list:
-        items = list(items)
-        if self._executor.backend == "serial" or not items:
-            return [self._fn(self._context, item) for item in items]
-        if self._pool is None:
-            self._pool = _fork_context().Pool(
-                self._executor.workers,
-                initializer=_init_worker,
-                initargs=((self._fn, self._context),),
-            )
-        return self._pool.map(_call_worker, items, chunksize=1)
-
-    def close(self) -> None:
-        """Clean shutdown: let workers finish queued work, then reap.
-
-        ``terminate()`` here used to kill workers mid-cleanup on every
-        happy-path exit, leaking semaphore-tracker warnings; the hard
-        kill is reserved for :meth:`terminate` (the exceptional
-        ``__exit__`` path).
-        """
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
-
-    def terminate(self) -> None:
-        """Hard shutdown for error paths: kill workers immediately."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-
-    def __enter__(self) -> "SweepSession":
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        if exc_type is not None:
-            self.terminate()
-        else:
-            self.close()
-
-
-def resolve_memo(
-    memo: "ConvergenceMemo | bool | None", transducer: Transducer
-) -> ConvergenceMemo | None:
-    """Normalize the ``memo=`` knob the sweep entry points accept.
-
-    ``None``/``False`` → no cross-run memo; ``True`` → the memo hung
-    off the transducer (created on first use, like the transition
-    cache); a :class:`ConvergenceMemo` → itself.
-    """
-    if memo is None or memo is False:
-        return None
-    if memo is True:
-        return shared_memo(transducer)
-    if not isinstance(memo, ConvergenceMemo):
-        raise TypeError(f"memo must be a ConvergenceMemo or bool, got {memo!r}")
-    return memo
-
-
-def _run_task(context, task):
-    """One unit of work: a full seeded fair run (serial path)."""
-    network, transducer, memo, run_kwargs = context
-    partition, seed = task
-    result = run_fair(
-        network, transducer, partition, seed=seed, memo=memo, **run_kwargs
-    )
-    return RunObservation(network, partition, seed, result)
-
-
-def _run_task_mp(context, task):
-    """One unit of work in a forked worker: run, then ship the memo delta.
-
-    The worker's memo is the fork-inherited copy of the parent's — warm
-    with everything known at pool creation, plus whatever this worker
-    has proven since (per-worker warmth accumulates across its tasks).
-    The freshly proven entries and the hit/miss counter deltas travel
-    back with the observation for the parent to merge.
-    """
-    network, transducer, memo, run_kwargs = context
-    partition, seed = task
-    if memo is not None:
-        memo.start_journal()
-        hits0, misses0 = memo.memo_hits, memo.memo_misses
-    result = run_fair(
-        network, transducer, partition, seed=seed, memo=memo, **run_kwargs
-    )
-    observation = RunObservation(network, partition, seed, result)
-    if memo is None:
-        return observation, None, 0, 0
-    return (
-        observation,
-        memo.drain_new(),
-        memo.memo_hits - hits0,
-        memo.memo_misses - misses0,
-    )
-
-
-def sweep_runs(
-    network: Network,
-    transducer: Transducer,
-    partitions: list[HorizontalPartition],
-    seeds: tuple[int, ...],
-    max_steps: int = 20_000,
-    batch_delivery: bool = False,
-    convergence: str = "incremental",
-    workers: int = 1,
-    backend: str | None = None,
-    memo: "ConvergenceMemo | bool | None" = None,
-    run_cache=None,
-    pool=None,
-) -> list[RunObservation]:
-    """Run the partitions × seeds grid of fair runs, possibly in parallel.
-
-    Returns the observations in grid order (partitions outer, seeds
-    inner) — identical to the serial loop for every worker count: same
-    seeds, same runs, just executed concurrently.  With *memo*, every
-    run's :class:`~repro.net.convergence.ConvergenceTracker` is
-    pre-seeded with the accumulated cross-run certificates and its new
-    ones are folded back, warming later runs; verdicts (and hence
-    observations) are unaffected.
-
-    *run_cache* (a :class:`~repro.net.runcache.RunCache`, or ``True``
-    for the one hung off the transducer) short-circuits grid cells
-    whose :class:`~repro.net.run.RunResult` is already known — each
-    cell is a pure function of ``(network, transducer, partition,
-    seed, kwargs)``, so a cached result is bit-identical to a fresh
-    one, and only the uncached cells are executed.  *pool* (a
-    :class:`~repro.net.runcache.SweepPool`) reuses one live fork pool
-    across consecutive sweeps instead of forking per call; it takes
-    precedence over *workers*/*backend*.
-    """
-    from .runcache import resolve_run_cache, run_key, transducer_fingerprint
-
-    memo = resolve_memo(memo, transducer)
-    cache = resolve_run_cache(run_cache, transducer)
-    run_kwargs = {
-        "max_steps": max_steps,
-        "batch_delivery": batch_delivery,
-        "convergence": convergence,
-    }
-    tasks = [(partition, seed) for partition in partitions for seed in seeds]
-
-    observations: list[RunObservation | None] = [None] * len(tasks)
-    keys: list[tuple] | None = None
-    pending = list(range(len(tasks)))
-    if cache is not None:
-        fingerprint = transducer_fingerprint(transducer)
-        keys = [
-            run_key(
-                "fair-random", network, fingerprint, partition, seed, run_kwargs
-            )
-            for partition, seed in tasks
-        ]
-        pending = []
-        first_for_key: dict[tuple, int] = {}
-        duplicates: list[tuple[int, int]] = []
-        for i, key in enumerate(keys):
-            result = cache.get(key)
-            if result is not None:
-                partition, seed = tasks[i]
-                observations[i] = RunObservation(
-                    network, partition, seed, result
-                )
-            elif key in first_for_key:
-                # Equal cells inside one grid (e.g. full replication ==
-                # all-at-one on a single-node network) are the same
-                # pure function: run once, reuse the result.
-                duplicates.append((i, first_for_key[key]))
-            else:
-                first_for_key[key] = i
-                pending.append(i)
-
-    context = (network, transducer, memo, run_kwargs)
-    pending_tasks = [tasks[i] for i in pending]
-    if pool is not None:
-        parallel = pool.parallel and len(pending_tasks) > 1
-    else:
-        executor = SweepExecutor(workers=workers, backend=backend)
-        parallel = executor.backend != "serial" and len(pending_tasks) > 1
-    if not parallel:
-        # In-process execution (including the nothing-to-fan-out case):
-        # the tracker records straight into the parent memo — runs warm
-        # each other directly, nothing to merge.  _run_task_mp must not
-        # run in-parent: its journal/counter bookkeeping assumes a
-        # worker-side memo copy and would double-count on the shared
-        # one.
-        fresh = [_run_task(context, task) for task in pending_tasks]
-    else:
-        if pool is not None:
-            outcomes = pool.map(_run_task_mp, context, pending_tasks)
-        else:
-            outcomes = executor.map(_run_task_mp, context, pending_tasks)
-        fresh = []
-        for observation, delta, hits, misses in outcomes:
-            fresh.append(observation)
-            if memo is not None and delta is not None:
-                memo.merge(delta)
-                memo.add_counts(hits, misses)
-    for i, observation in zip(pending, fresh):
-        observations[i] = observation
-        if cache is not None:
-            cache.record(keys[i], observation.result)
-    if cache is not None:
-        for i, primary in duplicates:
-            partition, seed = tasks[i]
-            observations[i] = RunObservation(
-                network, partition, seed, observations[primary].result
-            )
-    return observations
+    def __init__(self, executor: SweepEngine, fn, context):
+        warnings.warn(
+            "SweepSession is deprecated; use SweepEngine.session()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(executor, fn, context)

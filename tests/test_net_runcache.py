@@ -1,6 +1,7 @@
 """The run-level result cache and the persistent sweep pool.
 
-Four property suites pin the PR 4 guarantees:
+Property suites pinning the PR 4 guarantees (and the PR 5 LRU bound,
+canonical partition digests and trace compression):
 
 * **cache determinism** — a :class:`~repro.net.runcache.RunCache` hit
   reproduces the exact :class:`~repro.net.run.RunResult` a fresh run
@@ -46,7 +47,14 @@ from repro.net import (
     sweep_runs,
     transducer_fingerprint,
 )
-from repro.net.runcache import resolve_run_cache, run_key, shared_run_cache
+from repro.net.runcache import (
+    _CompressedResult,
+    instance_digest,
+    partition_digest,
+    resolve_run_cache,
+    run_key,
+    shared_run_cache,
+)
 from repro.net.sweep import SweepExecutor, SweepSession
 
 S2 = schema(S=2)
@@ -524,3 +532,299 @@ class TestDedalusRunCache:
         for a, b, c in zip(plain, first, second):
             assert a.stabilized_at == b.stabilized_at == c.stabilized_at
             assert a.final() == b.final() == c.final()
+
+
+# ---------------------------------------------------------------------------
+# Canonical instance / partition digests (monotonicity-probe key reuse)
+# ---------------------------------------------------------------------------
+
+
+class TestCanonicalDigests:
+    def test_instance_digest_ignores_fact_order(self):
+        facts = [Fact("S", (1, 2)), Fact("S", (2, 3)), Fact("S", (3, 1))]
+        a = Instance(S2, facts)
+        b = Instance(S2, list(reversed(facts)))
+        assert instance_digest(a) == instance_digest(b)
+
+    def test_instance_digest_separates_instances_and_schemas(self):
+        a = Instance(S2, [Fact("S", (1, 2))])
+        b = Instance(S2, [Fact("S", (2, 1))])
+        assert instance_digest(a) != instance_digest(b)
+        assert instance_digest(Instance.empty(S2)) != instance_digest(
+            Instance.empty(S1)
+        )
+
+    def test_partition_digest_identifies_placement(self):
+        from repro.net import all_at_one, full_replication
+
+        net = line(2)
+        full = full_replication(GRAPH, net)
+        one = all_at_one(GRAPH, net)
+        assert partition_digest(full) != partition_digest(one)
+        # rebuilt-but-equal partitions digest identically
+        again = full_replication(
+            Instance(S2, list(reversed(sorted(GRAPH.facts())))), net
+        )
+        assert partition_digest(full) == partition_digest(again)
+
+    def test_run_key_canonicalizes_partitions(self):
+        partition = sample_partitions(GRAPH, line(2), 1)[0]
+        key = run_key("fair-random", line(2), "sha256:x", partition, 0, {})
+        assert isinstance(key[3], str) and key[3].startswith("hp:")
+        # pre-digested strings pass through untouched
+        assert run_key("fair-random", line(2), "sha256:x", key[3], 0, {}) == key
+
+    def test_monotonicity_probe_hits_across_equal_instances(self):
+        # The regression the ROADMAP's "cross-harness key reuse audit"
+        # asked for: the CALM monotonicity probes regenerate their
+        # instances per diagnostic, so differently-ordered but equal
+        # instances must land on the same RunCache cell.
+        from repro.analysis.calm import ComputedQuery
+
+        cache = RunCache()
+        query = ComputedQuery(
+            transitive_closure_transducer(), line(2), run_cache=cache
+        )
+        facts = [Fact("S", (1, 2)), Fact("S", (2, 3)), Fact("S", (3, 1))]
+        first = query(Instance(S2, facts))
+        assert (cache.cache_hits, cache.cache_misses) == (0, 1)
+        second = query(Instance(S2, list(reversed(facts))))
+        assert second == first
+        assert (cache.cache_hits, cache.cache_misses) == (1, 1)  # same cell
+
+
+# ---------------------------------------------------------------------------
+# The LRU bound: never exceeded, LRU-by-last-hit, eviction-transparent
+# ---------------------------------------------------------------------------
+
+
+class TestRunCacheLRUBound:
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            RunCache(max_entries=0)
+        RunCache(max_entries=1)  # smallest legal bound
+
+    def test_construction_trims_to_bound(self):
+        entries = {("k", i): i for i in range(6)}
+        cache = RunCache(entries, max_entries=4)
+        assert len(cache) == 4
+        assert list(cache.entries) == [("k", i) for i in range(2, 6)]
+        assert cache.evictions == 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(0, 9)),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(1, 5),
+    )
+    def test_lru_matches_reference_model(self, ops, bound):
+        # The cache against an OrderedDict reference LRU: the store
+        # never exceeds the bound, hits promote, eviction order is
+        # LRU-by-last-hit.
+        from collections import OrderedDict
+
+        cache = RunCache(max_entries=bound)
+        model: OrderedDict = OrderedDict()
+        for is_record, k in ops:
+            key = ("k", k)
+            if is_record:
+                cache.record(key, k)
+                model.pop(key, None)
+                model[key] = k
+                while len(model) > bound:
+                    model.popitem(last=False)
+            else:
+                got = cache.get(key)
+                if key in model:
+                    assert got == model[key]
+                    model.move_to_end(key)
+                else:
+                    assert got is None
+            assert len(cache) <= bound
+            assert list(cache.entries) == list(model)
+
+    @settings(max_examples=4, deadline=None)
+    @given(sweep_cases(), st.sampled_from([1, 2]))
+    def test_evict_then_recompute_equals_unbounded(self, case, workers):
+        # An evict-then-recompute cycle is bit-identical to an
+        # unbounded cache: results are pure functions of their keys,
+        # so eviction costs time, never correctness.
+        inst, network, seed = case
+        partitions = sample_partitions(inst, network, 3)
+        seeds = (seed, seed + 1)
+        unbounded = RunCache()
+        bounded = RunCache(max_entries=2)
+        for _ in range(2):
+            reference = sweep_runs(
+                network, TC, partitions, seeds,
+                run_cache=unbounded, workers=workers,
+            )
+            churned = sweep_runs(
+                network, TC, partitions, seeds,
+                run_cache=bounded, workers=workers,
+            )
+            assert churned == reference
+            assert len(bounded) <= 2
+
+    def test_bound_and_recency_survive_save_load(self, tmp_path):
+        cache = RunCache(max_entries=3)
+        for i in range(5):
+            cache.record(("k", i), i)
+        assert list(cache.entries) == [("k", 2), ("k", 3), ("k", 4)]
+        cache.get(("k", 2))  # promote: ("k", 3) becomes the LRU entry
+        path = tmp_path / "bounded.pkl"
+        cache.save(path)
+        loaded = RunCache.load(path)
+        assert loaded.max_entries == 3
+        assert list(loaded.entries) == [("k", 3), ("k", 4), ("k", 2)]
+        loaded.record(("k", 9), 9)  # evicts the pre-save LRU entry
+        assert list(loaded.entries) == [("k", 4), ("k", 2), ("k", 9)]
+
+    def test_load_can_rebind_or_unbind(self, tmp_path):
+        cache = RunCache(max_entries=3)
+        for i in range(3):
+            cache.record(("k", i), i)
+        path = tmp_path / "bounded.pkl"
+        cache.save(path)
+        rebound = RunCache.load(path, max_entries=2)
+        assert rebound.max_entries == 2
+        assert list(rebound.entries) == [("k", 1), ("k", 2)]
+        unbound = RunCache.load(path, max_entries=None)
+        assert unbound.max_entries is None
+        assert len(unbound) == 3
+        # an unbounded save can be bounded on the way in
+        RunCache().save(path)
+        assert RunCache.load(path, max_entries=8).max_entries == 8
+
+    def test_merge_respects_bound(self):
+        live = RunCache(max_entries=2)
+        live.record(("k", 0), 0)
+        other = RunCache()
+        for i in range(1, 4):
+            other.record(("k", i), i)
+        live.merge(other)
+        assert len(live) == 2
+        assert list(live.entries) == [("k", 2), ("k", 3)]
+
+    def test_pickle_keeps_bound_and_compression(self):
+        cache = RunCache(max_entries=5, compress_traces=True)
+        cache.record(("k",), "v")
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.max_entries == 5
+        assert clone.compress_traces is True
+        assert clone.get(("k",)) == "v"
+
+
+# ---------------------------------------------------------------------------
+# Trace compression: keep_trace results round-trip bit-identically
+# ---------------------------------------------------------------------------
+
+
+class TestTraceCompression:
+    def test_traced_results_compress_and_thaw_identically(self, tmp_path):
+        from repro.net import run_fair
+
+        td = transitive_closure_transducer()
+        partition = sample_partitions(GRAPH, line(2), 1)[0]
+        traced = run_fair(line(2), td, partition, seed=0, keep_trace=True)
+        assert traced.trace  # the workload really carries a trace
+        cache = RunCache(compress_traces=True)
+        cache.record(("traced",), traced)
+        assert isinstance(cache.entries[("traced",)], _CompressedResult)
+        assert cache.get(("traced",)) == traced  # thawed bit-identical
+        # untraced values are stored as-is (nothing to compress)
+        plain = run_fair(line(2), td, partition, seed=0)
+        cache.record(("plain",), plain)
+        assert cache.entries[("plain",)] is plain
+        # compression survives the persistence round-trip
+        path = tmp_path / "compressed.pkl"
+        cache.save(path)
+        loaded = RunCache.load(path)
+        assert loaded.compress_traces is True
+        assert loaded.get(("traced",)) == traced
+        assert loaded.get(("plain",)) == plain
+
+    def test_compressed_sweep_hits_reproduce_observations(self):
+        partitions = sample_partitions(GRAPH, line(3), 3)
+        reference = sweep_runs(line(3), TC, partitions, (0, 1))
+        cache = RunCache(compress_traces=True)
+        first = sweep_runs(line(3), TC, partitions, (0, 1), run_cache=cache)
+        second = sweep_runs(line(3), TC, partitions, (0, 1), run_cache=cache)
+        assert first == reference
+        assert second == reference
+
+
+class _OpaqueValue:
+    """A hashable dom value with a non-injective repr (all instances
+    render alike) — the shape that must NOT be digest-canonicalized."""
+
+    def __repr__(self):
+        return "opaque"
+
+    def __hash__(self):
+        return 7
+
+    def __eq__(self, other):
+        return self is other
+
+
+class TestDigestFallback:
+    def test_non_canonical_values_refuse_to_digest(self):
+        from repro.net import full_replication
+
+        inst = Instance(S1, [Fact("S", (_OpaqueValue(),))])
+        with pytest.raises(ValueError, match="canonical"):
+            instance_digest(inst)
+        with pytest.raises(ValueError, match="canonical"):
+            partition_digest(full_replication(inst, line(2)))
+
+    def test_run_key_falls_back_to_true_equality(self):
+        # Two *distinct* opaque values render identically; the key must
+        # keep the partition object (set equality), so the second
+        # instance can never be served the first one's result.
+        from repro.net import full_replication
+
+        a = Instance(S1, [Fact("S", (_OpaqueValue(),))])
+        b = Instance(S1, [Fact("S", (_OpaqueValue(),))])
+        key_a = run_key(
+            "fair-random", line(2), "sha256:x",
+            full_replication(a, line(2)), 0, {},
+        )
+        key_b = run_key(
+            "fair-random", line(2), "sha256:x",
+            full_replication(b, line(2)), 0, {},
+        )
+        assert not isinstance(key_a[3], str)  # object, not digest
+        assert key_a != key_b  # distinct values, distinct cells
+        # equal partitions still share the fallback cell
+        key_a2 = run_key(
+            "fair-random", line(2), "sha256:x",
+            full_replication(a, line(2)), 0, {},
+        )
+        assert key_a2 == key_a
+
+    def test_digest_cached_on_immutable_objects(self):
+        partition = sample_partitions(GRAPH, line(2), 1)[0]
+        token = partition_digest(partition)
+        assert partition._digest == token
+        assert partition_digest(partition) == token
+        assert GRAPH._digest is None or isinstance(GRAPH._digest, str)
+        d = instance_digest(GRAPH)
+        assert GRAPH._digest == d
+
+    def test_merge_freezes_traced_entries(self):
+        from repro.net import run_fair
+        from repro.net.runcache import _CompressedResult
+
+        td = transitive_closure_transducer()
+        partition = sample_partitions(GRAPH, line(2), 1)[0]
+        traced = run_fair(line(2), td, partition, seed=0, keep_trace=True)
+        source = RunCache()  # uncompressed source (a warm-start bundle)
+        source.record(("traced",), traced)
+        target = RunCache(compress_traces=True)
+        target.merge(source)
+        assert isinstance(target.entries[("traced",)], _CompressedResult)
+        assert target.get(("traced",)) == traced

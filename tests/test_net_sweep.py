@@ -29,6 +29,7 @@ from repro.db import Fact, Instance, schema
 from repro.net import (
     ConvergenceMemo,
     ConvergenceTracker,
+    SweepEngine,
     SweepExecutor,
     check_consistency,
     check_coordination_free_on,
@@ -67,39 +68,81 @@ def _double(context, item):
     return (context, item * 2)
 
 
-class TestSweepExecutor:
-    def test_backend_resolution(self):
-        assert SweepExecutor(workers=1).backend == "serial"
-        assert SweepExecutor(workers=4, backend="serial").backend == "serial"
+class TestSweepEngine:
+    def test_lifetime_resolution(self):
+        assert SweepEngine(workers=1).lifetime == "serial"
+        assert SweepEngine(workers=4, lifetime="serial").lifetime == "serial"
         # the *default* path quietly resolves workers=1 to serial ...
-        assert SweepExecutor(workers=1, backend=None).backend == "serial"
+        assert SweepEngine(workers=1, lifetime=None).lifetime == "serial"
+        assert not SweepEngine(workers=1).parallel
 
-    def test_explicit_multiprocessing_with_one_worker_rejected(self):
-        # ... but an explicitly requested multiprocessing backend that
+    def test_explicit_lifetime_with_one_worker_rejected(self):
+        # ... but an explicitly requested parallel lifetime that
         # cannot parallelize is a misconfiguration, not a preference.
-        with pytest.raises(ValueError, match="workers=1"):
-            SweepExecutor(workers=1, backend="multiprocessing")
+        for lifetime in ("fork", "persistent"):
+            with pytest.raises(ValueError, match="workers=1"):
+                SweepEngine(workers=1, lifetime=lifetime)
 
-    def test_explicit_multiprocessing_without_fork_rejected(self, monkeypatch):
-        from repro.net import sweep as sweep_module
+    def test_explicit_lifetime_without_fork_rejected(self, monkeypatch):
+        from repro.net import executor as executor_module
 
-        monkeypatch.setattr(sweep_module, "_fork_context", lambda: None)
-        with pytest.raises(ValueError, match="fork"):
-            SweepExecutor(workers=2, backend="multiprocessing")
+        monkeypatch.setattr(executor_module, "_fork_context", lambda: None)
+        for lifetime in ("fork", "persistent"):
+            with pytest.raises(ValueError, match="fork"):
+                SweepEngine(workers=2, lifetime=lifetime)
         # the default path still degrades quietly
-        assert SweepExecutor(workers=2, backend=None).backend == "serial"
+        assert SweepEngine(workers=2, lifetime=None).lifetime == "serial"
 
-    def test_unknown_backend_rejected(self):
+    def test_unknown_lifetime_rejected(self):
         with pytest.raises(ValueError):
-            SweepExecutor(workers=2, backend="threads")
+            SweepEngine(workers=2, lifetime="threads")
 
     @pytest.mark.parametrize("workers", [1, 2, 4])
     def test_map_preserves_item_order(self, workers):
-        executor = SweepExecutor(workers=workers)
+        engine = SweepEngine(workers=workers)
         items = list(range(17))
-        assert executor.map(_double, "ctx", items) == [
+        assert engine.map(_double, "ctx", items) == [
             ("ctx", i * 2) for i in items
         ]
+
+    @pytest.mark.parametrize("lifetime", ["serial", "fork", "persistent"])
+    def test_every_lifetime_maps_in_order(self, lifetime):
+        with SweepEngine(workers=2, lifetime=lifetime) as engine:
+            items = list(range(9))
+            assert engine.map(_double, "ctx", items) == [
+                ("ctx", i * 2) for i in items
+            ]
+
+
+class TestDeprecatedShims:
+    def test_sweep_executor_is_an_engine_shim(self):
+        with pytest.warns(DeprecationWarning, match="SweepExecutor"):
+            executor = SweepExecutor(workers=1)
+        assert isinstance(executor, SweepEngine)
+        assert executor.backend == "serial"
+        with pytest.warns(DeprecationWarning):
+            assert SweepExecutor(workers=4, backend="serial").backend == "serial"
+
+    def test_sweep_executor_keeps_explicit_backend_strictness(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="workers=1"):
+                SweepExecutor(workers=1, backend="multiprocessing")
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                SweepExecutor(workers=2, backend="threads")
+
+    def test_sweep_pool_is_an_engine_shim(self):
+        from repro.net import SweepPool
+
+        with pytest.warns(DeprecationWarning, match="SweepPool"):
+            pool = SweepPool(workers=2)
+        assert isinstance(pool, SweepEngine)
+        assert pool.lifetime == "persistent"
+        pool.close()
+        # the shim keeps the historical workers=1 leniency
+        with pytest.warns(DeprecationWarning):
+            serial = SweepPool(workers=1)
+        assert serial.lifetime == "serial" and not serial.parallel
 
     def test_resolve_memo(self):
         td = relay_identity_transducer()
