@@ -16,12 +16,11 @@ timings is written next to this file (``BENCH_join.json``) so later
 PRs can track the perf trajectory.
 """
 
-import json
 import pathlib
 import random
 import time
 
-from conftest import once
+from conftest import once, write_snapshot
 
 from repro.db import instance, schema
 from repro.lang import DatalogProgram, naive_fixpoint, seminaive_fixpoint
@@ -118,14 +117,14 @@ def test_e22_join_engine(benchmark, report):
                 })
         # The tentpole's bar: ≥5× over the seed engine on chain at 200.
         ok &= required_speedup is not None and required_speedup >= 5.0
-        SNAPSHOT.write_text(json.dumps({
+        write_snapshot(SNAPSHOT, {
             "experiment": "E22",
             "claim": "indexed semi-naive ≥5x over nested semi-naive "
                      "on chain TC at n=200",
             "required_speedup": 5.0,
             "measured_speedup_chain_200": round(required_speedup or 0.0, 2),
             "results": snapshot,
-        }, indent=2) + "\n")
+        })
 
     once(benchmark, run_all)
     report(

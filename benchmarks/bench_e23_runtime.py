@@ -24,11 +24,10 @@ A JSON snapshot (``BENCH_runtime.json``) records the timings so later
 PRs can track the trajectory.
 """
 
-import json
 import pathlib
 import time
 
-from conftest import once
+from conftest import once, write_snapshot
 
 from repro.core import flooding_transducer, multicast_transducer
 from repro.db import instance, schema
@@ -121,14 +120,14 @@ def test_e23_incremental_convergence(benchmark, report):
             })
         overall = total_exact / max(total_incremental, 1e-9)
         ok &= overall >= REQUIRED_SPEEDUP
-        SNAPSHOT.write_text(json.dumps({
+        write_snapshot(SNAPSHOT, {
             "experiment": "E23",
             "claim": "incremental convergence tracker >= 3x over the "
                      "from-scratch check on E17 chain flooding at n=120",
             "required_speedup": REQUIRED_SPEEDUP,
             "measured_overall_speedup": round(overall, 2),
             "results": snapshot,
-        }, indent=2) + "\n")
+        })
 
     once(benchmark, run_all)
     overall = total_exact / max(total_incremental, 1e-9)

@@ -27,12 +27,11 @@ effectiveness (hits/misses, entries) is reported per sweep and
 snapshotted in ``BENCH_sweep.json``.
 """
 
-import json
 import os
 import pathlib
 import time
 
-from conftest import once
+from conftest import once, write_snapshot
 
 from repro.core import transitive_closure_transducer
 from repro.db import instance, schema
@@ -153,7 +152,7 @@ def test_e24_parallel_warm_sweep(benchmark, report):
             })
 
         ok &= bar_speedup >= REQUIRED_SPEEDUP
-        SNAPSHOT.write_text(json.dumps({
+        write_snapshot(SNAPSHOT, {
             "experiment": "E24",
             "claim": f"{WORKER_COUNTS[-1]}-worker warm-memo consistency "
                      "sweep >= 2.5x over the serial cold sweep on the E17 "
@@ -163,7 +162,7 @@ def test_e24_parallel_warm_sweep(benchmark, report):
             "measured_speedup": round(bar_speedup, 2),
             "runs_per_sweep": PARTITIONS * len(SEEDS),
             "results": snapshot,
-        }, indent=2) + "\n")
+        })
 
     once(benchmark, run_all)
     report(

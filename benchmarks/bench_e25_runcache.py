@@ -43,12 +43,11 @@ time, never correctness) and reports the hit/miss/eviction counts; the
 speedup bar applies to the unbounded warm pass only.
 """
 
-import json
 import os
 import pathlib
 import time
 
-from conftest import once
+from conftest import once, write_snapshot
 
 from repro.analysis import calm_verdict
 from repro.core import transitive_closure_transducer
@@ -216,7 +215,7 @@ def test_e25_run_cache_warm_pass(benchmark, report):
 
         loaded.merge(cache)
         loaded.save(CACHE_PATH)
-        SNAPSHOT.write_text(json.dumps({
+        write_snapshot(SNAPSHOT, {
             "experiment": "E25",
             "claim": "warm run-cache cross-harness pass (consistency + "
                      "CALM) >= 2x over cold on the E17 chain workload "
@@ -224,7 +223,7 @@ def test_e25_run_cache_warm_pass(benchmark, report):
             "required_speedup": REQUIRED_SPEEDUP,
             "measured_speedup": round(speedup, 2),
             "results": snapshot,
-        }, indent=2) + "\n")
+        })
 
     once(benchmark, run_all)
     report(

@@ -8,6 +8,11 @@ printed result rows so EXPERIMENTS.md can be cross-checked against
 
 from __future__ import annotations
 
+import json
+import os
+import pathlib
+import platform
+
 import pytest
 
 from repro.analysis import experiment_banner, format_table
@@ -31,3 +36,42 @@ def report():
 def once(benchmark, fn):
     """Run *fn* exactly once under the benchmark timer."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def _cpu_model() -> str:
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or "unknown"
+
+
+def bench_environment() -> dict:
+    """The machine fingerprint stamped into every ``BENCH_*.json``.
+
+    Timings are only comparable across PRs on comparable hardware;
+    the stamp makes snapshot drift attributable.
+    """
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    return {
+        "cpu_count": os.cpu_count(),
+        "cpu_model": _cpu_model(),
+        "platform": platform.platform(),
+        "python_version": platform.python_version(),
+        "numpy_version": numpy_version,
+    }
+
+
+def write_snapshot(path: pathlib.Path, payload: dict) -> None:
+    """Write a ``BENCH_*.json`` snapshot with the environment stamp."""
+    payload = dict(payload)
+    payload["environment"] = bench_environment()
+    path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -24,6 +24,7 @@ from collections.abc import Mapping
 from ..db.fact import Fact
 from ..db.instance import Instance
 from ..db.schema import SchemaError
+from ..lang.engine import engine_override, resolve_engine
 from ..lang.query import EmptyQuery, Query
 from .schema import TransducerSchema
 
@@ -75,6 +76,11 @@ class Transducer:
         output arity).
     name:
         Optional human-readable name used in reprs and reports.
+    engine:
+        Optional evaluation-engine override applied to every local
+        query during :meth:`transition` (see
+        :mod:`repro.lang.engine`).  ``None`` defers to the session
+        default, letting ``REPRO_ENGINE`` steer whole networks.
     """
 
     def __init__(
@@ -85,7 +91,11 @@ class Transducer:
         delete: Mapping[str, Query] | None = None,
         output: Query | None = None,
         name: str | None = None,
+        engine: str | None = None,
     ):
+        if engine is not None:
+            resolve_engine(engine)  # validate eagerly; applied per transition
+        self.engine = engine
         self.schema = schema
         combined = schema.combined
         send = dict(send or {})
@@ -250,26 +260,27 @@ class Transducer:
         combined = self.schema.combined
         current = Instance(combined, state.facts() | received.facts())
 
-        sent_facts: set[Fact] = set()
-        for rel, query in self.send_queries.items():
-            for row in query(current):
-                sent_facts.add(Fact(rel, row))
-        sent = Instance(self.schema.messages, sent_facts)
+        with engine_override(self.engine):
+            sent_facts: set[Fact] = set()
+            for rel, query in self.send_queries.items():
+                for row in query(current):
+                    sent_facts.add(Fact(rel, row))
+            sent = Instance(self.schema.messages, sent_facts)
 
-        output = frozenset(self.output_query(current))
+            output = frozenset(self.output_query(current))
 
-        new_state = state
-        for rel in self.schema.memory:
-            inserted = self.insert_queries[rel](current)
-            deleted = self.delete_queries[rel](current)
-            old = state.relation(rel)
-            updated = (
-                (inserted - deleted)
-                | (inserted & deleted & old)
-                | (old - (inserted | deleted))
-            )
-            if updated != old:
-                new_state = new_state.set_relation(rel, updated)
+            new_state = state
+            for rel in self.schema.memory:
+                inserted = self.insert_queries[rel](current)
+                deleted = self.delete_queries[rel](current)
+                old = state.relation(rel)
+                updated = (
+                    (inserted - deleted)
+                    | (inserted & deleted & old)
+                    | (old - (inserted | deleted))
+                )
+                if updated != old:
+                    new_state = new_state.set_relation(rel, updated)
 
         result = LocalTransition(
             state=state,

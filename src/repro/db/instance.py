@@ -44,7 +44,10 @@ class Instance:
     Iteration yields facts in sorted order for determinism.
     """
 
-    __slots__ = ("schema", "_rels", "_size", "_hash", "_facts", "_adom", "_digest")
+    __slots__ = (
+        "schema", "_rels", "_size", "_hash", "_facts", "_adom", "_digest",
+        "_rel_facts", "_columnar",
+    )
 
     schema: DatabaseSchema
 
@@ -74,6 +77,10 @@ class Instance:
         # repro.net.runcache.instance_digest (sharing the instance's
         # immutability the way _hash does).
         object.__setattr__(self, "_digest", None)
+        # Per-relation Fact views (relation_facts) and the dictionary-
+        # encoded columnar mirror (columnar_view), both lazy.
+        object.__setattr__(self, "_rel_facts", None)
+        object.__setattr__(self, "_columnar", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("Instance is immutable")
@@ -197,10 +204,42 @@ class Instance:
         return self._rels.get(name, _EMPTY)
 
     def relation_facts(self, name: str) -> frozenset[Fact]:
-        """The facts of relation *name*."""
+        """The facts of relation *name* (built once per relation, cached)."""
         if name not in self.schema:
             raise SchemaError(f"relation {name!r} not in schema {self.schema}")
-        return frozenset(Fact(name, row) for row in self._rels.get(name, _EMPTY))
+        cache = self._rel_facts
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_rel_facts", cache)
+        view = cache.get(name)
+        if view is None:
+            view = frozenset(Fact(name, row) for row in self._rels.get(name, _EMPTY))
+            cache[name] = view
+        return view
+
+    def columnar_view(self):
+        """The dictionary-encoded columnar mirror of this instance.
+
+        Returns ``(pool, columns)`` where *pool* is a
+        :class:`~repro.db.columnar.ValuePool` and *columns* maps each
+        non-empty relation to a
+        :class:`~repro.db.columnar.ColumnarRelation`.  Built lazily on
+        first use and cached (immutability makes the mirror valid for
+        the lifetime of the instance).  Requires numpy.
+        """
+        if self._columnar is None:
+            from .columnar import ColumnarRelation, ValuePool, require_numpy
+
+            require_numpy()
+            pool = ValuePool()
+            columns = {
+                name: ColumnarRelation(
+                    pool.encode_rows(rows, self.schema[name]), self.schema[name]
+                )
+                for name, rows in self._rels.items()
+            }
+            object.__setattr__(self, "_columnar", (pool, columns))
+        return self._columnar
 
     def is_empty(self, name: str) -> bool:
         """True when relation *name* has no tuples."""

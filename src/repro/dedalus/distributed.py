@@ -180,6 +180,7 @@ def run_distributed(
     run_cache=None,
     pool=None,
     engine=None,
+    lang_engine: str | None = None,
     **run_kwargs,
 ):
     """Localize *program*, place *partition* on *network*, and run.
@@ -211,6 +212,12 @@ def run_distributed(
     ASTs).  *engine* (a :class:`~repro.net.executor.SweepEngine`, e.g.
     a ``persistent``-lifetime one) or the deprecated *pool* fans a
     seeds sweep over a live worker pool.
+
+    *lang_engine* selects the local evaluation engine of
+    :mod:`repro.lang.engine` ("nested", "indexed" or "columnar") for
+    every interpreter run — distinct from *engine*, which picks the
+    sweep executor.  Engines are bit-identical by contract, so the
+    run cache is shared across them (keys do not include it).
     """
     from .interp import run_program
 
@@ -227,6 +234,7 @@ def run_distributed(
             run_cache=run_cache,
             pool=pool,
             engine=engine,
+            lang_engine=lang_engine,
             **run_kwargs,
         )
     localized = localize(program, broadcast)
@@ -238,7 +246,8 @@ def run_distributed(
         if cached is not None:
             return cached
     edb = place(partition, network)
-    trace = run_program(localized, edb, batch_async=batch_async, **run_kwargs)
+    trace = run_program(localized, edb, engine=lang_engine,
+                        batch_async=batch_async, **run_kwargs)
     if run_cache is not None:
         run_cache.record(key, trace)
     return trace
@@ -248,11 +257,12 @@ def _distributed_task(context, task):
     """Sweep worker: one localized run (module-level for fork shipping)."""
     from .interp import run_program
 
-    localized, network, batch_async, run_kwargs = context
+    localized, network, batch_async, lang_engine, run_kwargs = context
     partition, seed = task
     edb = place(partition, network)
     return run_program(
-        localized, edb, seed=seed, batch_async=batch_async, **run_kwargs
+        localized, edb, seed=seed, batch_async=batch_async,
+        engine=lang_engine, **run_kwargs
     )
 
 
@@ -286,6 +296,7 @@ def sweep_distributed(
     run_cache=None,
     pool=None,
     engine=None,
+    lang_engine: str | None = None,
     **run_kwargs,
 ) -> list:
     """Run the partitions × seeds grid of distributed Dedalus runs.
@@ -302,12 +313,17 @@ def sweep_distributed(
     :class:`~repro.net.executor.CacheSplice` bookkeeping, so equal
     cells inside one grid also collapse to a single run.  *engine*
     selects the executor outright; the deprecated *pool* and the
-    *workers*/*backend* pair are accepted as before.
+    *workers*/*backend* pair are accepted as before.  *lang_engine*
+    picks the local evaluation engine inside every cell, as in
+    :func:`run_distributed`.
     """
     from ..net.executor import CacheSplice, resolve_engine
+    from ..lang.engine import resolve_engine as resolve_lang_engine
 
+    if lang_engine is not None:
+        resolve_lang_engine(lang_engine)  # validate before fan-out
     localized = localize(program, broadcast)
-    context = (localized, network, batch_async, run_kwargs)
+    context = (localized, network, batch_async, lang_engine, run_kwargs)
     tasks = [(partition, seed) for partition in partitions for seed in seeds]
 
     splice = CacheSplice(

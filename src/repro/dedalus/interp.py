@@ -27,7 +27,7 @@ from ..db.fact import Fact
 from ..db.instance import Instance
 from ..db.schema import DatabaseSchema
 from ..lang.datalog import fire_rule
-from ..lang.joinplan import IndexPool
+from ..lang.engine import make_pool, resolve_engine
 from ..lang.stratified import StratifiedProgram, stratified_fixpoint
 from .ast import NOW_RELATION, DedalusRule
 from .program import DedalusProgram
@@ -88,7 +88,10 @@ def temporal_input(
 class DedalusInterpreter:
     """Evaluates a :class:`~repro.dedalus.program.DedalusProgram`."""
 
-    def __init__(self, program: DedalusProgram):
+    def __init__(self, program: DedalusProgram, engine: str | None = None):
+        if engine is not None:
+            resolve_engine(engine)  # validate eagerly; resolved per run
+        self.engine = engine
         self.program = program
         self._full_schema = program.schema.union(
             DatabaseSchema({NOW_RELATION: 1})
@@ -107,8 +110,8 @@ class DedalusInterpreter:
         )
         # Shared across _fire_temporal calls and timesteps: the pool is
         # value-keyed and size-capped, so unchanged extents (e.g. a large
-        # EDB) keep their indexes for the whole run.
-        self._pool = IndexPool()
+        # EDB) keep their indexes — or columnar encodings — for the run.
+        self._pool = make_pool(resolve_engine(engine))
 
     # -- single pieces -------------------------------------------------------
 
@@ -120,7 +123,8 @@ class DedalusInterpreter:
         if self._deductive_program is None:
             return instance
         result = stratified_fixpoint(
-            self._deductive_program, instance, pool=self._pool
+            self._deductive_program, instance, pool=self._pool,
+            engine=self.engine,
         )
         # stratified_fixpoint works over its own schema; re-expand,
         # sharing the partitioned storage (no fact materialization).
@@ -142,7 +146,8 @@ class DedalusInterpreter:
                 relations.get(atom.relation, empty)
                 for atom in rule.positive_body_atoms()
             ]
-            for row in fire_rule(rule, sources, relations, domain, pool=pool):
+            for row in fire_rule(rule, sources, relations, domain, pool=pool,
+                                 engine=self.engine):
                 out.add(Fact(rule.head.relation, row))
         return out
 
@@ -241,7 +246,8 @@ class DedalusInterpreter:
 def run_program(
     program: DedalusProgram,
     edb: Mapping[int, frozenset[Fact]] | Instance,
+    engine: str | None = None,
     **kwargs,
 ) -> DedalusTrace:
     """Convenience one-shot runner."""
-    return DedalusInterpreter(program).run(edb, **kwargs)
+    return DedalusInterpreter(program, engine=engine).run(edb, **kwargs)

@@ -30,8 +30,16 @@ from .datalog import (
     seminaive_fixpoint,
     tp_step,
 )
+from .engine import (
+    ENGINES,
+    default_engine,
+    engine_override,
+    resolve_engine,
+    set_default_engine,
+)
 from .fo import evaluate as evaluate_fo
 from .joinplan import IndexPool, JoinPlan, plan_for
+from .vecjoin import ColumnPool
 from .monotone import (
     check_monotone_empirical,
     check_monotone_pair,
@@ -70,10 +78,12 @@ __all__ = [
     "And",
     "Assign",
     "Atom",
+    "ColumnPool",
     "Const",
     "DatalogError",
     "DatalogProgram",
     "DatalogQuery",
+    "ENGINES",
     "EmptyQuery",
     "Eq",
     "Exists",
@@ -108,10 +118,14 @@ __all__ = [
     "check_generic",
     "check_monotone_empirical",
     "check_monotone_pair",
+    "default_engine",
+    "engine_override",
     "evaluate_fo",
     "find_monotonicity_counterexample",
     "is_monotone_syntactic",
     "naive_fixpoint",
+    "resolve_engine",
+    "set_default_engine",
     "parse_formula",
     "parse_rule",
     "parse_rules",

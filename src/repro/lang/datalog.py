@@ -37,6 +37,7 @@ from collections.abc import Mapping
 from ..db.instance import Instance
 from ..db.schema import DatabaseSchema, SchemaError
 from .ast import Atom, Const, Eq, Literal, Rule, Var
+from .engine import make_pool, resolve_engine
 from .joinplan import IndexPool, JoinPlan, plan_for
 from .query import Query
 
@@ -59,8 +60,8 @@ def evaluate_body(
     positive_sources: list[frozenset],
     relations: Relations,
     domain: frozenset,
-    engine: str = "indexed",
-    pool: IndexPool | None = None,
+    engine: str | None = None,
+    pool=None,
 ) -> list[dict[Var, object]]:
     """All satisfying assignments of a rule body.
 
@@ -72,20 +73,29 @@ def evaluate_body(
 
     *engine* selects the positive-atom join strategy: ``"indexed"``
     (compiled :class:`JoinPlan` with hash indexes, optionally shared
-    through *pool*) or ``"nested"`` (the reference nested-loop
-    product).  Both produce the same bindings up to order.
+    through *pool*), ``"nested"`` (the reference nested-loop product),
+    or ``"columnar"`` (bulk NumPy joins over dictionary-encoded
+    matrices, sharing encodings through a
+    :class:`~repro.lang.vecjoin.ColumnPool` *pool*).  ``None`` resolves
+    to the session default (:func:`repro.lang.engine.default_engine`).
+    All engines produce the same bindings up to order; the non-join
+    literals are applied by shared code either way.
     """
+    engine = resolve_engine(engine)
     plan = plan_for(body)
     if len(positive_sources) != len(plan.atoms):
         raise ValueError(
             f"need {len(plan.atoms)} positive sources, got {len(positive_sources)}"
         )
-    if engine == "indexed":
+    if engine == "columnar":
+        from .vecjoin import ColumnPool, join_bindings
+
+        cpool = pool if isinstance(pool, ColumnPool) else ColumnPool()
+        bindings = join_bindings(body, positive_sources, cpool)
+    elif engine == "indexed":
         bindings = plan.join(positive_sources, pool)
-    elif engine == "nested":
-        bindings = plan.nested_loop(positive_sources)
     else:
-        raise ValueError(f"unknown evaluation engine {engine!r}")
+        bindings = plan.nested_loop(positive_sources)
     if not bindings:
         return []
     return _apply_constraints(plan, bindings, relations, domain)
@@ -189,10 +199,21 @@ def fire_rule(
     positive_sources: list[frozenset],
     relations: Relations,
     domain: frozenset,
-    engine: str = "indexed",
-    pool: IndexPool | None = None,
+    engine: str | None = None,
+    pool=None,
 ) -> frozenset:
     """Head tuples derived by one rule from the given sources."""
+    engine = resolve_engine(engine)
+    if engine == "columnar":
+        from .vecjoin import ColumnPool, fire_rule_columnar
+
+        cpool = pool if isinstance(pool, ColumnPool) else ColumnPool()
+        derived = fire_rule_columnar(rule, positive_sources, relations, cpool)
+        if derived is not None:
+            return derived
+        # Outside the vectorizable fragment: the indexed engine owns
+        # these cases, including the unsafe-rule error paths.
+        engine, pool = "indexed", cpool.index_pool
     out = set()
     bindings = evaluate_body(
         rule.body, positive_sources, relations, domain, engine=engine, pool=pool
@@ -284,8 +305,8 @@ def tp_step(
     program: DatalogProgram,
     relations: Relations,
     domain: frozenset,
-    engine: str = "indexed",
-    pool: IndexPool | None = None,
+    engine: str | None = None,
+    pool=None,
 ) -> dict[str, frozenset]:
     """One application of the immediate-consequence operator ``T_P``.
 
@@ -297,6 +318,7 @@ def tp_step(
     Unchanged extents are returned as the *same* frozenset objects, so
     index builds cached in *pool* stay valid across iterated steps.
     """
+    engine = resolve_engine(engine)
     out: dict[str, frozenset] = {
         name: frozenset(relations.get(name, _EMPTY))
         for name in program.schema.relation_names()
@@ -317,12 +339,13 @@ def tp_step(
 
 
 def naive_fixpoint(
-    program: DatalogProgram, instance: Instance, engine: str = "indexed"
+    program: DatalogProgram, instance: Instance, engine: str | None = None
 ) -> Instance:
     """Least fixpoint by naive iteration of ``T_P``."""
+    engine = resolve_engine(engine)
     domain = instance.active_domain() | _program_constants(program)
     relations = _relations_of(instance, program.schema)
-    pool = IndexPool() if engine == "indexed" else None
+    pool = make_pool(engine)
     while True:
         new = tp_step(program, relations, domain, engine=engine, pool=pool)
         if new == relations:
@@ -332,12 +355,22 @@ def naive_fixpoint(
 
 
 def seminaive_fixpoint(
-    program: DatalogProgram, instance: Instance, engine: str = "indexed"
+    program: DatalogProgram, instance: Instance, engine: str | None = None
 ) -> Instance:
     """Least fixpoint by semi-naive (differential) evaluation."""
+    engine = resolve_engine(engine)
+    if engine == "columnar":
+        from .vecjoin import seminaive_fixpoint_columnar
+
+        # The dedicated all-matrix driver; rules outside the
+        # vectorizable fragment drop to the generic loop below (which
+        # still fires vectorizable rules columnar, per rule).
+        result = seminaive_fixpoint_columnar(program, instance)
+        if result is not None:
+            return result
     domain = instance.active_domain() | _program_constants(program)
     total = _relations_of(instance, program.schema)
-    pool = IndexPool() if engine == "indexed" else None
+    pool = make_pool(engine)
     # Round 0: fire every rule once on the full (EDB-only) database.
     delta: dict[str, set] = {name: set() for name in program.idb_schema}
     for rule in program.rules:
@@ -417,10 +450,12 @@ class DatalogQuery(Query):
         program: DatalogProgram,
         output: str,
         seminaive: bool = True,
-        engine: str = "indexed",
+        engine: str | None = None,
     ):
         if output not in program.idb_schema:
             raise SchemaError(f"output relation {output!r} is not an IDB relation")
+        if engine is not None:
+            resolve_engine(engine)  # validate eagerly; resolve per call
         self.program = program
         self.output = output
         self.seminaive = seminaive

@@ -1,0 +1,103 @@
+"""Engine selection for body evaluation: nested, indexed, columnar.
+
+PR 1 grew an ``engine="indexed"|"nested"`` knob on every evaluation
+entry point; this module centralizes it now that a third backend
+exists.  Every entry point that accepts ``engine=`` funnels the string
+through :func:`resolve_engine`, which
+
+* validates the name eagerly (unknown strings raise ``ValueError``
+  instead of silently degrading to a default — the satellite bugfix),
+* resolves ``None`` to the session default: the ``REPRO_ENGINE``
+  environment variable when set, else ``"indexed"``, overridable
+  programmatically with :func:`set_default_engine` or scoped with the
+  :func:`engine_override` context manager (the net runtime uses the
+  latter so transducer transitions run columnar end-to-end without
+  threading a keyword through every layer),
+* rejects ``"columnar"`` when NumPy is absent, with a message naming
+  the working alternatives.
+
+:func:`make_pool` builds the matching per-fixpoint cache object: an
+:class:`~repro.lang.joinplan.IndexPool` for the indexed engine, a
+:class:`~repro.lang.vecjoin.ColumnPool` for the columnar one, ``None``
+for nested loops.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from ..db.columnar import HAVE_NUMPY
+
+ENGINES = ("nested", "indexed", "columnar")
+
+_FALLBACK_DEFAULT = "indexed"
+_override: str | None = None
+
+
+def _validate(engine: str) -> str:
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}"
+        )
+    if engine == "columnar" and not HAVE_NUMPY:
+        raise ValueError(
+            "engine='columnar' requires numpy, which is not installed; "
+            "use engine='indexed' or engine='nested'"
+        )
+    return engine
+
+
+def default_engine() -> str:
+    """The engine used when callers pass ``engine=None``."""
+    if _override is not None:
+        return _override
+    return _validate(os.environ.get("REPRO_ENGINE", _FALLBACK_DEFAULT))
+
+
+def resolve_engine(engine: str | None) -> str:
+    """Validate *engine*, resolving ``None`` to the session default."""
+    if engine is None:
+        return default_engine()
+    return _validate(engine)
+
+
+def set_default_engine(engine: str | None) -> None:
+    """Set (or with ``None``, clear) the process-wide default engine.
+
+    Takes precedence over ``REPRO_ENGINE``.
+    """
+    global _override
+    _override = _validate(engine) if engine is not None else None
+
+
+@contextmanager
+def engine_override(engine: str | None):
+    """Scope a default engine: ``with engine_override("columnar"): ...``
+
+    ``None`` is a no-op scope (callers can pass their possibly-unset
+    knob straight through).
+    """
+    global _override
+    if engine is None:
+        yield
+        return
+    previous = _override
+    _override = _validate(engine)
+    try:
+        yield
+    finally:
+        _override = previous
+
+
+def make_pool(engine: str):
+    """A fresh per-fixpoint cache object for *engine* (or ``None``)."""
+    if engine == "indexed":
+        from .joinplan import IndexPool
+
+        return IndexPool()
+    if engine == "columnar":
+        from .vecjoin import ColumnPool
+
+        return ColumnPool()
+    return None

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from .ast import And, Atom, Const, Eq, Exists, Forall, Formula, Not, Or, Var
 from ..db.instance import Instance
+from .engine import resolve_engine
 from .ra import NamedRelation
 
 
@@ -48,6 +49,7 @@ def evaluate(
     formula: Formula,
     instance: Instance,
     domain: frozenset | None = None,
+    engine: str | None = None,
 ) -> NamedRelation:
     """Evaluate *formula* on *instance* under the active-domain semantics.
 
@@ -58,32 +60,50 @@ def evaluate(
     *domain* defaults to ``adom(I)`` plus the formula's constants; pass
     a larger set to evaluate under an extended domain (used by the
     transducer runtime to include received messages).
+
+    *engine* selects the conjunction strategy: under ``"columnar"``,
+    ∧-joins of named relations run through the vectorized natural join
+    (:func:`repro.lang.vecjoin.named_join`), falling back to the
+    tuple-at-a-time algebra where it does not apply.  All other
+    connectives are shared across engines.
     """
+    engine = resolve_engine(engine)
     if domain is None:
         domain = instance.active_domain() | formula_constants(formula)
-    return _eval(formula, instance, domain)
+    return _eval(formula, instance, domain, engine)
 
 
-def _eval(formula: Formula, instance: Instance, domain: frozenset) -> NamedRelation:
+def _eval(
+    formula: Formula,
+    instance: Instance,
+    domain: frozenset,
+    engine: str = "indexed",
+) -> NamedRelation:
     if isinstance(formula, Atom):
         return _eval_atom(formula, instance)
     if isinstance(formula, Eq):
         return _eval_eq(formula, domain)
     if isinstance(formula, Not):
-        inner = _eval(formula.body, instance, domain)
+        inner = _eval(formula.body, instance, domain, engine)
         return inner.complement(domain)
     if isinstance(formula, And):
-        result = _eval(formula.parts[0], instance, domain)
+        result = _eval(formula.parts[0], instance, domain, engine)
         for part in formula.parts[1:]:
-            result = result.join(_eval(part, instance, domain))
+            other = _eval(part, instance, domain, engine)
+            joined = None
+            if engine == "columnar":
+                from .vecjoin import named_join
+
+                joined = named_join(result, other)
+            result = joined if joined is not None else result.join(other)
         return result
     if isinstance(formula, Or):
-        result = _eval(formula.parts[0], instance, domain)
+        result = _eval(formula.parts[0], instance, domain, engine)
         for part in formula.parts[1:]:
-            result = result.union(_eval(part, instance, domain), domain)
+            result = result.union(_eval(part, instance, domain, engine), domain)
         return result
     if isinstance(formula, Exists):
-        inner = _eval(formula.body, instance, domain)
+        inner = _eval(formula.body, instance, domain, engine)
         # A quantified variable not occurring in the body ranges over the
         # domain; ∃ then requires the domain to be nonempty.
         missing = [v for v in formula.variables if v not in inner.columns]
@@ -95,7 +115,7 @@ def _eval(formula: Formula, instance: Instance, domain: frozenset) -> NamedRelat
     if isinstance(formula, Forall):
         # ∀x φ  ≡  ¬∃x ¬φ, evaluated directly for efficiency:
         # keep rows (over the other columns) whose section covers domain^k.
-        inner = _eval(formula.body, instance, domain)
+        inner = _eval(formula.body, instance, domain, engine)
         bound = tuple(v for v in formula.variables if v in inner.columns)
         free = tuple(c for c in inner.columns if c not in set(formula.variables))
         phantom = [v for v in formula.variables if v not in inner.columns]

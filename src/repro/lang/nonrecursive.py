@@ -49,25 +49,37 @@ class NonrecursiveQuery(Query):
     and Corollary 14(3).
     """
 
-    def __init__(self, program: NonrecursiveProgram, output: str):
+    def __init__(
+        self,
+        program: NonrecursiveProgram,
+        output: str,
+        engine: str | None = None,
+    ):
         if output not in program.idb_schema:
             raise SchemaError(f"output relation {output!r} is not IDB")
+        if engine is not None:
+            from .engine import resolve_engine
+
+            resolve_engine(engine)  # validate eagerly; resolve per call
         self.program = program
         self.output = output
+        self.engine = engine
         self.arity = program.idb_schema[output]
         self.input_schema = program.edb_schema
 
     @classmethod
     def parse(
-        cls, text: str, output: str, edb_schema: DatabaseSchema
+        cls, text: str, output: str, edb_schema: DatabaseSchema, **kwargs
     ) -> "NonrecursiveQuery":
-        return cls(NonrecursiveProgram.parse(text, edb_schema), output)
+        return cls(NonrecursiveProgram.parse(text, edb_schema), output, **kwargs)
 
     def __call__(self, instance: Instance) -> frozenset[tuple]:
         instance = instance.restrict(
             [n for n in self.program.edb_schema if n in instance.schema]
         ).expand_schema(self.program.edb_schema)
-        return stratified_fixpoint(self.program, instance).relation(self.output)
+        return stratified_fixpoint(
+            self.program, instance, engine=self.engine
+        ).relation(self.output)
 
     def relations(self) -> frozenset[str]:
         # Only EDB relations are externally visible reads.

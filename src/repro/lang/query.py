@@ -63,7 +63,12 @@ class FOQuery(Query):
         formula: Formula,
         answer_vars: tuple[Var, ...],
         input_schema: DatabaseSchema,
+        engine: str | None = None,
     ):
+        if engine is not None:
+            from .engine import resolve_engine
+
+            resolve_engine(engine)  # validate eagerly; resolve per call
         free = formula.free_vars()
         declared = set(answer_vars)
         if len(answer_vars) != len(declared):
@@ -79,21 +84,22 @@ class FOQuery(Query):
         self.formula = formula
         self.answer_vars = tuple(answer_vars)
         self.input_schema = input_schema
+        self.engine = engine
         self.arity = len(answer_vars)
 
     @classmethod
     def parse(
-        cls, text: str, answer_vars: str, input_schema: DatabaseSchema
+        cls, text: str, answer_vars: str, input_schema: DatabaseSchema, **kwargs
     ) -> "FOQuery":
         """Parse formula text; *answer_vars* is a comma-separated name list."""
         from .parser import parse_formula
 
         formula = parse_formula(text)
         names = [n.strip() for n in answer_vars.split(",") if n.strip()]
-        return cls(formula, tuple(Var(n) for n in names), input_schema)
+        return cls(formula, tuple(Var(n) for n in names), input_schema, **kwargs)
 
     def __call__(self, instance: Instance) -> frozenset[tuple]:
-        result = fo.evaluate(self.formula, instance)
+        result = fo.evaluate(self.formula, instance, engine=self.engine)
         return result.reorder(self.answer_vars).rows
 
     def relations(self) -> frozenset[str]:

@@ -21,6 +21,7 @@ from .datalog import (
     _program_constants_rules,
     fire_rule,
 )
+from .engine import make_pool, resolve_engine
 from .joinplan import IndexPool
 from .query import Query
 
@@ -142,23 +143,33 @@ class StratifiedProgram:
 def stratified_fixpoint(
     program: StratifiedProgram,
     instance: Instance,
-    pool: IndexPool | None = None,
+    pool=None,
+    engine: str | None = None,
 ) -> Instance:
     """Evaluate the perfect (stratified) model of *program* on *instance*.
 
     *pool* lets a caller that evaluates the same program repeatedly
     (e.g. the Dedalus interpreter, once per timestep) share hash-index
-    builds for extents that did not change between calls.
+    builds — or, under ``engine="columnar"``, extent encodings — for
+    extents that did not change between calls.  A *pool* of the wrong
+    kind for the resolved engine is replaced by a fresh matching one.
     """
+    engine = resolve_engine(engine)
     domain = instance.active_domain() | _program_constants_rules(program.rules)
     relations: dict[str, frozenset] = {
         name: instance.relation(name) if name in instance.schema else _EMPTY
         for name in program.schema.relation_names()
     }
-    if pool is None:
+    if engine == "columnar":
+        from .vecjoin import ColumnPool
+
+        if not isinstance(pool, ColumnPool):
+            pool = ColumnPool()
+    elif engine == "indexed" and not isinstance(pool, IndexPool):
         pool = IndexPool()
     for layer in program.strata:
-        _layer_fixpoint(layer, relations, domain, program.idb_schema, pool)
+        _layer_fixpoint(layer, relations, domain, program.idb_schema, pool,
+                        engine=engine)
     return Instance.from_relations(program.schema, relations)
 
 
@@ -167,7 +178,8 @@ def _layer_fixpoint(
     relations: dict[str, frozenset],
     domain: frozenset,
     idb_schema: DatabaseSchema,
-    pool: IndexPool | None = None,
+    pool=None,
+    engine: str | None = None,
 ) -> None:
     """Semi-naive fixpoint of one stratum, updating *relations* in place."""
     layer_heads = {rule.head.relation for rule in layer}
@@ -177,7 +189,8 @@ def _layer_fixpoint(
             relations.get(atom.relation, _EMPTY)
             for atom in rule.positive_body_atoms()
         ]
-        for row in fire_rule(rule, sources, relations, domain, pool=pool):
+        for row in fire_rule(rule, sources, relations, domain,
+                             engine=engine, pool=pool):
             if row not in relations[rule.head.relation]:
                 delta[rule.head.relation].add(row)
     for name in layer_heads:
@@ -202,7 +215,8 @@ def _layer_fixpoint(
                     else relations.get(atom.relation, _EMPTY)
                     for i, atom in enumerate(atoms)
                 ]
-                for row in fire_rule(rule, sources, relations, domain, pool=pool):
+                for row in fire_rule(rule, sources, relations, domain,
+                                     engine=engine, pool=pool):
                     if row not in relations[rule.head.relation]:
                         new_delta[rule.head.relation].add(row)
         for name in layer_heads:
@@ -214,23 +228,35 @@ def _layer_fixpoint(
 class StratifiedQuery(Query):
     """The query computed by a stratified program's output relation."""
 
-    def __init__(self, program: StratifiedProgram, output: str):
+    def __init__(
+        self,
+        program: StratifiedProgram,
+        output: str,
+        engine: str | None = None,
+    ):
         if output not in program.idb_schema:
             raise SchemaError(f"output relation {output!r} is not IDB")
+        if engine is not None:
+            resolve_engine(engine)  # validate eagerly; resolve per call
         self.program = program
         self.output = output
+        self.engine = engine
         self.arity = program.idb_schema[output]
         self.input_schema = program.edb_schema
 
     @classmethod
-    def parse(cls, text: str, output: str, edb_schema: DatabaseSchema) -> "StratifiedQuery":
-        return cls(StratifiedProgram.parse(text, edb_schema), output)
+    def parse(
+        cls, text: str, output: str, edb_schema: DatabaseSchema, **kwargs
+    ) -> "StratifiedQuery":
+        return cls(StratifiedProgram.parse(text, edb_schema), output, **kwargs)
 
     def __call__(self, instance: Instance) -> frozenset[tuple]:
         instance = instance.restrict(
             [n for n in self.program.edb_schema if n in instance.schema]
         ).expand_schema(self.program.edb_schema)
-        return stratified_fixpoint(self.program, instance).relation(self.output)
+        return stratified_fixpoint(
+            self.program, instance, engine=self.engine
+        ).relation(self.output)
 
     def relations(self) -> frozenset[str]:
         return frozenset(self.program.edb_schema.relation_names())

@@ -13,7 +13,7 @@ from ..db.instance import Instance
 from ..db.schema import DatabaseSchema
 from .ast import Atom, Rule
 from .datalog import DatalogError, fire_rule, _program_constants_rules
-from .joinplan import IndexPool
+from .engine import make_pool, resolve_engine
 from .query import Query
 
 _EMPTY: frozenset = frozenset()
@@ -33,9 +33,16 @@ class UCQNegQuery(Query):
 
     negation_allowed = True
 
-    def __init__(self, rules: tuple[Rule, ...], input_schema: DatabaseSchema):
+    def __init__(
+        self,
+        rules: tuple[Rule, ...],
+        input_schema: DatabaseSchema,
+        engine: str | None = None,
+    ):
         if not rules:
             raise DatalogError("a UCQ needs at least one rule")
+        if engine is not None:
+            resolve_engine(engine)  # validate eagerly; resolve per call
         head = rules[0].head.relation
         arity = len(rules[0].head.terms)
         for rule in rules:
@@ -51,18 +58,33 @@ class UCQNegQuery(Query):
         self.output = head
         self.arity = arity
         self.input_schema = input_schema
+        self.engine = engine
         # Transducers evaluate the same UCQ once per transition; a
-        # per-query pool keeps indexes for extents that did not change
-        # between calls (value-keyed, size-capped).
-        self._pool = IndexPool()
+        # per-query, per-engine pool keeps indexes (or, columnar,
+        # extent encodings) for extents that did not change between
+        # calls (value-keyed, size-capped).
+        self._pools: dict = {}
+
+    def __getstate__(self):
+        # Pools are caches; rebuild them after unpickling (workers of
+        # the sweep executor pickle transducers holding these queries).
+        state = self.__dict__.copy()
+        state["_pools"] = {}
+        return state
 
     @classmethod
-    def parse(cls, text: str, input_schema: DatabaseSchema) -> "UCQNegQuery":
+    def parse(
+        cls, text: str, input_schema: DatabaseSchema, **kwargs
+    ) -> "UCQNegQuery":
         from .parser import parse_rules
 
-        return cls(parse_rules(text), input_schema)
+        return cls(parse_rules(text), input_schema, **kwargs)
 
     def __call__(self, instance: Instance) -> frozenset[tuple]:
+        engine = resolve_engine(self.engine)
+        pool = self._pools.get(engine)
+        if pool is None and engine != "nested":
+            pool = self._pools[engine] = make_pool(engine)
         domain = instance.active_domain() | _program_constants_rules(self.rules)
         relations = {
             name: instance.relation(name) if name in instance.schema else _EMPTY
@@ -74,7 +96,8 @@ class UCQNegQuery(Query):
                 relations.get(atom.relation, _EMPTY)
                 for atom in rule.positive_body_atoms()
             ]
-            out |= fire_rule(rule, sources, relations, domain, pool=self._pool)
+            out |= fire_rule(rule, sources, relations, domain,
+                             engine=engine, pool=pool)
         return frozenset(out)
 
     def relations(self) -> frozenset[str]:
