@@ -32,7 +32,10 @@ RunResult) and the CALM verdicts must match.  When
 artifact), it is loaded and merged before the warm pass and the
 updated cache is saved back to it afterwards; ``$REPRO_RUNCACHE_MAX``
 makes that load take the *bounded* path (``RunCache.load(path,
-max_entries=N)``), which CI pins to exercise the LRU restore.
+max_entries=N)``), which CI pins to exercise the LRU restore, and
+``$REPRO_RUNCACHE_BYTES`` does the same for the byte budget
+(``max_bytes=N``) — CI pins a generous budget so the warm pass stays
+all-hits while still exercising the weighted restore.
 
 Two **bounded-cache columns** ride along (``max_entries`` ∈ {64, 8}):
 the same warm pass through an LRU-bounded cache built from the loaded
@@ -41,6 +44,16 @@ bounded passes trade speed for memory — the bench asserts their
 *evidence* is still identical to the cold pass (eviction can cost
 time, never correctness) and reports the hit/miss/eviction counts; the
 speedup bar applies to the unbounded warm pass only.
+
+A **byte-budget column** repeats that through the byte-weighted LRU
+(``max_bytes`` = half the loaded working set, so churn is guaranteed),
+and a **disk-tier column** squeezes memory to an eighth of the working
+set with a sqlite tier below (``$REPRO_RUNCACHE_DISK``, default
+``CACHE_runcache.sqlite``): construction demotes the overflow to disk
+and the warm pass promotes it back, so *nothing recomputes* — the
+bench asserts zero misses with demotions and promotions both > 0,
+which is the hierarchy's whole pitch (eviction demotes, never
+discards).
 """
 
 import os
@@ -73,6 +86,19 @@ CACHE_MAX = (
     int(os.environ["REPRO_RUNCACHE_MAX"])
     if os.environ.get("REPRO_RUNCACHE_MAX")
     else None
+)
+# The byte-budget load path: when set (CI pins a generous 16 MiB), the
+# bundle is restored through RunCache.load(path, max_bytes=N).
+CACHE_BYTES = (
+    int(os.environ["REPRO_RUNCACHE_BYTES"])
+    if os.environ.get("REPRO_RUNCACHE_BYTES")
+    else None
+)
+DISK_PATH = pathlib.Path(
+    os.environ.get(
+        "REPRO_RUNCACHE_DISK",
+        pathlib.Path(__file__).with_name("CACHE_runcache.sqlite"),
+    )
 )
 BOUNDED_COLUMNS = (64, 8)
 
@@ -139,11 +165,16 @@ def test_e25_run_cache_warm_pass(benchmark, report):
             except Exception:
                 pass
         cache.save(CACHE_PATH)
+        load_kwargs = {}
         if CACHE_MAX is not None:
-            loaded = RunCache.load(CACHE_PATH, max_entries=CACHE_MAX)
+            load_kwargs["max_entries"] = CACHE_MAX
+        if CACHE_BYTES is not None:
+            load_kwargs["max_bytes"] = CACHE_BYTES
+        loaded = RunCache.load(CACHE_PATH, **load_kwargs)
+        if CACHE_MAX is not None:
             ok &= loaded.max_entries == CACHE_MAX
-        else:
-            loaded = RunCache.load(CACHE_PATH)
+        if CACHE_BYTES is not None:
+            ok &= loaded.max_bytes == CACHE_BYTES
 
         warm_td = transitive_closure_transducer()
         warm_memo = loaded.memo_for(warm_td)
@@ -162,8 +193,11 @@ def test_e25_run_cache_warm_pass(benchmark, report):
         )
         ok &= identical
         ok &= warm_verdict == cold_verdict
-        # The warm consistency sweep must run on cache hits alone.
-        ok &= warm_consistency.cache_hits == PARTITIONS * len(SEEDS)
+        # The warm consistency sweep must run without executing a
+        # single cell: every cell is a cache hit or an in-grid
+        # duplicate of one (dedup cells never consult the store).
+        cells = PARTITIONS * len(SEEDS)
+        ok &= warm_consistency.cache_hits + warm_consistency.cache_dedup == cells
         ok &= warm_consistency.cache_misses == 0
         ok &= speedup >= REQUIRED_SPEEDUP
         rows.append([
@@ -212,6 +246,89 @@ def test_e25_run_cache_warm_pass(benchmark, report):
                 "evictions": bounded.evictions,
                 "observations_identical": b_identical,
             })
+
+        # Byte-budget column: the same warm pass through the
+        # byte-weighted LRU at half the loaded working set — eviction
+        # churn is guaranteed, the evidence must not change.
+        byte_budget = max(loaded.bytes // 2, 1)
+        weighted = RunCache(
+            loaded.entries, loaded.memos, max_bytes=byte_budget
+        )
+        weighted_td = transitive_closure_transducer()
+        t0 = time.perf_counter()
+        w_consistency, w_verdict = _workload(
+            weighted_td, run_cache=weighted,
+            memo=loaded.memo_for(weighted_td),
+        )
+        t_weighted = time.perf_counter() - t0
+        w_identical = (
+            w_consistency.observations == cold_consistency.observations
+        )
+        ok &= w_identical
+        ok &= w_verdict == cold_verdict
+        ok &= weighted.bytes <= byte_budget
+        ok &= weighted.evictions > 0
+        rows.append([
+            f"warm (bytes={byte_budget})", f"{t_weighted:.2f}s",
+            f"{t_cold / max(t_weighted, 1e-9):.1f}x",
+            weighted.cache_misses, "yes" if w_identical else "NO",
+        ])
+        snapshot.append({
+            "pass": "warm-bytes",
+            "seconds": round(t_weighted, 3),
+            "speedup_vs_cold": round(t_cold / max(t_weighted, 1e-9), 2),
+            "max_bytes": byte_budget,
+            "bytes": weighted.bytes,
+            "cache_hits": weighted.cache_hits,
+            "cache_misses": weighted.cache_misses,
+            "evictions": weighted.evictions,
+            "observations_identical": w_identical,
+        })
+
+        # Disk-tier column: memory squeezed to an eighth of the
+        # working set, sqlite tier below.  Construction demotes the
+        # overflow and the warm pass promotes it back — nothing
+        # recomputes, so zero misses despite the tight budget.
+        tight_budget = max(loaded.bytes // 8, 1)
+        tiered = RunCache(
+            loaded.entries, loaded.memos,
+            max_bytes=tight_budget, disk_path=DISK_PATH,
+        )
+        tiered_td = transitive_closure_transducer()
+        t0 = time.perf_counter()
+        d_consistency, d_verdict = _workload(
+            tiered_td, run_cache=tiered,
+            memo=loaded.memo_for(tiered_td),
+        )
+        t_tiered = time.perf_counter() - t0
+        d_identical = (
+            d_consistency.observations == cold_consistency.observations
+        )
+        tiered_stats = tiered.stats()
+        ok &= d_identical
+        ok &= d_verdict == cold_verdict
+        ok &= tiered.bytes <= tight_budget
+        ok &= tiered.cache_misses == 0  # demote, never discard
+        ok &= tiered_stats["demotions"] > 0
+        ok &= tiered_stats["promotions"] > 0
+        tiered.close()
+        rows.append([
+            f"warm (disk, bytes={tight_budget})", f"{t_tiered:.2f}s",
+            f"{t_cold / max(t_tiered, 1e-9):.1f}x",
+            tiered_stats["cache_misses"], "yes" if d_identical else "NO",
+        ])
+        snapshot.append({
+            "pass": "warm-disk",
+            "seconds": round(t_tiered, 3),
+            "speedup_vs_cold": round(t_cold / max(t_tiered, 1e-9), 2),
+            "max_bytes": tight_budget,
+            "cache_hits": tiered_stats["cache_hits"],
+            "cache_misses": tiered_stats["cache_misses"],
+            "demotions": tiered_stats["demotions"],
+            "promotions": tiered_stats["promotions"],
+            "disk_entries": tiered_stats["disk_entries"],
+            "observations_identical": d_identical,
+        })
 
         loaded.merge(cache)
         loaded.save(CACHE_PATH)

@@ -40,8 +40,12 @@ class ConsistencyReport:
 
     ``memo_hits``/``memo_misses`` report cross-run convergence-memo
     effectiveness when the sweep ran with one (both stay 0 otherwise);
-    ``cache_hits``/``cache_misses`` do the same for the run-level
-    :class:`~repro.net.runcache.RunCache`.
+    ``cache_hits``/``cache_misses``/``cache_dedup`` do the same for the
+    run-level :class:`~repro.net.runcache.RunCache`: hits served from
+    the cache, misses actually executed, and in-grid duplicate cells
+    resolved without consulting the store (they never execute, so they
+    are neither hits nor misses — ``hits + misses + dedup`` covers the
+    grid).
     """
 
     consistent: bool
@@ -52,6 +56,7 @@ class ConsistencyReport:
     memo_misses: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_dedup: int = 0
 
     def _groups(self) -> dict[frozenset, list[RunObservation]]:
         """Observations grouped by output, one O(n) pass, insertion-ordered."""
@@ -173,11 +178,12 @@ def check_consistency(
 
     memo = resolve_memo(memo, transducer)
     cache = resolve_run_cache(run_cache, transducer)
-    hits0 = misses0 = chits0 = cmisses0 = 0
+    hits0 = misses0 = chits0 = cmisses0 = cdedup0 = 0
     if memo is not None:
         hits0, misses0 = memo.memo_hits, memo.memo_misses
     if cache is not None:
         chits0, cmisses0 = cache.cache_hits, cache.cache_misses
+        cdedup0 = cache.cache_dedup
     observations = observe_runs(
         network,
         transducer,
@@ -207,6 +213,7 @@ def check_consistency(
         memo_misses=memo.memo_misses - misses0 if memo is not None else 0,
         cache_hits=cache.cache_hits - chits0 if cache is not None else 0,
         cache_misses=cache.cache_misses - cmisses0 if cache is not None else 0,
+        cache_dedup=cache.cache_dedup - cdedup0 if cache is not None else 0,
     )
 
 

@@ -380,11 +380,19 @@ class CacheSplice:
 
     * **hits** — tasks whose value the cache already holds (resolved
       immediately, in grid order);
-    * **duplicates** — tasks whose key equals an earlier *pending*
-      task's (equal cells inside one grid — e.g. full replication ==
-      all-at-one on a single-node network — are the same pure
-      function: run once, reuse the result);
+    * **duplicates** — tasks whose key equals an earlier task's (equal
+      cells inside one grid — e.g. full replication == all-at-one on a
+      single-node network — are the same pure function: run once or
+      fetch once, reuse the result);
     * **pending** — tasks that must actually execute.
+
+    Duplicates never consult the store, so they count neither a hit
+    nor a miss — the cache's ``cache_dedup`` counter tallies them
+    separately.  Counting them as misses (the old behaviour) inflated
+    the miss rate with cells that never executed, which matters once
+    the counters feed a metrics endpoint: for every grid,
+    ``hits + misses + dedup == cells`` and ``misses == cells actually
+    executed``.
 
     Fan :attr:`pending_tasks` out however you like (engine map, chunked
     session, inline loop) and hand the fresh results to :meth:`fill`,
@@ -410,16 +418,28 @@ class CacheSplice:
         if cache is not None:
             self.keys = [key_fn(task) for task in self.tasks]
             self.pending = []
+            hit_for_key: dict = {}
             first_for_key: dict = {}
             for i, key in enumerate(self.keys):
-                value = cache.get(key)
-                if value is not None:
-                    self.results[i] = self._hit(self.tasks[i], value)
+                # Dedup before the store: a repeated key is resolved
+                # from its first occurrence (hit value or pending
+                # primary) without touching the cache, so duplicate
+                # cells — which never execute — inflate neither the
+                # miss nor the hit count.
+                if key in hit_for_key:
+                    cache.cache_dedup += 1
+                    self.results[i] = self._hit(self.tasks[i], hit_for_key[key])
                 elif key in first_for_key:
+                    cache.cache_dedup += 1
                     self.duplicates.append((i, first_for_key[key]))
                 else:
-                    first_for_key[key] = i
-                    self.pending.append(i)
+                    value = cache.get(key)
+                    if value is not None:
+                        hit_for_key[key] = value
+                        self.results[i] = self._hit(self.tasks[i], value)
+                    else:
+                        first_for_key[key] = i
+                        self.pending.append(i)
 
     @property
     def pending_tasks(self) -> list:
@@ -458,30 +478,56 @@ def _run_task(context, task):
 
 
 def _run_task_mp(context, task):
-    """One unit of work in a forked worker: run, then ship the memo delta.
+    """One unit of work in a forked worker: run, then ship the deltas.
 
     The worker's memo is the fork-inherited copy of the parent's — warm
     with everything known at pool creation, plus whatever this worker
     has proven since (per-worker warmth accumulates across its tasks).
     The freshly proven entries and the hit/miss counter deltas travel
     back with the observation for the parent to merge.
+
+    The worker's *cache view* gets the same treatment: before running,
+    the task checks the shared read-mostly snapshot (a sibling in this
+    worker may already have computed the cell — ``shared_hit``), and a
+    fresh run is journalled so its entry travels back with the memo
+    delta for the parent cache to merge.
     """
-    network, transducer, memo, run_kwargs = context
+    network, transducer, memo, run_kwargs, cache_view, fingerprint = context
     partition, seed = task
     if memo is not None:
         memo.start_journal()
         hits0, misses0 = memo.memo_hits, memo.memo_misses
-    result = run_fair(
-        network, transducer, partition, seed=seed, memo=memo, **run_kwargs
-    )
+    result = None
+    shared_hit = False
+    key = None
+    if cache_view is not None:
+        from .runcache import run_key
+
+        cache_view.start_journal()
+        key = run_key(
+            "fair-random", network, fingerprint, partition, seed, run_kwargs
+        )
+        cached = cache_view.get(key)
+        if cached is not None:
+            result = cached
+            shared_hit = True
+    if result is None:
+        result = run_fair(
+            network, transducer, partition, seed=seed, memo=memo, **run_kwargs
+        )
+        if cache_view is not None:
+            cache_view.record(key, result)
     observation = RunObservation(network, partition, seed, result)
+    cache_delta = cache_view.drain_new() if cache_view is not None else None
     if memo is None:
-        return observation, None, 0, 0
+        return observation, None, 0, 0, cache_delta, shared_hit
     return (
         observation,
         memo.drain_new(),
         memo.memo_hits - hits0,
         memo.memo_misses - misses0,
+        cache_delta,
+        shared_hit,
     )
 
 
@@ -540,6 +586,7 @@ def sweep_runs(
                 "fair-random", network, fingerprint, task[0], task[1], run_kwargs
             )
     else:
+        fingerprint = None
         key_fn = None
 
     splice = CacheSplice(
@@ -553,21 +600,38 @@ def sweep_runs(
     pending_tasks = splice.pending_tasks
 
     eng = resolve_engine(engine=engine, pool=pool, workers=workers, backend=backend)
-    context = (network, transducer, memo, run_kwargs)
+    cache_deltas: list[dict] = []
     if not (eng.parallel and len(pending_tasks) > 1):
         # In-process execution (including the nothing-to-fan-out case):
         # the tracker records straight into the parent memo — runs warm
         # each other directly, nothing to merge.  _run_task_mp must not
-        # run in-parent: its journal/counter bookkeeping assumes a
-        # worker-side memo copy and would double-count on the shared
-        # one.
+        # run in-parent: its journal/counter bookkeeping assumes
+        # worker-side memo and cache copies and would double-count on
+        # the shared ones.
+        context = (network, transducer, memo, run_kwargs)
         fresh = [_run_task(context, task) for task in pending_tasks]
     else:
+        # Workers get a read-mostly snapshot of the cache; their fresh
+        # recordings journal back as deltas, so a cell one worker
+        # computes stops re-missing in its siblings' later tasks.
+        view = cache.worker_view() if cache is not None else None
+        context = (network, transducer, memo, run_kwargs, view, fingerprint)
         outcomes = eng.map(_run_task_mp, context, pending_tasks)
         fresh = []
-        for observation, delta, hits, misses in outcomes:
+        for observation, delta, hits, misses, cache_delta, shared_hit in outcomes:
             fresh.append(observation)
             if memo is not None and delta is not None:
                 memo.merge(delta)
                 memo.add_counts(hits, misses)
-    return splice.fill(fresh, store=lambda obs: obs.result)
+            if cache is not None:
+                if shared_hit:
+                    cache.shared_hits += 1
+                if cache_delta:
+                    cache_deltas.append(cache_delta)
+    results = splice.fill(fresh, store=lambda obs: obs.result)
+    # After fill (which records every pending result anyway) the worker
+    # deltas are mostly overlap; merging them keeps the LRU recency and
+    # the bound exact without double-recording (existing entries win).
+    for cache_delta in cache_deltas:
+        cache.merge_worker_delta(cache_delta)
+    return results

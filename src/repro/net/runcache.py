@@ -17,12 +17,21 @@ every checker) short-circuits cached cells with the stored result —
 property-tested bit-identical to a fresh run.  The cache also bundles
 :class:`~repro.net.convergence.ConvergenceMemo` snapshots per
 transducer fingerprint, so one :meth:`save` file warms both stores of
-a later session.  For long-running services the cache can be
-*bounded*: ``max_entries=`` turns it into an LRU keyed by last hit
-(the transition cache's pattern — hits promote, inserts evict the
-stalest entry), and ``compress_traces=`` transparently compresses
-``keep_trace=True`` results, whose traces dominate the footprint.
-Both knobs survive :meth:`save`/:meth:`load` round-trips, and an
+a later session.  For long-running services the cache is a small
+storage *hierarchy*: ``max_entries=`` and ``max_bytes=`` turn the
+in-memory store into an LRU keyed by last hit (the transition cache's
+pattern — hits promote, inserts evict the stalest entry), where
+``max_bytes`` weighs each entry by its pickled size — the honest unit,
+since a heartbeat-probe frozenset and a traced ``RunResult`` differ by
+orders of magnitude; ``compress_traces=`` transparently compresses
+``keep_trace=True`` results, whose traces dominate the footprint; and
+``disk_path=`` adds a sqlite tier *below* the in-memory bound, so
+eviction demotes entries to disk instead of discarding them and a
+memory miss promotes them back.  Workers inside a parallel sweep get a
+read-mostly :meth:`RunCache.worker_view` whose fresh recordings travel
+back as deltas for the parent to merge (the same journal discipline
+the convergence memo uses).  The knobs survive
+:meth:`save`/:meth:`load` round-trips (bundle format v3), and an
 evict-then-recompute cycle is property-tested bit-identical to an
 unbounded cache (results are pure functions of their keys, so an
 eviction costs time, never correctness).
@@ -56,6 +65,7 @@ import itertools
 import os
 import pathlib
 import pickle
+import sqlite3
 import sys
 import warnings
 import zlib
@@ -64,6 +74,7 @@ from ..lang.query import EmptyQuery, FOQuery, PythonQuery, Query
 from ..lang.ucq import UCQNegQuery
 from .convergence import ConvergenceMemo
 from .executor import SweepEngine, _fork_context
+from .network import Network
 from .partition import HorizontalPartition
 
 __all__ = [
@@ -79,7 +90,7 @@ __all__ = [
 ]
 
 _CACHE_FORMAT = "repro-runcache"
-_CACHE_VERSION = 2
+_CACHE_VERSION = 3
 
 _RUNTIME_TOKEN = None
 
@@ -142,21 +153,61 @@ def _code_digest(code) -> str:
     return digest.hexdigest()[:16]
 
 
+def _default_token(value) -> str:
+    """A canonical rendering of one default argument value.
+
+    Scalars whose repr is canonical (:data:`_DIGESTABLE_TYPES`), plus
+    tuples and frozensets of them, recursively; anything richer has no
+    cross-process identity and raises :class:`_Unfingerprintable`
+    (the caller falls back to a session-local ``mem:`` fingerprint —
+    a wrong hit stays impossible, persistence is merely skipped).
+    """
+    if type(value) in _DIGESTABLE_TYPES:
+        return f"{type(value).__name__}:{value!r}"
+    if type(value) is tuple:
+        return "(" + ",".join(_default_token(v) for v in value) + ")"
+    if type(value) is frozenset:
+        # Hash-order iteration is PYTHONHASHSEED-randomized; sort.
+        return "{" + ",".join(sorted(_default_token(v) for v in value)) + "}"
+    raise _Unfingerprintable(
+        f"default value {value!r} of type {type(value).__name__} has no "
+        f"canonical rendering"
+    )
+
+
 def _python_query_token(query: PythonQuery) -> str:
     """A token for a PythonQuery wrapping an importable module-level
     function (pickle's criterion for function identity), salted with
     the function's bytecode digest so a changed body never serves the
     old body's cached results; closures and lambdas have no stable
-    cross-process identity and must not be persisted."""
+    cross-process identity and must not be persisted.
+
+    Default argument values are part of the salt: ``f(x, limit=10)``
+    and ``f(x, limit=20)`` share ``__code__`` bit for bit, so salting
+    only the bytecode served the old default's cached results after an
+    edit.  Defaults without a canonical rendering make the whole query
+    unfingerprintable (``mem:`` fallback), never a silent stale hit.
+    """
     func = query.func
     module = sys.modules.get(getattr(func, "__module__", None))
     qualname = getattr(func, "__qualname__", "")
     if module is None or getattr(module, qualname, None) is not func:
         raise _Unfingerprintable(f"non-module-level function {qualname!r}")
-    return (
+    head = (
         f"py:{func.__module__}.{qualname}/{query.arity}"
         f"#{_code_digest(func.__code__)}"
     )
+    defaults = func.__defaults__ or ()
+    kwdefaults = func.__kwdefaults__ or {}
+    if not defaults and not kwdefaults:
+        return head
+    tokens = [_default_token(v) for v in defaults]
+    tokens += [
+        f"{name}={_default_token(v)}"
+        for name, v in sorted(kwdefaults.items())
+    ]
+    salt = hashlib.sha256("\x1f".join(tokens).encode()).hexdigest()[:16]
+    return f"{head}!{salt}"
 
 
 def _query_token(query: Query) -> str:
@@ -280,7 +331,13 @@ def instance_digest(instance) -> str:
     digest = hashlib.sha256()
     digest.update(repr(instance.schema).encode())
     for token in tokens:
-        digest.update(token.encode())
+        # Length-prefix every token: bare concatenation let the byte
+        # stream of two facts re-parse as one differently-split fact
+        # (relation names and str dom values admit arbitrary
+        # characters), making distinct instances digest identically.
+        encoded = token.encode()
+        digest.update(f"{len(encoded)}:".encode())
+        digest.update(encoded)
     value = digest.hexdigest()[:24]
     object.__setattr__(instance, "_digest", value)
     return value
@@ -309,7 +366,12 @@ def partition_digest(partition: HorizontalPartition) -> str:
     )
     digest = hashlib.sha256()
     for token, fragment_digest in node_tokens:
-        digest.update(token.encode())
+        # Same length framing as instance_digest: a node token must
+        # never borrow bytes from its neighbour's fragment digest.
+        encoded = token.encode()
+        digest.update(f"{len(encoded)}:".encode())
+        digest.update(encoded)
+        digest.update(f"{len(fragment_digest)}:".encode())
         digest.update(fragment_digest.encode())
     value = "hp:" + digest.hexdigest()[:24]
     object.__setattr__(partition, "_digest", value)
@@ -352,6 +414,103 @@ def run_key(
 
 
 # ---------------------------------------------------------------------------
+# The disk tier
+# ---------------------------------------------------------------------------
+
+
+def _network_text(network) -> str:
+    """A canonical text rendering of a Network (nodes and edges in
+    sorted token order — ``__reduce__`` iterates frozenset edges in
+    hash order, which is per-process)."""
+    nodes = ",".join(_value_token(n) for n in network.sorted_nodes())
+    edges = ";".join(
+        sorted(
+            "~".join(sorted(_value_token(v) for v in edge))
+            for edge in network.edges
+        )
+    )
+    return f"net:{network.name}[{nodes}][{edges}]"
+
+
+def _key_part_text(part) -> str:
+    if isinstance(part, Network):
+        return _network_text(part)
+    if type(part) is tuple:
+        return "(" + ",".join(_key_part_text(p) for p in part) + ")"
+    if isinstance(part, str) and part.startswith("mem:"):
+        # Session-local fingerprints must never be served across
+        # processes, and the sqlite file outlives this one.
+        raise _Undigestable("session-local mem: fingerprint")
+    return _value_token(part)
+
+
+def _disk_key_text(key: tuple) -> str | None:
+    """The canonical text rendering of a :func:`run_key`, or None when
+    the key has no cross-process rendering (``mem:`` fingerprints,
+    partitions kept as objects, exotic dom values) — such cells simply
+    never spill to disk.
+    """
+    try:
+        return "|".join(_key_part_text(part) for part in key)
+    except (_Undigestable, TypeError):
+        return None
+
+
+class _DiskTier:
+    """The sqlite tier below the in-memory bound.
+
+    Rows are ``(canonical run_key text, pickled frozen value)``.  The
+    file carries the :func:`runtime_token` of the code that wrote it;
+    opening it under different library source purges every row — the
+    same results-are-pure-only-under-one-runtime argument that guards
+    :meth:`RunCache.load`, enforced at open instead of read so a stale
+    file degrades to a cold tier, never a wrong hit.
+    """
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS meta (k TEXT PRIMARY KEY, v TEXT)"
+        )
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS entries (k TEXT PRIMARY KEY, v BLOB)"
+        )
+        stamp = f"{_CACHE_FORMAT}/{_CACHE_VERSION}/{runtime_token()}"
+        row = self._conn.execute(
+            "SELECT v FROM meta WHERE k = 'runtime'"
+        ).fetchone()
+        if row is None or row[0] != stamp:
+            self._conn.execute("DELETE FROM entries")
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta (k, v) VALUES ('runtime', ?)",
+                (stamp,),
+            )
+        self._conn.commit()
+
+    def get(self, text: str) -> bytes | None:
+        row = self._conn.execute(
+            "SELECT v FROM entries WHERE k = ?", (text,)
+        ).fetchone()
+        return row[0] if row is not None else None
+
+    def put(self, text: str, blob: bytes) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO entries (k, v) VALUES (?, ?)",
+            (text, blob),
+        )
+        self._conn.commit()
+
+    def __len__(self) -> int:
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM entries"
+        ).fetchone()[0]
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+# ---------------------------------------------------------------------------
 # The run-level cache
 # ---------------------------------------------------------------------------
 
@@ -391,6 +550,25 @@ class _CompressedResult:
         return f"_CompressedResult({len(self.blob)} bytes)"
 
 
+#: Weight charged to a value that cannot be pickled (it still occupies
+#: memory, so it must still count against a byte budget).
+_NOMINAL_WEIGHT = 1024
+
+
+def _weigh(value) -> int:
+    """The byte weight of one cached value: its pickled size — the one
+    size measure that is well-defined for every value shape the cache
+    holds (RunResults, frozensets, Dedalus traces) and that
+    ``compress_traces`` already computes (a compressed entry weighs its
+    blob, the bytes it actually occupies)."""
+    if isinstance(value, _CompressedResult):
+        return len(value.blob)
+    try:
+        return len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return _NOMINAL_WEIGHT
+
+
 class RunCache:
     """A store of finished run results, keyed by :func:`run_key`.
 
@@ -406,20 +584,36 @@ class RunCache:
     *max_entries* bounds the store as an LRU keyed by last hit: a
     :meth:`get` hit promotes its entry to most-recent, a
     :meth:`record` past the bound evicts the least-recently-used entry
-    first (``evictions`` counts them).  ``None`` (the default) keeps
-    the historical unbounded behaviour.  Because every value is a pure
-    function of its key, eviction is always safe — a later miss on an
-    evicted key recomputes the identical value (property-tested).
+    first (``evictions`` counts them).  *max_bytes* bounds the same
+    LRU by **weight** instead of count: every entry is weighed by its
+    pickled size (``compress_traces`` entries by their compressed blob
+    — the bytes they actually occupy), eviction pops the stalest
+    entries until the total fits, and an entry larger than the whole
+    budget is simply not kept in memory.  Both bounds may be active at
+    once; ``None`` (the default) keeps the historical unbounded
+    behaviour.  Because every value is a pure function of its key,
+    eviction is always safe — a later miss on an evicted key
+    recomputes the identical value (property-tested).
 
     *compress_traces* compresses ``RunResult`` values that carry a
     nonempty ``keep_trace=True`` trace (the entries that dominate a
     bounded cache's footprint); :meth:`get` thaws them transparently.
 
+    *disk_path* opens a sqlite tier **below** the in-memory bound:
+    eviction *demotes* the entry to disk (``demotions``) when its key
+    has a canonical cross-process rendering, and a memory miss checks
+    disk before giving up — a disk hit *promotes* the entry back into
+    memory (``promotions``) and counts as a cache hit.  The file is
+    guarded by :func:`runtime_token`, so a long-lived server restarts
+    warm while a stale file degrades to a cold tier.  The tier is
+    process-local plumbing: it is dropped by pickling (worker copies
+    are memory-only) and :meth:`save` bundles only the memory tier.
+
     The cache also bundles per-fingerprint convergence-memo snapshots
     (:meth:`store_memo` / :meth:`memo_for`), so one :meth:`save` file
     restores both the run results *and* the quiescence certificates a
-    warm CI job needs; the bound, the compression flag and the LRU
-    recency order all survive the round-trip.
+    warm CI job needs; the bounds, the compression flag and the LRU
+    recency order all survive the round-trip (bundle format v3).
     """
 
     _KEEP = object()  # load() sentinel: use the persisted bound
@@ -430,19 +624,43 @@ class RunCache:
         memos: dict | None = None,
         max_entries: int | None = None,
         compress_traces: bool = False,
+        max_bytes: int | None = None,
+        disk_path=None,
     ):
         if max_entries is not None:
             max_entries = int(max_entries)
             if max_entries < 1:
                 raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None:
+            max_bytes = int(max_bytes)
+            if max_bytes < 1:
+                raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.compress_traces = bool(compress_traces)
-        self.entries: dict[tuple, object] = dict(entries) if entries else {}
+        self.entries: dict[tuple, object] = {}
+        #: key -> pickled size; ``bytes`` is the running total.
+        self._weights: dict[tuple, int] = {}
+        self.bytes = 0
         #: fingerprint -> ConvergenceMemo entry dict
         self.memos: dict[str, dict] = dict(memos) if memos else {}
         self.cache_hits = 0
         self.cache_misses = 0
+        #: In-grid duplicate cells resolved without consulting the
+        #: store (see CacheSplice) — neither hits nor misses.
+        self.cache_dedup = 0
+        #: Worker-side hits on a shared worker_view, merged back by
+        #: the parent sweep.
+        self.shared_hits = 0
         self.evictions = 0
+        self.demotions = 0
+        self.promotions = 0
+        self._journal: dict | None = None
+        self.disk_path = str(disk_path) if disk_path is not None else None
+        self._disk = _DiskTier(disk_path) if disk_path is not None else None
+        if entries:
+            for key, value in entries.items():
+                self._insert(key, value)
         self._evict_over_bound()
 
     def __len__(self) -> int:
@@ -452,10 +670,17 @@ class RunCache:
         """The cached result for *key* (None on miss), counting.
 
         A hit promotes the entry to most-recently-used, so the LRU
-        bound evicts by last *hit*, not last insert.
+        bound evicts by last *hit*, not last insert.  With a disk
+        tier, a memory miss falls through to disk; a disk hit promotes
+        the entry back into memory (the row stays — the disk tier is
+        a superset, not a spill-once) and counts as a cache hit.
         """
         value = self.entries.get(key)
         if value is None:
+            if self._disk is not None:
+                value = self._disk_get(key)
+                if value is not None:
+                    return value
             self.cache_misses += 1
             return None
         self.cache_hits += 1
@@ -468,10 +693,40 @@ class RunCache:
             value = value.thaw()
         return value
 
-    def record(self, key: tuple, value) -> None:
-        self.entries.pop(key, None)
-        self.entries[key] = self._freeze(value)
+    def _disk_get(self, key: tuple):
+        text = _disk_key_text(key)
+        if text is None:
+            return None
+        blob = self._disk.get(text)
+        if blob is None:
+            return None
+        value = pickle.loads(blob)
+        self.cache_hits += 1
+        self.promotions += 1
+        self._insert(key, value)
         self._evict_over_bound()
+        if isinstance(value, _CompressedResult):
+            value = value.thaw()
+        return value
+
+    def record(self, key: tuple, value) -> None:
+        value = self._freeze(value)
+        self._insert(key, value)
+        if self._journal is not None:
+            self._journal[key] = value
+        self._evict_over_bound()
+
+    def _insert(self, key: tuple, value) -> None:
+        """Insert an already-frozen value as most-recent, keeping the
+        weight ledger exact on re-insert."""
+        old = self._weights.pop(key, None)
+        if old is not None:
+            del self.entries[key]
+            self.bytes -= old
+        weight = _weigh(value)
+        self.entries[key] = value
+        self._weights[key] = weight
+        self.bytes += weight
 
     def _freeze(self, value):
         if self.compress_traces and getattr(value, "trace", None):
@@ -479,11 +734,73 @@ class RunCache:
         return value
 
     def _evict_over_bound(self) -> None:
-        if self.max_entries is None:
-            return
-        while len(self.entries) > self.max_entries:
-            self.entries.pop(next(iter(self.entries)))
-            self.evictions += 1
+        if self.max_entries is not None:
+            while len(self.entries) > self.max_entries:
+                self._evict_one()
+        if self.max_bytes is not None:
+            while self.bytes > self.max_bytes and self.entries:
+                self._evict_one()
+
+    def _evict_one(self) -> None:
+        key = next(iter(self.entries))
+        value = self.entries.pop(key)
+        self.bytes -= self._weights.pop(key)
+        self.evictions += 1
+        if self._disk is not None:
+            text = _disk_key_text(key)
+            if text is not None:
+                try:
+                    blob = pickle.dumps(
+                        value, protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                except Exception:
+                    return  # unpicklable value: discard, as without disk
+                self._disk.put(text, blob)
+                self.demotions += 1
+
+    # -- the shared worker tier ------------------------------------------
+
+    def start_journal(self) -> None:
+        """Start (or reset) journalling: every :meth:`record` from now
+        on is also kept aside for :meth:`drain_new` — the worker side
+        of the delta protocol, mirroring ``ConvergenceMemo``."""
+        self._journal = {}
+
+    def drain_new(self) -> dict:
+        """The entries recorded since the journal (re)started; resets
+        the journal.  Values are frozen exactly as stored."""
+        delta, self._journal = self._journal or {}, {}
+        return delta
+
+    def worker_view(self) -> "RunCache":
+        """A read-mostly snapshot for one sweep's workers.
+
+        The view shares the (immutable) cached values but none of the
+        bounds or tiers: workers only ever add to their copy, journal
+        every fresh recording, and ship the delta back with their memo
+        delta for the parent to :meth:`merge_worker_delta` — so a
+        sibling's result computed earlier in the same sweep serves
+        later tasks instead of re-missing per worker.
+        """
+        view = RunCache(compress_traces=self.compress_traces)
+        view.entries = dict(self.entries)
+        view._weights = dict(self._weights)
+        view.bytes = self.bytes
+        view.start_journal()
+        return view
+
+    def merge_worker_delta(self, delta: dict) -> int:
+        """Fold one worker's journalled recordings in; returns the
+        number of new entries.  Existing entries win on overlap (under
+        one runtime, overlapping values are identical)."""
+        added = 0
+        for key, value in delta.items():
+            if key not in self.entries:
+                self._insert(key, value)
+                added += 1
+        if added:
+            self._evict_over_bound()
+        return added
 
     def merge(self, other: "RunCache") -> int:
         """Fold another cache in; returns the number of new run entries.
@@ -503,7 +820,7 @@ class RunCache:
                 # a warm-start bundle into a compress_traces cache must
                 # not accumulate the uncompressed trace-heavy entries
                 # the knob exists to shrink.
-                self.entries[key] = self._freeze(value)
+                self._insert(key, self._freeze(value))
         for fingerprint, memo_entries in other.memos.items():
             mine = self.memos.setdefault(fingerprint, {})
             for key, value in memo_entries.items():
@@ -511,6 +828,13 @@ class RunCache:
         added = len(self.entries) - before
         self._evict_over_bound()
         return added
+
+    def close(self) -> None:
+        """Close the disk tier's sqlite handle (idempotent; the cache
+        keeps working memory-only afterwards)."""
+        if self._disk is not None:
+            self._disk.close()
+            self._disk = None
 
     # -- bundled convergence memos --------------------------------------
 
@@ -552,6 +876,7 @@ class RunCache:
             "version": _CACHE_VERSION,
             "runtime": runtime_token(),
             "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
             "compress_traces": self.compress_traces,
             "entries": {
                 key: value
@@ -568,13 +893,17 @@ class RunCache:
             pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
 
     @classmethod
-    def load(cls, path, max_entries=_KEEP) -> "RunCache":
-        """Load a cache persisted by :meth:`save`.
+    def load(
+        cls, path, max_entries=_KEEP, max_bytes=_KEEP, disk_path=None
+    ) -> "RunCache":
+        """Load a cache persisted by :meth:`save` (format v3).
 
-        *max_entries* overrides the persisted bound when given (``None``
-        unbinds, an integer re-binds — oldest entries are evicted on
-        the way in when the snapshot exceeds the new bound); by default
-        the persisted bound is kept.
+        *max_entries* / *max_bytes* override the persisted bounds when
+        given (``None`` unbinds, an integer re-binds — oldest entries
+        are evicted on the way in when the snapshot exceeds the new
+        bound); by default the persisted bounds are kept.  *disk_path*
+        attaches a disk tier to the loaded cache, so a bounded restore
+        demotes its overflow instead of discarding it.
         """
         with open(path, "rb") as handle:
             payload = pickle.load(handle)
@@ -597,35 +926,58 @@ class RunCache:
             )
         if max_entries is cls._KEEP:
             max_entries = payload.get("max_entries")
+        if max_bytes is cls._KEEP:
+            max_bytes = payload.get("max_bytes")
         return cls(
             payload["entries"],
             payload["memos"],
             max_entries=max_entries,
             compress_traces=payload.get("compress_traces", False),
+            max_bytes=max_bytes,
+            disk_path=disk_path,
         )
 
     def stats(self) -> dict:
         return {
             "entries": len(self.entries),
+            "bytes": self.bytes,
             "memo_fingerprints": len(self.memos),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "cache_dedup": self.cache_dedup,
+            "shared_hits": self.shared_hits,
             "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
             "evictions": self.evictions,
+            "demotions": self.demotions,
+            "promotions": self.promotions,
+            "disk_entries": len(self._disk) if self._disk is not None else 0,
         }
 
     def __reduce__(self):
+        # Counters, journal and the disk tier are process-local plumbing
+        # and deliberately dropped: an unpickled copy (worker view in a
+        # persistent pool's payload) is memory-only.
         return (
             RunCache,
-            (self.entries, self.memos, self.max_entries, self.compress_traces),
+            (
+                self.entries,
+                self.memos,
+                self.max_entries,
+                self.compress_traces,
+                self.max_bytes,
+            ),
         )
 
     def __repr__(self) -> str:
         bound = "∞" if self.max_entries is None else self.max_entries
+        byte_bound = "∞" if self.max_bytes is None else self.max_bytes
+        disk = f", disk={self.disk_path}" if self.disk_path else ""
         return (
             f"RunCache({len(self.entries)}/{bound} runs, "
+            f"{self.bytes}/{byte_bound} bytes, "
             f"{len(self.memos)} memos, hits={self.cache_hits}, "
-            f"misses={self.cache_misses}, evictions={self.evictions})"
+            f"misses={self.cache_misses}, evictions={self.evictions}{disk})"
         )
 
 

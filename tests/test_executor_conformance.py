@@ -6,13 +6,17 @@ reference: every backend must be *bit-identical* to the serial
 baseline, and that is enforced here with tests rather than prose.
 The same randomized sweep grids are pushed through every
 
-    (lifetime × workers × warm/cold cache × bounded/unbounded)
+    (lifetime × workers × warm/cold cache × tier configuration)
 
 configuration and compared observation for observation — and, for
 :func:`~repro.net.check_consistency`, report field for report field —
 against the serial unbounded reference, including mid-sweep eviction
 churn (a bounded cache small enough that recording evicts earlier
-cells of the *same* grid).
+cells of the *same* grid).  Tier configurations cover the whole
+storage hierarchy: unbounded, entry-bounded, byte-bounded, and
+entry-bounded with a sqlite disk tier below (eviction demotes,
+memory misses promote); parallel lifetimes additionally exercise the
+shared worker tier (read-mostly views + merged deltas).
 
 Also pinned here, per the executor-fusion acceptance criteria:
 
@@ -28,6 +32,8 @@ Also pinned here, per the executor-fusion acceptance criteria:
 
 import inspect
 import multiprocessing
+import os
+import tempfile
 
 import hypothesis.strategies as st
 import pytest
@@ -74,19 +80,40 @@ ENGINE_CONFIGS = [
     ),
 ]
 
-# Cache modes: no cache, cold/warm × unbounded/bounded.  The bound (3)
-# is deliberately smaller than the 6-cell grid, so recording a sweep
-# evicts earlier cells of the same sweep — the mid-churn case.
-CACHE_MODES = ("none", "cold", "warm", "cold-bounded", "warm-bounded")
+# Cache modes: no cache, then cold/warm × every tier configuration.
+# The entry bound (3) and the byte budget (~2 RunResults) are both
+# deliberately smaller than the 6-cell grid, so recording a sweep
+# evicts earlier cells of the same sweep — the mid-churn case; the
+# disk modes put a sqlite tier below the entry bound, so those same
+# evictions demote instead of discarding.
+CACHE_MODES = (
+    "none",
+    "cold",
+    "warm",
+    "cold-bounded",
+    "warm-bounded",
+    "cold-bytes",
+    "warm-bytes",
+    "cold-disk",
+    "warm-disk",
+)
 BOUND = 3
+BOUND_BYTES = 4096
 
 
-def _make_cache(mode, network, partitions, seeds):
+def _make_cache(mode, network, partitions, seeds, disk_dir=None):
     """A cache in the requested state (warm = pre-recorded serially)."""
     if mode == "none":
         return None
-    bounded = mode.endswith("bounded")
-    cache = RunCache(max_entries=BOUND if bounded else None)
+    kwargs = {}
+    if mode.endswith("bounded"):
+        kwargs["max_entries"] = BOUND
+    elif mode.endswith("bytes"):
+        kwargs["max_bytes"] = BOUND_BYTES
+    elif mode.endswith("disk"):
+        kwargs["max_entries"] = BOUND
+        kwargs["disk_path"] = os.path.join(disk_dir, f"tier-{mode}.sqlite")
+    cache = RunCache(**kwargs)
     if mode.startswith("warm"):
         sweep_runs(network, TC, partitions, seeds, run_cache=cache)
     return cache
@@ -116,37 +143,62 @@ class TestFullMatrix:
     @pytest.mark.parametrize("label,make_engine", ENGINE_CONFIGS)
     @pytest.mark.parametrize("cache_mode", CACHE_MODES)
     def test_sweep_matches_serial_reference(
-        self, grid, label, make_engine, cache_mode
+        self, grid, label, make_engine, cache_mode, tmp_path
     ):
         partitions, seeds, reference = grid
-        cache = _make_cache(cache_mode, line(3), partitions, seeds)
-        got = _run_config(
-            make_engine,
-            network=line(3),
-            transducer=TC,
-            partitions=partitions,
-            seeds=seeds,
-            run_cache=cache,
+        cache = _make_cache(
+            cache_mode, line(3), partitions, seeds, disk_dir=str(tmp_path)
         )
-        assert got == reference  # observation for observation
-        if cache is not None:
-            # every task resolved through the cache exactly once
-            assert cache.cache_hits + cache.cache_misses >= len(reference)
-            if cache.max_entries is not None:
-                assert len(cache) <= cache.max_entries
-                assert cache.evictions > 0  # the bound really churned
+        misses_after_warm = cache.cache_misses if cache is not None else 0
+        try:
+            got = _run_config(
+                make_engine,
+                network=line(3),
+                transducer=TC,
+                partitions=partitions,
+                seeds=seeds,
+                run_cache=cache,
+            )
+            assert got == reference  # observation for observation
+            if cache is not None:
+                # every task resolved through the cache exactly once
+                # (duplicate cells resolve as dedup, not hits/misses)
+                assert (
+                    cache.cache_hits + cache.cache_misses + cache.cache_dedup
+                    >= len(reference)
+                )
+                if cache.max_entries is not None:
+                    assert len(cache) <= cache.max_entries
+                    assert cache.evictions > 0  # the bound really churned
+                if cache.max_bytes is not None:
+                    assert cache.bytes <= cache.max_bytes
+                    assert cache.evictions > 0  # the budget really churned
+                if cache_mode.endswith("disk"):
+                    stats = cache.stats()
+                    assert stats["demotions"] > 0  # evictions spilled down
+                    assert stats["disk_entries"] > 0
+                    if cache_mode == "warm-disk":
+                        # nothing was ever discarded: every warm cell is
+                        # in memory or on disk, so the sweep never misses
+                        assert cache.cache_misses == misses_after_warm
+                        assert stats["promotions"] > 0
+        finally:
+            if cache is not None:
+                cache.close()
 
     @pytest.mark.parametrize("label,make_engine", ENGINE_CONFIGS)
     @pytest.mark.parametrize("cache_mode", CACHE_MODES)
     def test_report_fields_match_serial_reference(
-        self, label, make_engine, cache_mode
+        self, label, make_engine, cache_mode, tmp_path
     ):
         partitions = sample_partitions(GRAPH, line(3), 3)
         seeds = (0, 1)
         reference = check_consistency(
             line(3), TC, GRAPH, partitions=partitions, seeds=seeds
         )
-        cache = _make_cache(cache_mode, line(3), partitions, seeds)
+        cache = _make_cache(
+            cache_mode, line(3), partitions, seeds, disk_dir=str(tmp_path)
+        )
         kwargs = make_engine()
         engine = kwargs.get("engine")
         try:
@@ -157,6 +209,8 @@ class TestFullMatrix:
         finally:
             if engine is not None:
                 engine.close()
+            if cache is not None:
+                cache.close()
         # Report field for report field: the semantic evidence is
         # identical; only the cache effectiveness counters may vary by
         # configuration, and they must account for every grid cell.
@@ -169,12 +223,19 @@ class TestFullMatrix:
         cells = len(reference.observations)
         if cache is None:
             assert (got.cache_hits, got.cache_misses) == (0, 0)
+            assert got.cache_dedup == 0
         else:
-            assert got.cache_hits + got.cache_misses == cells
-            if cache_mode == "warm":
-                assert (got.cache_hits, got.cache_misses) == (cells, 0)
+            # hits + misses + dedup covers the grid exactly: dedup
+            # cells resolve in-grid without consulting the store.
+            assert got.cache_hits + got.cache_misses + got.cache_dedup == cells
+            if cache_mode in ("warm", "warm-disk"):
+                # unbounded warm and warm-with-disk-tier never discard,
+                # so the sweep re-executes nothing
+                assert got.cache_misses == 0
+                assert got.cache_hits + got.cache_dedup == cells
             elif cache_mode == "cold":
-                assert (got.cache_hits, got.cache_misses) == (0, cells)
+                assert got.cache_hits == 0
+                assert got.cache_misses + got.cache_dedup == cells
 
     def test_evicted_cells_recompute_identically(self):
         # Mid-sweep eviction churn, iterated: sweeping the same grid
@@ -218,15 +279,25 @@ class TestRandomizedGrids:
         partitions = sample_partitions(inst, network, 3)
         seeds = (seed, seed + 1)
         reference = sweep_runs(network, TC, partitions, seeds)
-        cache = _make_cache(cache_mode, network, partitions, seeds)
-        got = _run_config(
-            make_engine,
-            network=network,
-            transducer=TC,
-            partitions=partitions,
-            seeds=seeds,
-            run_cache=cache,
-        )
+        # tempfile (not tmp_path) for the disk modes: Hypothesis reuses
+        # the function-scoped fixture across examples, a fresh tier per
+        # example is what the matrix promises.
+        with tempfile.TemporaryDirectory() as disk_dir:
+            cache = _make_cache(
+                cache_mode, network, partitions, seeds, disk_dir=disk_dir
+            )
+            try:
+                got = _run_config(
+                    make_engine,
+                    network=network,
+                    transducer=TC,
+                    partitions=partitions,
+                    seeds=seeds,
+                    run_cache=cache,
+                )
+            finally:
+                if cache is not None:
+                    cache.close()
         assert got == reference
 
 
@@ -270,8 +341,52 @@ class TestPersistentLifetime:
         for got in (first, second):
             assert got.consistent == reference.consistent
             assert got.observations == reference.observations
-        assert second.cache_hits == len(reference.observations)
+        # warm pass: every cell resolves from the cache or as an
+        # in-grid duplicate — nothing re-executes
+        cells = len(reference.observations)
+        assert second.cache_hits + second.cache_dedup == cells
+        assert second.cache_misses == 0
         assert len(cache) <= 8
+
+    def test_smoke_persistent_shared_tier(self, tmp_path):
+        # The second CI conformance smoke configuration: the full
+        # hierarchy under a persistent 2-worker pool — byte-bounded
+        # memory, sqlite disk tier below, shared worker views — checked
+        # against the serial unbounded reference across two sweeps.
+        partitions = sample_partitions(GRAPH, line(3), 3)
+        seeds = (0, 1)
+        reference = check_consistency(
+            line(3), TC, GRAPH, partitions=partitions, seeds=seeds
+        )
+        cells = len(reference.observations)
+        cache = RunCache(
+            max_bytes=BOUND_BYTES, disk_path=tmp_path / "tier.sqlite"
+        )
+        try:
+            with SweepEngine(workers=2, lifetime="persistent") as engine:
+                first = check_consistency(
+                    line(3), TC, GRAPH, partitions=partitions, seeds=seeds,
+                    run_cache=cache, engine=engine,
+                )
+                second = check_consistency(
+                    line(3), TC, GRAPH, partitions=partitions, seeds=seeds,
+                    run_cache=cache, engine=engine,
+                )
+            for got in (first, second):
+                assert got.consistent == reference.consistent
+                assert got.observations == reference.observations
+            # cold pass executes everything; warm pass resolves every
+            # cell from memory, disk (promote), or in-grid dedup
+            assert first.cache_hits == 0
+            assert first.cache_misses + first.cache_dedup == cells
+            assert second.cache_misses == 0
+            assert second.cache_hits + second.cache_dedup == cells
+            stats = cache.stats()
+            assert cache.bytes <= BOUND_BYTES
+            assert stats["demotions"] > 0 and stats["disk_entries"] > 0
+            assert stats["promotions"] > 0  # warm pass pulled from disk
+        finally:
+            cache.close()
 
 
 class TestDedalusConformance:

@@ -291,13 +291,26 @@ class TestRunCacheDeterminism:
             workers=workers, run_cache=cache,
         )
         assert first == fresh
-        hits0 = cache.cache_hits
+        hits0, dedup0 = cache.cache_hits, cache.cache_dedup
         second = sweep_runs(
             network, TC, partitions, (seed, seed + 1),
             workers=workers, run_cache=cache,
         )
         assert second == fresh  # bit-identical observations off the cache
-        assert cache.cache_hits - hits0 == len(fresh)
+        # Every cell is served without executing: distinct cells hit the
+        # store, in-grid duplicates are resolved from their primary.
+        assert (
+            (cache.cache_hits - hits0) + (cache.cache_dedup - dedup0)
+            == len(fresh)
+        )
+        # Misses (from the cold sweep) count only cells that actually
+        # executed — the distinct keys, not the whole grid.
+        distinct = len({
+            (partition_digest(p), s)
+            for p in partitions for s in (seed, seed + 1)
+        })
+        assert cache.cache_misses == distinct
+        assert len(cache) == distinct
         for cached_obs, fresh_obs in zip(second, fresh):
             assert cached_obs.result == fresh_obs.result
 
@@ -324,11 +337,13 @@ class TestRunCacheDeterminism:
             run_cache=cache,
         )
         assert first.cache_misses == 6 and first.cache_hits == 0
+        assert first.cache_dedup == 0  # the sampled grid has no duplicates
         second = check_consistency(
             line(3), td, GRAPH, partition_count=3, seeds=(0, 1),
             run_cache=cache,
         )
         assert second.cache_hits == 6 and second.cache_misses == 0
+        assert second.cache_dedup == 0
         assert second.observations == first.observations
         assert second.consistent == first.consistent
 
@@ -710,12 +725,14 @@ class TestRunCacheLRUBound:
         assert list(live.entries) == [("k", 2), ("k", 3)]
 
     def test_pickle_keeps_bound_and_compression(self):
-        cache = RunCache(max_entries=5, compress_traces=True)
+        cache = RunCache(max_entries=5, compress_traces=True, max_bytes=4096)
         cache.record(("k",), "v")
         clone = pickle.loads(pickle.dumps(cache))
         assert clone.max_entries == 5
+        assert clone.max_bytes == 4096
         assert clone.compress_traces is True
         assert clone.get(("k",)) == "v"
+        assert clone.bytes == cache.bytes
 
 
 # ---------------------------------------------------------------------------
@@ -828,3 +845,516 @@ class TestDigestFallback:
         target.merge(source)
         assert isinstance(target.entries[("traced",)], _CompressedResult)
         assert target.get(("traced",)) == traced
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints cover default argument values (regression)
+# ---------------------------------------------------------------------------
+
+
+def _limited(inst, limit=1):
+    return frozenset(t for t in inst.relation("S") if t[0] <= limit)
+
+
+def _limited_kw(inst, *, limit=1):
+    return frozenset(t for t in inst.relation("S") if t[0] <= limit)
+
+
+def _opaque_default(inst, marker=object()):
+    return inst.relation("S")
+
+
+class TestFingerprintDefaults:
+    """Regression: ``_python_query_token`` salted only ``__code__``.
+
+    Editing a function's *default argument values* keeps its bytecode
+    bit-identical, so the old fingerprint survived the edit and served
+    the old behaviour's cached results.  Defaults are part of the salt
+    now.
+    """
+
+    def _transducer(self, func):
+        tschema = TransducerSchema(S1, schema(), schema(), 1)
+        return Transducer(
+            tschema, output=PythonQuery(func, 1, tschema.combined)
+        )
+
+    def test_editing_a_default_forces_a_cold_recompute(self):
+        original = _limited.__defaults__
+        try:
+            td1 = self._transducer(_limited)
+            fp1 = transducer_fingerprint(td1)
+            cache = RunCache()
+            out1 = computed_output(line(2), td1, ELEMENTS, run_cache=cache)
+            assert out1 == frozenset({(1,)})
+            assert cache.cache_misses == 1
+            _limited.__defaults__ = (3,)  # "edit" the default in place
+            td2 = self._transducer(_limited)
+            fp2 = transducer_fingerprint(td2)
+            assert fp2 != fp1  # the regression: these used to collide
+            out2 = computed_output(line(2), td2, ELEMENTS, run_cache=cache)
+            # Cold recompute under the new fingerprint — not td1's
+            # stale cached result.
+            assert cache.cache_misses == 2
+            assert out2 == frozenset({(1,), (2,), (3,)})
+        finally:
+            _limited.__defaults__ = original
+
+    def test_kwonly_defaults_salt_the_fingerprint(self):
+        original = dict(_limited_kw.__kwdefaults__)
+        try:
+            fp1 = transducer_fingerprint(self._transducer(_limited_kw))
+            _limited_kw.__kwdefaults__["limit"] = 2
+            fp2 = transducer_fingerprint(self._transducer(_limited_kw))
+            assert fp1 != fp2
+            assert fp1.startswith("sha256:") and fp2.startswith("sha256:")
+        finally:
+            _limited_kw.__kwdefaults__.update(original)
+
+    def test_tuple_and_frozenset_defaults_are_canonical(self):
+        from repro.net.runcache import _default_token
+
+        assert _default_token((1, "a")) == _default_token((1, "a"))
+        assert _default_token((1, "a")) != _default_token((1, "b"))
+        # frozensets render sorted, not in hash order
+        assert _default_token(frozenset({1, 2, 3})) == _default_token(
+            frozenset({3, 1, 2})
+        )
+
+    def test_non_canonical_default_falls_back_to_session_token(self):
+        token = transducer_fingerprint(self._transducer(_opaque_default))
+        assert token.startswith("mem:")
+
+
+# ---------------------------------------------------------------------------
+# Digest framing (regression)
+# ---------------------------------------------------------------------------
+
+
+class TestDigestFraming:
+    def test_refactored_fact_boundaries_do_not_collide(self):
+        # Regression: fact tokens were concatenated into the hash with
+        # no length framing, so the token streams of these two distinct
+        # instances were byte-identical —
+        #   "R(str:'a')" + "S(str:'b')"  ==  "R(str:'a')S(str:'b')"
+        # (relation names are arbitrary strings) — and they digested to
+        # the same cache cell.  Length-prefixing each token makes the
+        # encoding injective.
+        from repro.db.schema import DatabaseSchema
+
+        sch = DatabaseSchema({"R": 1, "S": 1, "R(str:'a')S": 1})
+        a = Instance(sch, [Fact("R", ("a",)), Fact("S", ("b",))])
+        b = Instance(sch, [Fact("R(str:'a')S", ("b",))])
+        assert instance_digest(a) != instance_digest(b)
+
+    def test_partition_digests_frame_fragments_apart(self):
+        from repro.db.schema import DatabaseSchema
+        from repro.net import full_replication
+
+        sch = DatabaseSchema({"R": 1, "S": 1, "R(str:'a')S": 1})
+        a = Instance(sch, [Fact("R", ("a",)), Fact("S", ("b",))])
+        b = Instance(sch, [Fact("R(str:'a')S", ("b",))])
+        pa = full_replication(a, line(2))
+        pb = full_replication(b, line(2))
+        assert partition_digest(pa) != partition_digest(pb)
+
+
+# ---------------------------------------------------------------------------
+# Splice accounting: duplicates are neither hits nor misses (regression)
+# ---------------------------------------------------------------------------
+
+
+class TestSpliceDedupAccounting:
+    def test_in_grid_duplicates_count_dedup_not_misses(self):
+        from repro.net import full_replication
+
+        p = full_replication(GRAPH, line(2))
+        cache = RunCache()
+        obs = sweep_runs(line(2), TC, [p, p], (0,), run_cache=cache)
+        assert obs[0] == obs[1]
+        # Regression: the duplicate cell never executed, yet used to
+        # count a cache_miss — one real miss, one dedup.
+        assert cache.cache_misses == 1
+        assert cache.cache_hits == 0
+        assert cache.cache_dedup == 1
+        again = sweep_runs(line(2), TC, [p, p], (0,), run_cache=cache)
+        assert again == obs
+        assert cache.cache_misses == 1  # warm pass adds no misses
+        assert cache.cache_hits == 1  # one store hit...
+        assert cache.cache_dedup == 2  # ...the duplicate resolved from it
+
+    def test_consistency_report_surfaces_dedup(self):
+        from repro.net import full_replication
+
+        p = full_replication(GRAPH, line(2))
+        cache = RunCache()
+        report = check_consistency(
+            line(2), TC, GRAPH, partitions=[p, p], seeds=(0,),
+            run_cache=cache,
+        )
+        assert report.cache_misses == 1
+        assert report.cache_dedup == 1
+        assert report.cache_hits == 0
+        assert (
+            report.cache_hits + report.cache_misses + report.cache_dedup
+            == len(report.observations)
+        )
+
+
+# ---------------------------------------------------------------------------
+# The byte-weighted LRU bound
+# ---------------------------------------------------------------------------
+
+
+class TestRunCacheByteBound:
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            RunCache(max_bytes=0)
+        RunCache(max_bytes=1)  # smallest legal budget
+
+    def test_bytes_ledger_is_exact(self):
+        from repro.net.runcache import _weigh
+
+        cache = RunCache()
+        payloads = {("a",): "x" * 10, ("b",): "y" * 500, ("c",): 7}
+        for key, value in payloads.items():
+            cache.record(key, value)
+        assert cache.bytes == sum(_weigh(v) for v in payloads.values())
+        assert cache.stats()["bytes"] == cache.bytes
+        cache.record(("a",), "x" * 400)  # re-record re-weighs
+        expected = (
+            _weigh("x" * 400) + _weigh("y" * 500) + _weigh(7)
+        )
+        assert cache.bytes == expected
+
+    def test_byte_eviction_is_lru_by_last_hit(self):
+        from repro.net.runcache import _weigh
+
+        w = _weigh("x" * 50)
+        cache = RunCache(max_bytes=3 * w)
+        for name in ("a", "b", "c"):
+            cache.record((name,), "x" * 50)
+        assert list(cache.entries) == [("a",), ("b",), ("c",)]
+        cache.get(("a",))  # promote: ("b",) becomes the stalest entry
+        cache.record(("d",), "x" * 50)
+        assert list(cache.entries) == [("c",), ("a",), ("d",)]
+        assert cache.evictions == 1
+        assert cache.bytes == 3 * w
+
+    def test_entry_larger_than_budget_is_not_kept(self):
+        cache = RunCache(max_bytes=8)
+        cache.record(("big",), "x" * 1000)
+        assert len(cache) == 0
+        assert cache.bytes == 0
+        assert cache.evictions == 1
+
+    def test_construction_trims_to_byte_budget(self):
+        from repro.net.runcache import _weigh
+
+        w = _weigh("x" * 50)
+        entries = {("k", i): "x" * 50 for i in range(6)}
+        cache = RunCache(entries, max_bytes=3 * w)
+        assert list(cache.entries) == [("k", i) for i in range(3, 6)]
+        assert cache.bytes == 3 * w
+        assert cache.evictions == 3
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.booleans(), st.integers(0, 9), st.integers(0, 200)
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        st.integers(64, 512),
+    )
+    def test_byte_bound_invariants(self, ops, budget):
+        # Whatever the op sequence: the budget is never exceeded, the
+        # ledger equals the sum of the weights of the present entries,
+        # and weights track entries exactly.
+        cache = RunCache(max_bytes=budget)
+        for is_record, k, size in ops:
+            key = ("k", k)
+            if is_record:
+                cache.record(key, "x" * size)
+            else:
+                cache.get(key)
+            assert cache.bytes <= budget
+            assert cache.bytes == sum(cache._weights.values())
+            assert set(cache._weights) == set(cache.entries)
+
+    @settings(max_examples=4, deadline=None)
+    @given(sweep_cases(), st.sampled_from([1, 2]))
+    def test_byte_evict_then_recompute_equals_unbounded(self, case, workers):
+        # The byte-weighted mirror of the max_entries property: an
+        # evict-then-recompute cycle under a byte budget is
+        # bit-identical to the unbounded cache, for serial and
+        # parallel sweeps alike.
+        inst, network, seed = case
+        partitions = sample_partitions(inst, network, 3)
+        seeds = (seed, seed + 1)
+        unbounded = RunCache()
+        reference = sweep_runs(
+            network, TC, partitions, seeds,
+            run_cache=unbounded, workers=workers,
+        )
+        budget = max(1, unbounded.bytes // 2)  # guarantees churn
+        bounded = RunCache(max_bytes=budget)
+        for _ in range(2):
+            churned = sweep_runs(
+                network, TC, partitions, seeds,
+                run_cache=bounded, workers=workers,
+            )
+            assert churned == reference
+            assert bounded.bytes <= budget
+            assert bounded.bytes == sum(bounded._weights.values())
+
+    def test_byte_bound_survives_save_load_and_rebinds(self, tmp_path):
+        from repro.net.runcache import _weigh
+
+        cache = RunCache(max_bytes=1 << 16)
+        for i in range(4):
+            cache.record(("k", i), "x" * 32)
+        path = tmp_path / "bytes.pkl"
+        cache.save(path)
+        loaded = RunCache.load(path)
+        assert loaded.max_bytes == 1 << 16
+        assert loaded.bytes == cache.bytes
+        w = _weigh("x" * 32)
+        rebound = RunCache.load(path, max_bytes=2 * w)
+        assert list(rebound.entries) == [("k", 2), ("k", 3)]
+        assert rebound.bytes <= 2 * w
+        unbound = RunCache.load(path, max_bytes=None)
+        assert unbound.max_bytes is None
+        assert len(unbound) == 4
+
+    def test_load_rejects_old_version_bundles(self, tmp_path):
+        from repro.net.runcache import _CACHE_FORMAT, runtime_token
+
+        payload = {
+            "format": _CACHE_FORMAT,
+            "version": 2,
+            "runtime": runtime_token(),
+            "max_entries": None,
+            "compress_traces": False,
+            "entries": {},
+            "memos": {},
+        }
+        path = tmp_path / "v2.pkl"
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(ValueError, match="version"):
+            RunCache.load(path)
+
+    def test_compressed_entries_weigh_their_blob(self):
+        from repro.net import run_fair
+        from repro.net.runcache import _CompressedResult, _weigh
+
+        td = transitive_closure_transducer()
+        partition = sample_partitions(GRAPH, line(2), 1)[0]
+        traced = run_fair(line(2), td, partition, seed=0, keep_trace=True)
+        cache = RunCache(compress_traces=True)
+        cache.record(("traced",), traced)
+        frozen = cache.entries[("traced",)]
+        assert isinstance(frozen, _CompressedResult)
+        assert cache.bytes == len(frozen.blob)
+        assert cache.bytes < _weigh(traced)  # compression pays
+
+
+# ---------------------------------------------------------------------------
+# The disk tier: eviction demotes, a memory miss promotes
+# ---------------------------------------------------------------------------
+
+
+class TestDiskTier:
+    def _key(self, i):
+        return run_key("fair-random", line(2), "sha256:abc", f"hp:{i}", i, {})
+
+    def test_eviction_demotes_and_get_promotes(self, tmp_path):
+        cache = RunCache(max_entries=1, disk_path=tmp_path / "tier.sqlite")
+        cache.record(self._key(1), "one")
+        cache.record(self._key(2), "two")  # evicts and demotes key 1
+        assert cache.demotions == 1
+        assert cache.stats()["disk_entries"] == 1
+        hits0 = cache.cache_hits
+        assert cache.get(self._key(1)) == "one"  # promoted back
+        assert cache.promotions == 1
+        assert cache.cache_hits == hits0 + 1  # a disk hit is a hit
+        assert cache.cache_misses == 0
+        # the promotion demoted key 2 in turn (max_entries=1) — the
+        # tiers cycle, they never discard
+        assert cache.get(self._key(2)) == "two"
+        assert cache.promotions == 2
+        cache.close()
+
+    def test_disk_tier_survives_reopen(self, tmp_path):
+        path = tmp_path / "tier.sqlite"
+        cache = RunCache(max_entries=1, disk_path=path)
+        cache.record(self._key(1), "one")
+        cache.record(self._key(2), "two")
+        cache.close()
+        reopened = RunCache(disk_path=path)
+        assert len(reopened) == 0  # memory starts cold...
+        assert reopened.get(self._key(1)) == "one"  # ...the tier is warm
+        assert reopened.promotions == 1
+        reopened.close()
+
+    def test_runtime_token_mismatch_purges_tier(self, tmp_path, monkeypatch):
+        from repro.net import runcache as runcache_module
+
+        path = tmp_path / "tier.sqlite"
+        cache = RunCache(max_entries=1, disk_path=path)
+        cache.record(self._key(1), "one")
+        cache.record(self._key(2), "two")
+        assert cache.stats()["disk_entries"] == 1
+        cache.close()
+        # Same file, "next release": the library's source changed.
+        monkeypatch.setattr(runcache_module, "_RUNTIME_TOKEN", "changed")
+        stale = RunCache(disk_path=path)
+        assert stale.stats()["disk_entries"] == 0  # purged at open
+        assert stale.get(self._key(1)) is None
+        assert stale.cache_misses == 1
+        stale.close()
+
+    def test_session_local_and_object_keys_never_spill(self, tmp_path):
+        from repro.net import full_replication
+        from repro.net.runcache import _disk_key_text
+
+        cache = RunCache(max_entries=1, disk_path=tmp_path / "tier.sqlite")
+        mem_key = run_key("fair-random", line(2), "mem:1:2", "hp:x", 0, {})
+        cache.record(mem_key, "local")
+        cache.record(self._key(1), "one")  # evicts mem_key
+        assert cache.demotions == 0
+        assert cache.stats()["disk_entries"] == 0
+        assert _disk_key_text(mem_key) is None
+        opaque = Instance(S1, [Fact("S", (_OpaqueValue(),))])
+        obj_key = run_key(
+            "fair-random", line(2), "sha256:abc",
+            full_replication(opaque, line(2)), 0, {},
+        )
+        assert _disk_key_text(obj_key) is None
+        cache.close()
+
+    def test_demote_promote_roundtrip_preserves_run_results(self, tmp_path):
+        # Real RunResults through the whole cycle: record → evict →
+        # sqlite → promote must be bit-identical to a fresh run.
+        td = transitive_closure_transducer()
+        partitions = sample_partitions(GRAPH, line(2), 2)
+        reference = sweep_runs(line(2), td, partitions, (0, 1))
+        cache = RunCache(
+            max_bytes=1, disk_path=tmp_path / "tier.sqlite"
+        )  # every entry demotes straight to disk
+        churned = sweep_runs(
+            line(2), td, partitions, (0, 1), run_cache=cache
+        )
+        assert churned == reference
+        assert cache.demotions >= 1
+        warm = sweep_runs(line(2), td, partitions, (0, 1), run_cache=cache)
+        assert warm == reference
+        assert cache.promotions >= 1  # the warm pass was served by disk
+        cache.close()
+
+    def test_close_is_idempotent_and_cache_keeps_working(self, tmp_path):
+        cache = RunCache(disk_path=tmp_path / "tier.sqlite")
+        cache.record(self._key(1), "one")
+        cache.close()
+        cache.close()
+        assert cache.get(self._key(1)) == "one"  # memory tier still live
+
+
+# ---------------------------------------------------------------------------
+# The shared worker tier: views, journals, merged deltas
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerSharedTier:
+    def test_worker_view_journal_and_merge(self):
+        parent = RunCache()
+        parent.record(("warm",), "w")
+        view = parent.worker_view()
+        hits0 = parent.cache_hits
+        assert view.get(("warm",)) == "w"  # the snapshot serves it...
+        assert parent.cache_hits == hits0  # ...without touching the parent
+        view.record(("fresh",), "f")
+        delta = view.drain_new()
+        assert delta == {("fresh",): "f"}
+        assert view.drain_new() == {}  # drained
+        assert parent.merge_worker_delta(delta) == 1
+        assert parent.entries[("fresh",)] == "f"
+        # existing entries win on overlap
+        assert parent.merge_worker_delta({("fresh",): "other"}) == 0
+        assert parent.entries[("fresh",)] == "f"
+
+    def test_merge_worker_delta_respects_bounds(self):
+        parent = RunCache(max_entries=2)
+        parent.record(("a",), "a")
+        parent.merge_worker_delta({("b",): "b", ("c",): "c"})
+        assert len(parent) == 2
+        assert list(parent.entries) == [("b",), ("c",)]
+
+    def test_view_pickles_memory_only(self, tmp_path):
+        parent = RunCache(
+            max_entries=8, disk_path=tmp_path / "tier.sqlite"
+        )
+        parent.record(("k",), "v")
+        view = parent.worker_view()
+        clone = pickle.loads(pickle.dumps(view))
+        assert clone.disk_path is None and clone._disk is None
+        assert clone.max_entries is None and clone.max_bytes is None
+        assert clone.entries == {("k",): "v"}
+        clone.start_journal()  # what _run_task_mp does per task
+        clone.record(("k2",), "v2")
+        assert clone.drain_new() == {("k2",): "v2"}
+        parent.close()
+
+    def test_run_task_mp_ships_cache_delta_and_shared_hits(self):
+        from repro.net.executor import _run_task_mp
+
+        network = line(2)
+        partition = sample_partitions(GRAPH, network, 1)[0]
+        run_kwargs = {
+            "max_steps": 20_000,
+            "batch_delivery": False,
+            "convergence": "incremental",
+        }
+        fp = transducer_fingerprint(TC)
+        cache = RunCache()
+        view = cache.worker_view()
+        context = (network, TC, None, run_kwargs, view, fp)
+        obs, _, _, _, delta, shared = _run_task_mp(context, (partition, 0))
+        assert shared is False
+        assert len(delta) == 1  # the fresh cell travels back
+        cache.merge_worker_delta(delta)
+        # A later task whose view snapshot includes the cell serves it
+        # without re-running — the shared hit.
+        view2 = cache.worker_view()
+        context2 = (network, TC, None, run_kwargs, view2, fp)
+        obs2, _, _, _, delta2, shared2 = _run_task_mp(
+            context2, (partition, 0)
+        )
+        assert shared2 is True
+        assert delta2 == {}
+        assert obs2 == obs
+
+    @pytest.mark.parametrize("workers", [2])
+    def test_parallel_sweep_merges_worker_deltas(self, workers):
+        partitions = sample_partitions(GRAPH, line(3), 3)
+        cache = RunCache()
+        obs = sweep_runs(
+            line(3), TC, partitions, (0, 1),
+            run_cache=cache, workers=workers,
+        )
+        distinct = len({
+            (partition_digest(p), s)
+            for p in partitions for s in (0, 1)
+        })
+        # Every executed cell landed in the parent cache (splice fill +
+        # merged worker deltas agree).
+        assert len(cache) == distinct
+        assert cache.cache_misses == distinct
+        warm = sweep_runs(
+            line(3), TC, partitions, (0, 1),
+            run_cache=cache, workers=workers,
+        )
+        assert warm == obs
+        assert cache.cache_misses == distinct  # no new misses warm
