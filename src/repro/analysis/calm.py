@@ -47,6 +47,7 @@ class ComputedQuery(Query):
         convergence: str = "incremental",
         memo=None,
         run_cache=None,
+        faults=None,
     ):
         self.transducer = transducer
         self.network = network if network is not None else line(2)
@@ -62,6 +63,10 @@ class ComputedQuery(Query):
         # (CALM re-derives Q(I) per probe, CI re-derives it per job)
         # skip the reference run entirely.
         self.run_cache = run_cache
+        # Optional seeded fault plan: the reference run tolerates the
+        # injected faults, which is exactly the claim the fault-plane
+        # property suite exercises on CALM-positive transducers.
+        self.faults = faults
         self.arity = transducer.schema.output_arity
         self.input_schema = transducer.schema.inputs
 
@@ -79,6 +84,7 @@ class ComputedQuery(Query):
             convergence=self.convergence,
             memo=self.memo,
             run_cache=self.run_cache,
+            faults=self.faults,
         )
 
     def __repr__(self) -> str:
@@ -139,6 +145,7 @@ def calm_verdict(
     run_cache=None,
     pool=None,
     engine=None,
+    faults=None,
 ) -> CalmVerdict:
     """Assemble the full CALM diagnostic for one transducer.
 
@@ -161,6 +168,12 @@ def calm_verdict(
     ``persistent``-lifetime *engine* (or the deprecated *pool*) runs
     every sweep underneath through one live fork pool.  All verdicts
     are identical with or without any of these knobs.
+
+    *faults* (a :class:`~repro.net.faults.FaultPlan`) subjects the
+    reference evaluations and the NTI probes to the plan's injected
+    faults.  The coordination probes stay *clean* deliberately: they
+    drive heartbeat-only schedules whose verdict semantics (cycle
+    detection over message-free runs) a fault plan would distort.
     """
     from ..net.convergence import resolve_memo
     from ..net.runcache import resolve_run_cache
@@ -171,7 +184,7 @@ def calm_verdict(
     run_cache = resolve_run_cache(run_cache, transducer)
     query = ComputedQuery(
         transducer, network, seed=seed, batch_delivery=batch_delivery,
-        memo=memo, run_cache=run_cache,
+        memo=memo, run_cache=run_cache, faults=faults,
     )
 
     coordination_free: bool | None = None
@@ -212,6 +225,7 @@ def calm_verdict(
         run_cache=run_cache,
         pool=pool,
         engine=engine,
+        faults=faults,
     )
 
     return CalmVerdict(

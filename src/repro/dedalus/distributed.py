@@ -181,6 +181,7 @@ def run_distributed(
     pool=None,
     engine=None,
     lang_engine: str | None = None,
+    faults=None,
     **run_kwargs,
 ):
     """Localize *program*, place *partition* on *network*, and run.
@@ -218,9 +219,19 @@ def run_distributed(
     every interpreter run — distinct from *engine*, which picks the
     sweep executor.  Engines are bit-identical by contract, so the
     run cache is shared across them (keys do not include it).
+
+    *faults* (a :class:`~repro.net.faults.FaultPlan`) applies the
+    plan's message-level faults (loss, duplication, delay) to the
+    async shipments — see
+    :meth:`repro.dedalus.interp.DedalusInterpreter.run` for the exact
+    semantics and the loss caveat of the send-once ledger.  The plan
+    becomes part of every run-cache key, so faulty and clean traces
+    never alias.
     """
     from .interp import run_program
 
+    if faults is not None:
+        run_kwargs["faults"] = faults
     if seeds is not None:
         return sweep_distributed(
             program,
@@ -297,6 +308,7 @@ def sweep_distributed(
     pool=None,
     engine=None,
     lang_engine: str | None = None,
+    faults=None,
     **run_kwargs,
 ) -> list:
     """Run the partitions × seeds grid of distributed Dedalus runs.
@@ -315,13 +327,17 @@ def sweep_distributed(
     selects the executor outright; the deprecated *pool* and the
     *workers*/*backend* pair are accepted as before.  *lang_engine*
     picks the local evaluation engine inside every cell, as in
-    :func:`run_distributed`.
+    :func:`run_distributed`.  *faults* injects the same seeded
+    :class:`~repro.net.faults.FaultPlan` into every cell (and into
+    every cell's cache key).
     """
     from ..net.executor import CacheSplice, resolve_engine
     from ..lang.engine import resolve_engine as resolve_lang_engine
 
     if lang_engine is not None:
         resolve_lang_engine(lang_engine)  # validate before fan-out
+    if faults is not None:
+        run_kwargs["faults"] = faults
     localized = localize(program, broadcast)
     context = (localized, network, batch_async, lang_engine, run_kwargs)
     tasks = [(partition, seed) for partition in partitions for seed in seeds]

@@ -161,6 +161,7 @@ class DedalusInterpreter:
         max_async_delay: int = 3,
         keep_trace: bool = True,
         batch_async: bool = False,
+        faults=None,
     ) -> DedalusTrace:
         """Run the program on a temporal EDB until stabilization.
 
@@ -175,6 +176,23 @@ class DedalusInterpreter:
         :func:`repro.dedalus.distributed.localize` produces (the
         Section 8 argument); the stabilized state is then reached in
         fewer timesteps.
+
+        *faults* (a :class:`~repro.net.faults.FaultPlan`) applies the
+        plan's *message-level* faults to async-rule derivations — the
+        interpreter's messages: a loss roll discards the derivation, a
+        duplication roll schedules a second arrival, a delay roll adds
+        a bounded extra hold.  Crash and partition fields are ignored
+        here (the interpreter has no node processes to kill).  Rolls
+        come from a dedicated RNG derived from ``(plan.seed, seed)``
+        over the derivations in sorted order, so a faulty Dedalus run
+        is bit-reproducible across processes; with ``faults=None`` the
+        schedule is byte-identical to what it was before the fault
+        plane existed.  NOTE: :func:`~repro.dedalus.distributed.localize`
+        ships each fact at most once per edge (the ``Sent_`` ledger),
+        so a *lost* shipment is permanent there — under loss a
+        localized run may legitimately stabilize on divergent node
+        views.  Duplication and delay preserve the stabilized state of
+        monotone localized programs.
         """
         if isinstance(edb, Instance):
             edb = temporal_input(edb)
@@ -184,6 +202,12 @@ class DedalusInterpreter:
                     raise ValueError(f"EDB fact {f!r} outside the EDB schema")
 
         rng = random.Random(seed)
+        fault_rng = None
+        if faults is not None and not faults.is_noop():
+            # A dedicated stream, seeded from the plan and the run seed
+            # (string seeds hash via SHA-512 — process-independent), so
+            # fault rolls never perturb the base arrival schedule.
+            fault_rng = random.Random(f"dedalus|{faults.seed}|{seed}")
         last_edb_time = max(edb, default=-1)
         pending_async: dict[int, set[Fact]] = {}
         carryover: frozenset[Fact] = frozenset()
@@ -209,11 +233,30 @@ class DedalusInterpreter:
             carryover = frozenset(
                 self._fire_temporal(self.program.inductive_rules(), state)
             )
-            for f in self._fire_temporal(self.program.async_rules(), state):
+            fired = self._fire_temporal(self.program.async_rules(), state)
+            if fault_rng is not None:
+                # Sorted order makes the roll sequence a pure function
+                # of (plan, seed, derivations) — set iteration order is
+                # process-dependent and would break replay.
+                fired = sorted(fired, key=repr)
+            for f in fired:
                 if batch_async:
                     arrival = t + 1
                 else:
                     arrival = t + 1 + rng.randrange(max_async_delay + 1)
+                if fault_rng is not None:
+                    if faults.loss > 0.0 and fault_rng.random() < faults.loss:
+                        continue
+                    if faults.delay > 0.0 and fault_rng.random() < faults.delay:
+                        arrival += 1 + fault_rng.randrange(faults.max_delay)
+                    if (
+                        faults.duplication > 0.0
+                        and fault_rng.random() < faults.duplication
+                    ):
+                        extra = arrival + 1 + fault_rng.randrange(
+                            faults.max_delay
+                        )
+                        pending_async.setdefault(extra, set()).add(f)
                 pending_async.setdefault(arrival, set()).add(f)
 
             # Compare extents directly (partitioned storage) rather than

@@ -46,6 +46,10 @@ class ConsistencyReport:
     resolved without consulting the store (they never execute, so they
     are neither hits nor misses — ``hits + misses + dedup`` covers the
     grid).
+
+    The fault counters (``messages_dropped`` … ``partitions``) sum the
+    per-run :meth:`~repro.net.run.RunStats.fault_counts` over every
+    observation; all stay 0 for clean sweeps.
     """
 
     consistent: bool
@@ -57,6 +61,24 @@ class ConsistencyReport:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_dedup: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    messages_delayed: int = 0
+    crashes: int = 0
+    restarts: int = 0
+    partitions: int = 0
+
+    def fault_counts(self) -> dict[str, int]:
+        """The aggregated fault counters as a dict (mirrors
+        :meth:`~repro.net.run.RunStats.fault_counts`)."""
+        return {
+            "messages_dropped": self.messages_dropped,
+            "messages_duplicated": self.messages_duplicated,
+            "messages_delayed": self.messages_delayed,
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "partitions": self.partitions,
+        }
 
     def _groups(self) -> dict[frozenset, list[RunObservation]]:
         """Observations grouped by output, one O(n) pass, insertion-ordered."""
@@ -103,6 +125,7 @@ def observe_runs(
     run_cache=None,
     pool=None,
     engine=None,
+    faults=None,
 ) -> list[RunObservation]:
     """Run (N, Π) on several partitions × schedules and record outputs.
 
@@ -124,7 +147,10 @@ def observe_runs(
     :class:`~repro.net.runcache.RunCache`, and a ``persistent``-lifetime
     *engine* (or the deprecated *pool*) reuses one live fork pool
     across consecutive sweeps; both also leave every observation
-    unchanged.
+    unchanged.  *faults* (a :class:`~repro.net.faults.FaultPlan`)
+    subjects every run to the same seeded fault plan — a faulty run is
+    still a deterministic function of ``(plan, seed, scheduler)``, so
+    the returned observations stay reproducible bit-for-bit.
     """
     from .executor import sweep_runs
 
@@ -144,6 +170,7 @@ def observe_runs(
         run_cache=run_cache,
         pool=pool,
         engine=engine,
+        faults=faults,
     )
 
 
@@ -163,6 +190,7 @@ def check_consistency(
     run_cache=None,
     pool=None,
     engine=None,
+    faults=None,
 ) -> ConsistencyReport:
     """Empirical consistency check of (N, Π) on one instance.
 
@@ -171,7 +199,9 @@ def check_consistency(
     *workers*/*backend*/*engine*/*memo*/*run_cache*/*pool* parallelize,
     memoize and cache the underlying sweep (see :func:`observe_runs`) without
     changing the report's evidence; memo and run-cache effectiveness
-    are surfaced on the report.
+    are surfaced on the report.  *faults* injects a seeded
+    :class:`~repro.net.faults.FaultPlan` into every run; the aggregate
+    fault counters are surfaced on the report.
     """
     from .convergence import resolve_memo
     from .runcache import resolve_run_cache
@@ -200,10 +230,22 @@ def check_consistency(
         run_cache=cache,
         pool=pool,
         engine=engine,
+        faults=faults,
     )
     outputs = [obs.result.output for obs in observations]
     unconverged = sum(1 for obs in observations if not obs.result.converged)
     consistent = len(set(outputs)) <= 1
+    fault_totals = {
+        "messages_dropped": 0,
+        "messages_duplicated": 0,
+        "messages_delayed": 0,
+        "crashes": 0,
+        "restarts": 0,
+        "partitions": 0,
+    }
+    for obs in observations:
+        for name, count in obs.result.stats.fault_counts().items():
+            fault_totals[name] += count
     return ConsistencyReport(
         consistent=consistent,
         outputs=outputs,
@@ -214,6 +256,7 @@ def check_consistency(
         cache_hits=cache.cache_hits - chits0 if cache is not None else 0,
         cache_misses=cache.cache_misses - cmisses0 if cache is not None else 0,
         cache_dedup=cache.cache_dedup - cdedup0 if cache is not None else 0,
+        **fault_totals,
     )
 
 
@@ -227,6 +270,7 @@ def computed_output(
     convergence: str = "incremental",
     memo=None,
     run_cache=None,
+    faults=None,
 ) -> frozenset:
     """The output of one canonical fair run (full replication, given seed).
 
@@ -250,6 +294,8 @@ def computed_output(
             "batch_delivery": batch_delivery,
             "convergence": convergence,
         }
+        if faults is not None:
+            run_kwargs["faults"] = faults
         key = run_key(
             "fair-random",
             network,
@@ -270,6 +316,7 @@ def computed_output(
         batch_delivery=batch_delivery,
         convergence=convergence,
         memo=resolve_memo(memo, transducer),
+        faults=faults,
     )
     if cache is not None:
         cache.record(key, result)
@@ -305,6 +352,7 @@ def check_topology_independence(
     run_cache=None,
     pool=None,
     engine=None,
+    faults=None,
 ) -> TopologyIndependenceReport:
     """Empirically check network-topology independence on one instance.
 
@@ -345,6 +393,7 @@ def check_topology_independence(
             run_cache=run_cache,
             pool=pool,
             engine=engine,
+            faults=faults,
         )
         if not report.consistent:
             inconsistent.append(network.name)

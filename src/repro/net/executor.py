@@ -47,6 +47,8 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import pickle
+import time
+from dataclasses import asdict, dataclass
 
 from .consistency import RunObservation
 from .convergence import ConvergenceMemo, resolve_memo
@@ -57,6 +59,7 @@ from .run import run_fair
 __all__ = [
     "BACKENDS",
     "CacheSplice",
+    "EngineHealth",
     "EngineSession",
     "LIFETIMES",
     "SweepEngine",
@@ -126,6 +129,172 @@ def _pool_call(task):
 # ---------------------------------------------------------------------------
 
 
+@dataclass
+class EngineHealth:
+    """Self-healing counters, accumulated over an engine's lifetime.
+
+    ``worker_deaths`` — pool workers observed dead mid-map (killed,
+    ``os._exit``, OOM…); ``respawns`` — pools torn down and rebuilt in
+    response (deaths and timeouts both force one — the replacement
+    pool a dead worker leaves behind has lost the in-flight task, and
+    a hung worker must be killed); ``retries`` — task re-executions
+    after a worker-raised exception or a worker death; ``timeouts`` —
+    tasks that exceeded the per-run ``timeout=``; ``quarantined`` —
+    tasks pulled out of the pool entirely (timed out, or still failing
+    at the retry cap from worker deaths) and ``serial_reruns`` — their
+    one in-parent re-execution.
+    """
+
+    worker_deaths: int = 0
+    respawns: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    quarantined: int = 0
+    serial_reruns: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+#: Poll interval of the supervised map's wait loop (seconds).  Waits
+#: return the moment a result is ready; the interval only paces the
+#: worker-death / timeout checks in between.
+_POLL_INTERVAL = 0.02
+
+#: Cap on the exponential retry backoff (seconds).
+_BACKOFF_CAP = 1.0
+
+
+def _supervised_map(engine, get_pool, reset_pool, call, items, local_call):
+    """A pool map that survives worker death, task failure and hangs.
+
+    ``pool.map`` has none of that: a worker that dies mid-task leaves
+    its ``AsyncResult`` unfulfilled forever (the pool replaces the
+    *process* but not the lost task), a raising task poisons the whole
+    map, and a hung task hangs the sweep.  This loop submits each item
+    with ``apply_async`` and waits on the results in item order,
+    polling for worker death (pool pid-set changes or non-``None``
+    exit codes) and for the engine's per-task ``timeout``:
+
+    * a worker-raised exception retries the task (capped exponential
+      backoff, ``engine.max_retries`` attempts) — ``KeyboardInterrupt``
+      and ``SystemExit`` always propagate;
+    * a worker death tears the pool down, respawns it and resubmits
+      every unfinished task; tasks still failing at the retry cap are
+      quarantined ("repeatedly worker-killing");
+    * a timed-out task is quarantined immediately and the pool
+      respawned (the hung worker must die).
+
+    Quarantined tasks are re-run serially in the parent, once, after
+    the pool rounds finish — their results land in the ordinary result
+    list, so the sweep completes with bit-identical observations
+    instead of hanging (a task that *always* kills its host or hangs
+    will still fail loudly here, in the parent, which is the right
+    failure mode).  Every path out — including ``KeyboardInterrupt``
+    in the parent — routes through ``reset_pool`` (the ``terminate()``
+    discipline), so no children are leaked.
+    """
+    n = len(items)
+    results: list = [None] * n
+    done = [False] * n
+    failures = [0] * n
+    quarantine: set[int] = set()
+    health = engine.health
+    round_no = 0
+    try:
+        while True:
+            pending = [i for i in range(n) if not done[i] and i not in quarantine]
+            if not pending:
+                break
+            if round_no:
+                time.sleep(
+                    min(
+                        engine.retry_backoff * (2 ** (round_no - 1)),
+                        _BACKOFF_CAP,
+                    )
+                )
+            round_no += 1
+            pool = get_pool()
+            pids = {p.pid for p in pool._pool}
+            asyncs = {i: pool.apply_async(call, (items[i],)) for i in pending}
+            broken = False
+            death = False
+            for i in pending:
+                result = asyncs[i]
+                started = time.monotonic()
+                timed_out = False
+                while not result.ready():
+                    result.wait(_POLL_INTERVAL)
+                    if {p.pid for p in pool._pool} != pids or any(
+                        p.exitcode is not None for p in pool._pool
+                    ):
+                        broken = death = True
+                        break
+                    if (
+                        engine.timeout is not None
+                        and time.monotonic() - started > engine.timeout
+                    ):
+                        timed_out = True
+                        break
+                if broken:
+                    break
+                if timed_out:
+                    health.timeouts += 1
+                    health.quarantined += 1
+                    quarantine.add(i)
+                    broken = True  # the hung worker must be killed
+                    break
+                try:
+                    results[i] = result.get()
+                    done[i] = True
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except BaseException:
+                    failures[i] += 1
+                    if failures[i] > engine.max_retries:
+                        raise
+                    health.retries += 1
+            if not broken:
+                continue
+            # Harvest what already finished, then heal the pool.
+            for j, result in asyncs.items():
+                if done[j] or j in quarantine or not result.ready():
+                    continue
+                try:
+                    results[j] = result.get()
+                    done[j] = True
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except BaseException:
+                    failures[j] += 1
+                    if failures[j] > engine.max_retries:
+                        raise
+                    health.retries += 1
+            if death:
+                health.worker_deaths += 1
+                # The in-flight tasks are lost and unattributable; they
+                # all retry, and a task still failing at the cap is
+                # quarantined rather than allowed to keep killing pools.
+                for j in pending:
+                    if done[j] or j in quarantine:
+                        continue
+                    failures[j] += 1
+                    if failures[j] > engine.max_retries:
+                        health.quarantined += 1
+                        quarantine.add(j)
+                    else:
+                        health.retries += 1
+            reset_pool()
+            health.respawns += 1
+    except BaseException:
+        reset_pool()
+        raise
+    for i in sorted(quarantine):
+        health.serial_reruns += 1
+        results[i] = local_call(items[i])
+    return results
+
+
 class SweepEngine:
     """A deterministic ordered map over sweep tasks, with a pluggable
     worker lifetime.
@@ -149,8 +318,21 @@ class SweepEngine:
     manager (or call :meth:`close`) to reap the workers.
     """
 
-    def __init__(self, workers: int = 1, lifetime: str | None = None):
+    def __init__(
+        self,
+        workers: int = 1,
+        lifetime: str | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        timeout: float | None = None,
+    ):
         workers = max(1, int(workers))
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
         mp_context = _fork_context()
         if lifetime is None:
             lifetime = "fork" if workers > 1 and mp_context is not None else "serial"
@@ -173,12 +355,19 @@ class SweepEngine:
                 )
         self.workers = workers
         self.lifetime = lifetime
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.timeout = timeout
         self._mp_context = mp_context
         # The persistent lifetime's one live pool (forked lazily).
         self._pool = None
         self._tokens = itertools.count()
         #: Pool maps actually fanned out (amortization observability).
         self.maps_served = 0
+        #: Self-healing counters (worker deaths, respawns, retries,
+        #: timeouts, quarantines), accumulated across maps and shared
+        #: by this engine's sessions.
+        self.health = EngineHealth()
 
     @property
     def parallel(self) -> bool:
@@ -217,13 +406,27 @@ class SweepEngine:
         """
         if not self.parallel or len(items) <= 1:
             return [fn(context, item) for item in items]
-        if self._pool is None:
-            self._pool = self._mp_context.Pool(self.workers)
         token = next(self._tokens)
         blob = pickle.dumps((fn, context), protocol=pickle.HIGHEST_PROTOCOL)
         self.maps_served += 1
-        return self._pool.map(
-            _pool_call, [(token, blob, item) for item in items], chunksize=1
+
+        def get_pool():
+            if self._pool is None:
+                self._pool = self._mp_context.Pool(self.workers)
+            return self._pool
+
+        def reset_pool():
+            self.terminate()
+
+        return _supervised_map(
+            self,
+            get_pool,
+            reset_pool,
+            _pool_call,
+            [(token, blob, item) for item in items],
+            # Quarantined tasks re-run in the parent against the
+            # original payload — no blob round-trip.
+            lambda task: fn(context, task[2]),
         )
 
     def close(self) -> None:
@@ -281,13 +484,28 @@ class EngineSession:
             return engine._persistent_map(self._fn, self._context, items)
         if engine.lifetime == "serial" or not items:
             return [self._fn(self._context, item) for item in items]
-        if self._pool is None:
-            self._pool = engine._mp_context.Pool(
-                engine.workers,
-                initializer=_init_worker,
-                initargs=((self._fn, self._context),),
-            )
-        return self._pool.map(_call_worker, items, chunksize=1)
+
+        def get_pool():
+            if self._pool is None:
+                self._pool = engine._mp_context.Pool(
+                    engine.workers,
+                    initializer=_init_worker,
+                    initargs=((self._fn, self._context),),
+                )
+            return self._pool
+
+        def reset_pool():
+            self.terminate()
+
+        return _supervised_map(
+            engine,
+            get_pool,
+            reset_pool,
+            _call_worker,
+            items,
+            # The parent has no _WORKER_PAYLOAD; call directly.
+            lambda item: self._fn(self._context, item),
+        )
 
     def close(self) -> None:
         """Clean shutdown: let workers finish queued work, then reap.
@@ -545,6 +763,7 @@ def sweep_runs(
     run_cache=None,
     pool=None,
     engine: "SweepEngine | None" = None,
+    faults=None,
 ) -> list[RunObservation]:
     """Run the partitions × seeds grid of fair runs, possibly in parallel.
 
@@ -566,6 +785,13 @@ def sweep_runs(
     kwargs)``, so a cached result is bit-identical to a fresh one, and
     only the uncached cells are executed (the :class:`CacheSplice`
     bookkeeping).
+
+    *faults* (a :class:`~repro.net.faults.FaultPlan`) injects the same
+    seeded fault plan into every run of the grid.  The plan becomes
+    part of the frozen run kwargs — and hence of every cache key — so
+    faulty and clean sweeps never share cells, while a clean sweep's
+    keys are bit-identical to what they were before the fault plane
+    existed.
     """
     from .runcache import resolve_run_cache, run_key, transducer_fingerprint
 
@@ -576,6 +802,12 @@ def sweep_runs(
         "batch_delivery": batch_delivery,
         "convergence": convergence,
     }
+    if faults is not None:
+        # Only present when set: clean-run cache keys are unchanged
+        # from before the fault plane existed, and a faulty cell can
+        # never alias a clean one (the plan rides in the frozen
+        # run_kwargs, through run_key and into run_fair alike).
+        run_kwargs["faults"] = faults
     tasks = [(partition, seed) for partition in partitions for seed in seeds]
 
     if cache is not None:

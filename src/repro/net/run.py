@@ -34,6 +34,12 @@ from dataclasses import dataclass, field
 from ..core.transducer import Transducer
 from .config import Configuration, initial_configuration
 from .convergence import ConvergenceMemo, ConvergenceTracker, is_converged
+from .faults import (
+    FAULT_ACTION_KINDS,
+    FaultPlan,
+    FaultyScheduler,
+    execute_fault_action,
+)
 from .network import Network, Node
 from .partition import HorizontalPartition
 from .scheduler import (
@@ -63,12 +69,24 @@ __all__ = [
 
 @dataclass
 class RunStats:
-    """Counts accumulated over a run."""
+    """Counts accumulated over a run.
+
+    The fault counters stay zero on clean runs; under a
+    :class:`~repro.net.faults.FaultPlan` they record what the fault
+    plane actually did (occurrences removed / injected / held, node
+    crashes and restarts, link partitions opened).
+    """
 
     steps: int = 0
     heartbeats: int = 0
     deliveries: int = 0
     facts_sent: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    messages_delayed: int = 0
+    crashes: int = 0
+    restarts: int = 0
+    partitions: int = 0
 
     def record(self, transition: GlobalTransition) -> None:
         self.steps += 1
@@ -77,6 +95,17 @@ class RunStats:
         else:
             self.deliveries += 1
         self.facts_sent += len(transition.sent_facts)
+
+    def fault_counts(self) -> dict[str, int]:
+        """The fault counters as a dict (reporting convenience)."""
+        return {
+            "messages_dropped": self.messages_dropped,
+            "messages_duplicated": self.messages_duplicated,
+            "messages_delayed": self.messages_delayed,
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "partitions": self.partitions,
+        }
 
 
 @dataclass
@@ -175,6 +204,7 @@ def run_schedule(
     keep_trace: bool = False,
     convergence: str = "incremental",
     memo: "ConvergenceMemo | None" = None,
+    faults: FaultPlan | None = None,
 ) -> RunResult:
     """Execute *scheduler*'s schedule, truncated at convergence.
 
@@ -192,7 +222,17 @@ def run_schedule(
     for no bound — round-based schedulers carry their own round
     budgets).  If the schedule ends without a verdict of its own, a
     final convergence check decides (``scheduler.final_check``).
+
+    *faults* injects a seeded :class:`~repro.net.faults.FaultPlan` by
+    wrapping *scheduler* in a
+    :class:`~repro.net.faults.FaultyScheduler`; ``None`` (the
+    default) leaves the schedule untouched — bit-for-bit, so clean
+    golden replays are unaffected.  Fault actions the wrapper emits
+    are executed here (they own no step budget: only committed
+    transitions count against *max_steps*).
     """
+    if faults is not None and not isinstance(scheduler, FaultyScheduler):
+        scheduler = FaultyScheduler(scheduler, faults)
     if scheduler.uses_batching:
         require_batchable(transducer)
     if convergence not in ("incremental", "exact"):
@@ -232,6 +272,14 @@ def run_schedule(
                 converged = True
                 break
             send_value = False
+            continue
+        if action.kind in FAULT_ACTION_KINDS:
+            event = execute_fault_action(ctx, partition, action)
+            if tracker is not None:
+                tracker.note_transition(event)
+            if keep_trace:
+                trace.append(event)
+            send_value = event
             continue
         if max_steps is not None and stats.steps >= max_steps:
             break
@@ -285,6 +333,7 @@ def run_fair(
     convergence: str = "incremental",
     scheduler: Scheduler | None = None,
     memo: ConvergenceMemo | None = None,
+    faults: FaultPlan | None = None,
 ) -> RunResult:
     """A seeded random fair run, truncated at convergence.
 
@@ -316,6 +365,7 @@ def run_fair(
         keep_trace=keep_trace,
         convergence=convergence,
         memo=memo,
+        faults=faults,
     )
 
 
@@ -324,6 +374,7 @@ def run_heartbeat_only(
     transducer: Transducer,
     partition: HorizontalPartition,
     max_rounds: int = 1_000,
+    faults: FaultPlan | None = None,
 ) -> RunResult:
     """Round-robin heartbeat transitions only (no deliveries ever).
 
@@ -339,6 +390,7 @@ def run_heartbeat_only(
         partition,
         HeartbeatOnlyScheduler(max_rounds=max_rounds),
         max_steps=None,
+        faults=faults,
     )
 
 
@@ -352,6 +404,7 @@ def run_fifo_rounds(
     batch_delivery: bool = False,
     convergence: str = "incremental",
     memo: ConvergenceMemo | None = None,
+    faults: FaultPlan | None = None,
 ) -> RunResult:
     """The deterministic fifo round schedule of Theorem 16's proof.
 
@@ -375,6 +428,7 @@ def run_fifo_rounds(
         keep_trace=keep_trace,
         convergence=convergence,
         memo=memo,
+        faults=faults,
     )
 
 
@@ -387,6 +441,7 @@ def run_round_robin_batch(
     batch_delivery: bool = True,
     convergence: str = "incremental",
     memo: ConvergenceMemo | None = None,
+    faults: FaultPlan | None = None,
 ) -> RunResult:
     """The round-robin batched-delivery schedule (new in the scheduler
     refactor): per round each node drains its whole buffer in one
@@ -407,6 +462,7 @@ def run_round_robin_batch(
         keep_trace=keep_trace,
         convergence=convergence,
         memo=memo,
+        faults=faults,
     )
 
 
@@ -418,6 +474,7 @@ def run_witness_guided(
     keep_trace: bool = False,
     batch_delivery: bool = False,
     memo: ConvergenceMemo | None = None,
+    faults: FaultPlan | None = None,
 ) -> RunResult:
     """A round-based run that delivers the convergence tracker's cached
     failure-witness facts first.
@@ -441,4 +498,5 @@ def run_witness_guided(
         keep_trace=keep_trace,
         convergence="incremental",
         memo=memo,
+        faults=faults,
     )

@@ -74,6 +74,7 @@ from ..lang.query import EmptyQuery, FOQuery, PythonQuery, Query
 from ..lang.ucq import UCQNegQuery
 from .convergence import ConvergenceMemo
 from .executor import SweepEngine, _fork_context
+from .faults import FaultPlan
 from .network import Network
 from .partition import HorizontalPartition
 
@@ -435,6 +436,11 @@ def _network_text(network) -> str:
 def _key_part_text(part) -> str:
     if isinstance(part, Network):
         return _network_text(part)
+    if isinstance(part, FaultPlan):
+        # The plan's canonical token renders every field in fixed
+        # order, so equal plans share disk cells and distinct plans
+        # (or clean runs, which carry no plan at all) never collide.
+        return part.token()
     if type(part) is tuple:
         return "(" + ",".join(_key_part_text(p) for p in part) + ")"
     if isinstance(part, str) and part.startswith("mem:"):
@@ -465,49 +471,114 @@ class _DiskTier:
     same results-are-pure-only-under-one-runtime argument that guards
     :meth:`RunCache.load`, enforced at open instead of read so a stale
     file degrades to a cold tier, never a wrong hit.
+
+    Damage degrades, never crashes: a corrupt or truncated file at
+    open is warned about, deleted and recreated fresh; if even that
+    fails — or sqlite errors mid-session — the tier disables itself
+    (gets miss, puts discard) and the cache continues memory-only.  A
+    long sweep must survive a bad disk, and the tier is only ever an
+    accelerator.
     """
 
     def __init__(self, path):
         self.path = str(path)
-        self._conn = sqlite3.connect(self.path)
-        self._conn.execute(
-            "CREATE TABLE IF NOT EXISTS meta (k TEXT PRIMARY KEY, v TEXT)"
-        )
-        self._conn.execute(
-            "CREATE TABLE IF NOT EXISTS entries (k TEXT PRIMARY KEY, v BLOB)"
-        )
-        stamp = f"{_CACHE_FORMAT}/{_CACHE_VERSION}/{runtime_token()}"
-        row = self._conn.execute(
-            "SELECT v FROM meta WHERE k = 'runtime'"
-        ).fetchone()
-        if row is None or row[0] != stamp:
-            self._conn.execute("DELETE FROM entries")
-            self._conn.execute(
-                "INSERT OR REPLACE INTO meta (k, v) VALUES ('runtime', ?)",
-                (stamp,),
+        self._conn = None
+        try:
+            self._conn = self._open()
+        except sqlite3.DatabaseError as exc:
+            warnings.warn(
+                f"run-cache disk tier {self.path!r} is corrupt ({exc}); "
+                "purging and starting a fresh tier",
+                RuntimeWarning,
+                stacklevel=3,
             )
-        self._conn.commit()
+            try:
+                os.remove(self.path)
+            except OSError:
+                pass
+            try:
+                self._conn = self._open()
+            except sqlite3.DatabaseError:
+                self._disable("could not be recreated")
+
+    def _open(self):
+        conn = sqlite3.connect(self.path)
+        try:
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta (k TEXT PRIMARY KEY, v TEXT)"
+            )
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS entries (k TEXT PRIMARY KEY, v BLOB)"
+            )
+            stamp = f"{_CACHE_FORMAT}/{_CACHE_VERSION}/{runtime_token()}"
+            row = conn.execute(
+                "SELECT v FROM meta WHERE k = 'runtime'"
+            ).fetchone()
+            if row is None or row[0] != stamp:
+                conn.execute("DELETE FROM entries")
+                conn.execute(
+                    "INSERT OR REPLACE INTO meta (k, v) VALUES ('runtime', ?)",
+                    (stamp,),
+                )
+            conn.commit()
+        except sqlite3.DatabaseError:
+            conn.close()
+            raise
+        return conn
+
+    def _disable(self, why: str) -> None:
+        warnings.warn(
+            f"run-cache disk tier {self.path!r} {why}; "
+            "disabling the tier (the cache continues memory-only)",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+        self._conn = None
 
     def get(self, text: str) -> bytes | None:
-        row = self._conn.execute(
-            "SELECT v FROM entries WHERE k = ?", (text,)
-        ).fetchone()
+        if self._conn is None:
+            return None
+        try:
+            row = self._conn.execute(
+                "SELECT v FROM entries WHERE k = ?", (text,)
+            ).fetchone()
+        except sqlite3.DatabaseError as exc:
+            self._disable(f"failed mid-session ({exc})")
+            return None
         return row[0] if row is not None else None
 
     def put(self, text: str, blob: bytes) -> None:
-        self._conn.execute(
-            "INSERT OR REPLACE INTO entries (k, v) VALUES (?, ?)",
-            (text, blob),
-        )
-        self._conn.commit()
+        if self._conn is None:
+            return
+        try:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO entries (k, v) VALUES (?, ?)",
+                (text, blob),
+            )
+            self._conn.commit()
+        except sqlite3.DatabaseError as exc:
+            self._disable(f"failed mid-session ({exc})")
 
     def __len__(self) -> int:
-        return self._conn.execute(
-            "SELECT COUNT(*) FROM entries"
-        ).fetchone()[0]
+        if self._conn is None:
+            return 0
+        try:
+            return self._conn.execute(
+                "SELECT COUNT(*) FROM entries"
+            ).fetchone()[0]
+        except sqlite3.DatabaseError as exc:
+            self._disable(f"failed mid-session ({exc})")
+            return 0
 
     def close(self) -> None:
-        self._conn.close()
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
 
 
 # ---------------------------------------------------------------------------
@@ -904,9 +975,37 @@ class RunCache:
         bound); by default the persisted bounds are kept.  *disk_path*
         attaches a disk tier to the loaded cache, so a bounded restore
         demotes its overflow instead of discarding it.
+
+        A *damaged* bundle — truncated, byte-flipped, any file whose
+        bytes no longer decode as a pickle — degrades to a cold cache
+        with a :class:`RuntimeWarning` instead of crashing the sweep
+        that wanted a warm start.  Bundles that decode fine but are the
+        wrong *thing* (not a saved RunCache, a different format
+        version, a different runtime) still raise ``ValueError``:
+        those are caller mistakes worth surfacing loudly, not disk rot.
+        A missing file raises ``FileNotFoundError`` as ever.
         """
-        with open(path, "rb") as handle:
-            payload = pickle.load(handle)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except OSError:
+            raise
+        except Exception as exc:
+            # Corrupt bytes surface as UnpicklingError, EOFError (a
+            # truncated stream) or whatever half-decoded garbage the
+            # pickle VM tripped over — none of which the caller can
+            # act on beyond starting cold, so do that for them.
+            warnings.warn(
+                f"run-cache bundle {str(path)!r} is damaged ({exc!r}); "
+                "starting with a cold cache",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return cls(
+                max_entries=None if max_entries is cls._KEEP else max_entries,
+                max_bytes=None if max_bytes is cls._KEEP else max_bytes,
+                disk_path=disk_path,
+            )
         if (
             not isinstance(payload, dict)
             or payload.get("format") != _CACHE_FORMAT

@@ -114,12 +114,17 @@ class Action:
     ``kind`` is one of ``"heartbeat"``, ``"deliver"``,
     ``"deliver_batch"`` or ``"check"``; ``node`` identifies the acting
     node (unused for checks); ``fact`` is the delivered fact for
-    one-at-a-time deliveries.
+    one-at-a-time deliveries.  The fault plane
+    (:mod:`repro.net.faults`) adds its own kinds — ``drop``,
+    ``duplicate``, ``delay``, ``crash``, ``restart``, ``partition`` —
+    executed by the driver on the wrapper's behalf; ``payload``
+    carries their extras (the restart's retain flag, the cut edge).
     """
 
     kind: str
     node: Node | None = None
     fact: Fact | None = None
+    payload: object = None
 
     @classmethod
     def heartbeat(cls, node: Node) -> "Action":
@@ -136,6 +141,26 @@ class Action:
     @classmethod
     def check(cls) -> "Action":
         return cls("check")
+
+    @classmethod
+    def drop(cls, node: Node, fact: Fact) -> "Action":
+        """Fault plane: remove one buffered occurrence of *fact*."""
+        return cls("drop", node, fact)
+
+    @classmethod
+    def duplicate(cls, node: Node, fact: Fact) -> "Action":
+        """Fault plane: add one extra buffered occurrence of *fact*."""
+        return cls("duplicate", node, fact)
+
+    @classmethod
+    def crash(cls, node: Node) -> "Action":
+        """Fault plane: take *node* down, clearing its buffer."""
+        return cls("crash", node)
+
+    @classmethod
+    def restart(cls, node: Node, retain_state: bool) -> "Action":
+        """Fault plane: bring *node* back (rebuilding state unless retained)."""
+        return cls("restart", node, payload=retain_state)
 
 
 # The driver sends back a GlobalTransition (for transition actions) or a

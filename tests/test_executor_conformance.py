@@ -47,6 +47,7 @@ from repro.core import (
 from repro.db import Fact, Instance, schema
 from repro.net import (
     LIFETIMES,
+    FaultPlan,
     RunCache,
     SweepEngine,
     check_consistency,
@@ -253,6 +254,102 @@ class TestFullMatrix:
             assert got == reference
             assert len(cache) <= 2
         assert cache.evictions > 0
+
+
+class TestFaultColumn:
+    """The fault column of the matrix: a seeded
+    :class:`~repro.net.FaultPlan` threaded through ``sweep_runs`` must
+    be bit-identical across every engine configuration — injected
+    faults are part of the schedule, not of the executor — and faulty
+    cells must never alias clean ones in a shared cache.
+    """
+
+    PLAN = FaultPlan(seed=7, loss=0.1, duplication=0.15, delay=0.2)
+
+    @pytest.fixture(scope="class")
+    def faulty_grid(self):
+        partitions = sample_partitions(GRAPH, line(3), 3)
+        seeds = (0, 1)
+        reference = sweep_runs(
+            line(3), TC, partitions, seeds, faults=self.PLAN
+        )
+        return partitions, seeds, reference
+
+    @pytest.mark.parametrize("label,make_engine", ENGINE_CONFIGS)
+    @pytest.mark.parametrize("cache_mode", ("none", "cold", "warm-disk"))
+    def test_faulty_sweep_matches_serial_reference(
+        self, faulty_grid, label, make_engine, cache_mode, tmp_path
+    ):
+        partitions, seeds, reference = faulty_grid
+        cache = None
+        if cache_mode != "none":
+            kwargs = {}
+            if cache_mode == "warm-disk":
+                kwargs["max_entries"] = BOUND
+                kwargs["disk_path"] = os.path.join(str(tmp_path), "tier.sqlite")
+            cache = RunCache(**kwargs)
+            if cache_mode.startswith("warm"):
+                sweep_runs(line(3), TC, partitions, seeds,
+                           run_cache=cache, faults=self.PLAN)
+        try:
+            got = _run_config(
+                make_engine,
+                network=line(3),
+                transducer=TC,
+                partitions=partitions,
+                seeds=seeds,
+                run_cache=cache,
+                faults=self.PLAN,
+            )
+            assert got == reference  # observation for observation
+            # the plan really disturbed the schedules
+            assert any(
+                obs.result.stats.messages_dropped
+                + obs.result.stats.messages_duplicated
+                + obs.result.stats.messages_delayed
+                > 0
+                for obs in got
+            )
+        finally:
+            if cache is not None:
+                cache.close()
+
+    def test_faulty_and_clean_sweeps_share_a_cache_without_aliasing(self):
+        partitions = sample_partitions(GRAPH, line(3), 2)
+        seeds = (0,)
+        cells = len(partitions) * len(seeds)
+        cache = RunCache()
+        clean = sweep_runs(line(3), TC, partitions, seeds, run_cache=cache)
+        faulty = sweep_runs(
+            line(3), TC, partitions, seeds, run_cache=cache, faults=self.PLAN
+        )
+        # every faulty cell missed: no clean cell was ever served for it
+        assert cache.cache_misses == 2 * cells
+        assert clean != faulty
+        # reruns of either flavor now hit their own cells
+        assert sweep_runs(
+            line(3), TC, partitions, seeds, run_cache=cache
+        ) == clean
+        assert sweep_runs(
+            line(3), TC, partitions, seeds, run_cache=cache, faults=self.PLAN
+        ) == faulty
+        assert cache.cache_misses == 2 * cells
+
+    def test_faulty_report_matches_serial_reference(self):
+        partitions = sample_partitions(GRAPH, line(3), 3)
+        reference = check_consistency(
+            line(3), TC, GRAPH, partitions=partitions, seeds=(0, 1),
+            faults=self.PLAN,
+        )
+        got = check_consistency(
+            line(3), TC, GRAPH, partitions=partitions, seeds=(0, 1),
+            faults=self.PLAN, workers=2,
+        )
+        assert got.consistent == reference.consistent
+        assert got.outputs == reference.outputs
+        assert got.observations == reference.observations
+        assert got.fault_counts() == reference.fault_counts()
+        assert sum(reference.fault_counts().values()) > 0
 
 
 values = st.integers(min_value=0, max_value=3)

@@ -1,0 +1,130 @@
+"""Golden seeded replay of *faulty* schedules.
+
+Companion to ``test_runtime_replay.py``: that file pins clean runs
+against the pre-refactor seed implementation; this one pins runs under
+seeded :class:`~repro.net.faults.FaultPlan`\\ s against goldens captured
+when the fault plane landed.  Any change to the fault plane's draw
+order — loss/duplication rolls, delay holds, crash/restart timing,
+partition edge choice — shows up here as a signature mismatch, the
+same bit-for-bit replay discipline the clean corpus enforces.  The
+signatures are process-independent by construction (verified across
+``PYTHONHASHSEED`` values at capture time): every seeded choice in the
+fault plane sorts by canonical keys, never by hash order.
+"""
+
+import pytest
+
+from repro.core import relay_identity_transducer, transitive_closure_transducer
+from repro.db import instance, schema
+from repro.net import (
+    FaultPlan,
+    line,
+    ring,
+    round_robin,
+    run_fair,
+    run_fifo_rounds,
+    run_round_robin_batch,
+    star,
+)
+
+TC = transitive_closure_transducer()
+GRAPH = instance(schema(S=2), S=[(1, 2), (2, 3), (3, 1)])
+RELAY = relay_identity_transducer()
+ELEMENTS = instance(schema(S=1), S=[(1,), (2,), (3,)])
+
+WORKLOADS = {
+    "tc-line3": (TC, GRAPH, line(3)),
+    "tc-ring4": (TC, GRAPH, ring(4)),
+    "relay-star4": (RELAY, ELEMENTS, star(4)),
+}
+
+PLANS = {
+    "dupdelay": FaultPlan(seed=13, duplication=0.3, delay=0.3),
+    "lossy": FaultPlan(seed=21, loss=0.25),
+    "crashy": FaultPlan(seed=34, crash=0.1, restart_after=4,
+                        retain_state=False),
+    "mixed": FaultPlan(seed=55, loss=0.1, duplication=0.15, delay=0.2,
+                       crash=0.02, partition_rate=0.02),
+}
+
+# (steps, heartbeats, deliveries, facts_sent, quiescence_step, |out|,
+#  converged, dropped, duplicated, delayed, crashes, restarts, partitions)
+GOLDEN_FAIR = {
+    ("tc-line3", "dupdelay", 0): (77, 38, 39, 104, 42, 9, True, 0, 44, 27, 0, 0, 0),
+    ("tc-line3", "dupdelay", 1): (43, 16, 27, 61, 18, 9, True, 0, 26, 16, 0, 0, 0),
+    ("tc-line3", "lossy", 0): (48, 19, 29, 69, 19, 9, True, 25, 0, 0, 0, 0, 0),
+    ("tc-line3", "lossy", 1): (61, 18, 43, 90, 17, 9, True, 33, 0, 0, 0, 0, 0),
+    ("tc-line3", "crashy", 0): (67, 22, 45, 100, 24, 9, True, 10, 0, 0, 2, 2, 0),
+    ("tc-line3", "crashy", 1): (45, 12, 33, 71, 19, 9, True, 14, 0, 0, 2, 2, 0),
+    ("tc-line3", "mixed", 0): (100, 37, 63, 149, 58, 9, True, 27, 12, 16, 0, 0, 2),
+    ("tc-line3", "mixed", 1): (69, 25, 44, 101, 20, 9, True, 17, 14, 10, 1, 1, 1),
+    ("tc-ring4", "dupdelay", 0): (90, 37, 53, 107, 40, 9, True, 0, 63, 37, 0, 0, 0),
+    ("tc-ring4", "dupdelay", 1): (67, 22, 45, 81, 23, 9, True, 0, 60, 23, 0, 0, 0),
+    ("tc-ring4", "lossy", 0): (50, 16, 34, 67, 34, 9, True, 34, 0, 0, 0, 0, 0),
+    ("tc-ring4", "lossy", 1): (96, 22, 74, 120, 20, 9, True, 61, 0, 0, 0, 0, 0),
+    ("tc-ring4", "crashy", 0): (61, 19, 42, 81, 32, 9, True, 12, 0, 0, 2, 2, 0),
+    ("tc-ring4", "crashy", 1): (61, 13, 48, 83, 33, 9, True, 15, 0, 0, 2, 2, 0),
+    ("tc-ring4", "mixed", 0): (71, 22, 49, 90, 26, 9, True, 23, 20, 10, 0, 0, 0),
+    ("tc-ring4", "mixed", 1): (47, 14, 33, 60, 28, 9, True, 23, 13, 9, 2, 2, 1),
+    ("relay-star4", "dupdelay", 0): (54, 23, 31, 67, 24, 3, True, 0, 29, 8, 0, 0, 0),
+    ("relay-star4", "dupdelay", 1): (36, 10, 26, 43, 17, 3, True, 0, 22, 11, 0, 0, 0),
+    ("relay-star4", "lossy", 0): (82, 27, 55, 104, 21, 3, True, 47, 0, 0, 0, 0, 0),
+    ("relay-star4", "lossy", 1): (97, 34, 63, 121, 59, 3, True, 49, 0, 0, 0, 0, 0),
+    ("relay-star4", "crashy", 0): (95, 31, 64, 119, 42, 3, True, 11, 0, 0, 2, 2, 0),
+    ("relay-star4", "crashy", 1): (75, 26, 49, 89, 11, 3, True, 11, 0, 0, 2, 2, 0),
+    ("relay-star4", "mixed", 0): (63, 30, 33, 71, 28, 3, True, 41, 18, 13, 1, 1, 2),
+    ("relay-star4", "mixed", 1): (37, 12, 25, 43, 14, 3, True, 9, 12, 9, 0, 0, 1),
+}
+
+GOLDEN_DETERMINISTIC = {
+    ("fifo-rounds", "dupdelay"): (96, 57, 39, 129, 22, 9, True, 0, 54, 18, 0, 0, 0),
+    ("round-robin-batch", "dupdelay"): (25, 15, 10, 44, 14, 9, True, 0, 17, 5, 0, 0, 0),
+    ("fifo-rounds", "mixed"): (83, 49, 34, 113, 24, 9, True, 44, 11, 12, 2, 2, 2),
+    ("round-robin-batch", "mixed"): (24, 12, 12, 45, 17, 9, True, 7, 8, 0, 0, 0, 0),
+}
+
+
+def _signature(result):
+    s = result.stats
+    return (
+        s.steps,
+        s.heartbeats,
+        s.deliveries,
+        s.facts_sent,
+        result.quiescence_step,
+        len(result.output),
+        result.converged,
+        s.messages_dropped,
+        s.messages_duplicated,
+        s.messages_delayed,
+        s.crashes,
+        s.restarts,
+        s.partitions,
+    )
+
+
+class TestGoldenFaultReplay:
+    @pytest.mark.parametrize("workload,plan,seed", sorted(GOLDEN_FAIR))
+    def test_faulty_fair_runs_match_goldens(self, workload, plan, seed):
+        transducer, I, net = WORKLOADS[workload]
+        result = run_fair(
+            net, transducer, round_robin(I, net), seed=seed,
+            faults=PLANS[plan],
+        )
+        assert _signature(result) == GOLDEN_FAIR[(workload, plan, seed)]
+        assert result.scheduler == "faulty(fair-random)"
+
+    @pytest.mark.parametrize("runner,plan", sorted(GOLDEN_DETERMINISTIC))
+    def test_faulty_deterministic_runs_match_goldens(self, runner, plan):
+        run = run_fifo_rounds if runner == "fifo-rounds" else run_round_robin_batch
+        result = run(line(3), TC, round_robin(GRAPH, line(3)),
+                     faults=PLANS[plan])
+        assert _signature(result) == GOLDEN_DETERMINISTIC[(runner, plan)]
+
+    def test_every_golden_cell_converged_to_the_clean_output(self):
+        # The corpus is not just stable — it is *correct*: these
+        # CALM-positive workloads reach their clean output under every
+        # plan in the corpus (retransmit-on-heartbeat restores lost
+        # copies; crashes restart; partitions heal).
+        assert all(sig[6] for sig in GOLDEN_FAIR.values())
+        assert {w for (w, _, _) in GOLDEN_FAIR} == set(WORKLOADS)

@@ -20,6 +20,7 @@ canonical partition digests and trace compression):
 """
 
 import pickle
+import warnings
 
 import hypothesis.strategies as st
 import pytest
@@ -1358,3 +1359,118 @@ class TestWorkerSharedTier:
         )
         assert warm == obs
         assert cache.cache_misses == distinct  # no new misses warm
+
+
+# ---------------------------------------------------------------------------
+# Damage degradation: corrupt bundles and disk tiers never crash a sweep
+# ---------------------------------------------------------------------------
+
+
+class TestCacheDamageDegradation:
+    """A damaged persistence layer degrades, it does not crash.
+
+    An undecodable bundle (truncated write, flipped bytes) loads as a
+    cold cache with a :class:`RuntimeWarning`; a corrupt sqlite disk
+    tier is purged and recreated at open, or disabled mid-session —
+    and in every case the sweep on top runs to completion.  Decodable
+    bundles with the *wrong contents* still raise ``ValueError``: that
+    is a caller error (wrong file, wrong runtime), not storage damage.
+    """
+
+    def _saved_bundle(self, tmp_path):
+        cache = RunCache()
+        partition = sample_partitions(GRAPH, line(2), 1)[0]
+        sweep_runs(line(2), TC, [partition], (0,), run_cache=cache)
+        path = tmp_path / "cache.pkl"
+        cache.save(path)
+        return path
+
+    def test_truncated_bundle_loads_cold_with_a_warning(self, tmp_path):
+        path = self._saved_bundle(tmp_path)
+        blob = path.read_bytes()
+        assert len(blob) > 16
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.warns(RuntimeWarning, match="damaged"):
+            loaded = RunCache.load(path)
+        assert len(loaded) == 0
+        loaded.record(("k",), "v")  # cold but fully usable
+        assert loaded.get(("k",)) == "v"
+
+    def test_byte_flipped_bundle_never_propagates_decoder_errors(
+        self, tmp_path
+    ):
+        # Flip one byte at a time across the stream: every position
+        # either still decodes (and validates or ValueErrors) or
+        # degrades with the warning — no pickle/EOF error ever escapes.
+        path = self._saved_bundle(tmp_path)
+        blob = bytearray(path.read_bytes())
+        step = max(1, len(blob) // 40)
+        for pos in range(0, len(blob), step):
+            flipped = bytearray(blob)
+            flipped[pos] ^= 0xFF
+            path.write_bytes(bytes(flipped))
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                try:
+                    loaded = RunCache.load(path)
+                except ValueError:
+                    continue  # decoded to the wrong shape: caller error
+                assert isinstance(loaded, RunCache)
+
+    def test_wrong_content_bundles_still_raise_not_warn(self, tmp_path):
+        path = tmp_path / "junk.pkl"
+        path.write_bytes(pickle.dumps({"hello": "world"}))
+        with pytest.raises(ValueError, match="not a saved RunCache"):
+            RunCache.load(path)
+        with pytest.raises(FileNotFoundError):
+            RunCache.load(tmp_path / "missing.pkl")
+
+    def test_corrupt_disk_tier_is_purged_at_open(self, tmp_path):
+        disk = tmp_path / "tier.sqlite"
+        disk.write_bytes(b"this is not a sqlite database, not even close")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            cache = RunCache(max_entries=1, disk_path=str(disk))
+        try:
+            # the fresh tier really works: evictions demote, misses promote
+            for i in range(3):
+                cache.record(("k", i), f"v{i}")
+            assert cache.stats()["demotions"] > 0
+            assert cache.get(("k", 0)) == "v0"
+            assert cache.stats()["promotions"] > 0
+        finally:
+            cache.close()
+
+    def test_corrupted_cache_start_never_crashes_a_sweep(self, tmp_path):
+        partitions = sample_partitions(GRAPH, line(3), 3)
+        reference = sweep_runs(line(3), TC, partitions, (0, 1))
+        disk = tmp_path / "tier.sqlite"
+        disk.write_bytes(b"\x00" * 512)
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            cache = RunCache(max_entries=3, disk_path=str(disk))
+        try:
+            got = sweep_runs(
+                line(3), TC, partitions, (0, 1),
+                run_cache=cache, workers=2,
+            )
+            assert got == reference
+        finally:
+            cache.close()
+
+    def test_mid_session_disk_failure_disables_the_tier(self, tmp_path):
+        disk = tmp_path / "tier.sqlite"
+        cache = RunCache(max_entries=1, disk_path=str(disk))
+        try:
+            for i in range(3):
+                cache.record(("k", i), f"v{i}")
+            assert cache.stats()["disk_entries"] > 0
+            # Scribble over the database out from under the live
+            # connection: the next disk read hits malformed pages.
+            disk.write_bytes(b"\xde\xad\xbe\xef" * 4096)
+            with pytest.warns(RuntimeWarning, match="disabling the tier"):
+                assert cache.get(("k", 0)) is None  # demoted + lost
+            # memory stays authoritative; the cache keeps working
+            cache.record(("k", 9), "v9")
+            assert cache.get(("k", 9)) == "v9"
+            assert cache.stats()["disk_entries"] == 0
+        finally:
+            cache.close()
