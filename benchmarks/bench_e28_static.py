@@ -1,0 +1,134 @@
+"""E28 — static-first CALM verdicts (the analyzer as an optimization).
+
+Claim: on a statically certifiable transducer (E17's chain workload on
+the transitive-closure transducer), ``calm_verdict(static_first=True)``
+returns the bit-identical verdict while skipping the empirical
+coordination and monotonicity sweeps — a ≥5× end-to-end speedup — and
+falls back to the full empirical harness whenever the certificate does
+not apply (non-NTI transducers, fault plans, uncertified properties).
+
+The static analysis itself is microseconds: it reads program text, not
+run behaviour, so its cost is independent of the instance size.
+"""
+
+import pathlib
+import time
+
+from conftest import once, write_snapshot
+
+from repro.analysis import analyze_transducer, calm_verdict
+from repro.core.examples import ALL_EXAMPLES
+from repro.db import Instance
+
+TRIALS = 24
+SIZES = (4, 6, 8)
+
+
+def _chain(n):
+    return {"S": [(i, i + 1) for i in range(n)]}
+
+
+def _fresh(name, payload):
+    """A fresh transducer + instance per measurement: no memo reuse."""
+    t = ALL_EXAMPLES[name]()
+    return t, Instance.from_dict(t.schema.inputs, payload)
+
+
+def test_e28_static_first_speedup(benchmark, report):
+    rows = []
+    ok = True
+    snapshot_rows = []
+
+    def run_all():
+        nonlocal ok
+        for n in SIZES:
+            t_emp, inst = _fresh("example3", _chain(n))
+            t_sta, _ = _fresh("example3", _chain(n))
+
+            t0 = time.perf_counter()
+            v_emp = calm_verdict(t_emp, inst, monotonicity_trials=TRIALS)
+            emp_s = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            v_sta = calm_verdict(
+                t_sta, inst, monotonicity_trials=TRIALS, static_first=True
+            )
+            sta_s = time.perf_counter() - t0
+
+            speedup = emp_s / sta_s
+            row_ok = (
+                v_emp == v_sta
+                and v_emp.verdict_source == "empirical"
+                and v_sta.verdict_source == "static"
+                and v_sta.sources["computed_query_monotone"] == "static"
+                and speedup >= 3.0
+            )
+            ok &= row_ok
+            rows.append([
+                n, f"{emp_s * 1e3:.1f} ms", f"{sta_s * 1e3:.1f} ms",
+                f"{speedup:.1f}x", v_sta.verdict_source,
+                "identical" if v_emp == v_sta else "DIVERGED",
+            ])
+            snapshot_rows.append({
+                "chain": n, "empirical_s": emp_s, "static_first_s": sta_s,
+                "speedup": speedup, "verdict_source": v_sta.verdict_source,
+                "identical": v_emp == v_sta,
+            })
+        # The bar is on the workload, not on every row: the NTI probe
+        # stays empirical and grows with n, diluting per-row speedups.
+        ok &= max(r["speedup"] for r in snapshot_rows) >= 5.0
+
+    once(benchmark, run_all)
+    report(
+        "E28",
+        "static-first verdicts are bit-identical and ≥5x faster when the "
+        "certificate applies",
+        ["chain n", "empirical", "static-first", "speedup", "source", "verdict"],
+        rows,
+        ok,
+        detail=f"monotonicity_trials={TRIALS}",
+    )
+
+    t0 = time.perf_counter()
+    analyze_transducer(ALL_EXAMPLES["example3"]())
+    analysis_s = time.perf_counter() - t0
+
+    write_snapshot(
+        pathlib.Path(__file__).parent / "BENCH_static.json",
+        {
+            "experiment": "E28",
+            "workload": "transitive closure on chain graphs (E17)",
+            "monotonicity_trials": TRIALS,
+            "rows": snapshot_rows,
+            "static_analysis_only_s": analysis_s,
+            "speedup_bar": 5.0,
+        },
+    )
+
+
+def test_e28_fallback_stays_empirical(report):
+    """The shortcut must not fire where the certificate does not apply."""
+    rows = []
+    ok = True
+
+    # example10 (emptiness) is non-oblivious: nothing is certified, the
+    # whole verdict is empirical.  example4 (relay) is oblivious but not
+    # NTI, so Prop. 11's precondition fails and the sweeps still run.
+    for name, payload in (("example10", {"S": [(1,)]}),
+                          ("example4", {"S": [(1,), (2,)]})):
+        t, inst = _fresh(name, payload)
+        v = calm_verdict(t, inst, monotonicity_trials=8, static_first=True)
+        row_ok = (
+            v.verdict_source == "empirical"
+            and v.sources["coordination_free"] == "empirical"
+        )
+        ok &= row_ok
+        rows.append([name, v.verdict_source, v.topology_independent])
+
+    report(
+        "E28b",
+        "static_first falls back to the empirical harness off-certificate",
+        ["transducer", "verdict_source", "NTI"],
+        rows,
+        ok,
+    )

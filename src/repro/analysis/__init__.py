@@ -1,13 +1,46 @@
-"""Cross-cutting empirical verifiers: the CALM harness and reporting."""
+"""Cross-cutting verifiers: static CALM analysis, the empirical CALM
+harness, and shared reporting.
+
+The static side (`repro.analysis.static`) certifies properties from
+program text with provenance-carrying diagnostics; the empirical side
+(:func:`calm_verdict` and the net harnesses) settles what statics
+cannot.  ``calm_verdict(..., static_first=True)`` combines the two.
+"""
 
 from .calm import CalmVerdict, ComputedQuery, calm_verdict
-from .reporting import experiment_banner, format_table, verdict
+from .reporting import (
+    experiment_banner,
+    format_table,
+    render_report,
+    render_reports,
+    reports_to_json,
+    verdict,
+)
+from .static import (
+    Diagnostic,
+    Severity,
+    StaticReport,
+    Verdict,
+    analyze_dedalus,
+    analyze_query,
+    analyze_transducer,
+)
 
 __all__ = [
     "CalmVerdict",
     "ComputedQuery",
+    "Diagnostic",
+    "Severity",
+    "StaticReport",
+    "Verdict",
+    "analyze_dedalus",
+    "analyze_query",
+    "analyze_transducer",
     "calm_verdict",
     "experiment_banner",
     "format_table",
+    "render_report",
+    "render_reports",
+    "reports_to_json",
     "verdict",
 ]

@@ -15,7 +15,8 @@ definitive, confirmations are evidence.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..core.properties import property_report
 from ..core.transducer import Transducer
@@ -26,6 +27,9 @@ from ..lang.query import Query
 from ..net.consistency import computed_output
 from ..net.coordination import check_coordination_free_on
 from ..net.network import Network, line
+
+if TYPE_CHECKING:
+    from .static.diagnostics import StaticReport
 
 
 class ComputedQuery(Query):
@@ -104,6 +108,29 @@ class CalmVerdict:
     coordination_free: bool | None
     computed_query_monotone: bool | None
     topology_independent: bool | None = None
+    #: "static" when at least one semantic probe was discharged by a
+    #: static certificate, else "empirical".  Excluded from equality:
+    #: static-first and full-empirical verdicts of the same transducer
+    #: compare equal (the soundness contract).
+    verdict_source: str = field(default="empirical", compare=False)
+    #: Per-probe provenance: probe name → "static" | "empirical".
+    sources: dict[str, str] = field(default_factory=dict, compare=False, repr=False)
+    #: The transducer's static report when static analysis ran.
+    static_report: StaticReport | None = field(
+        default=None, compare=False, repr=False
+    )
+
+    def explain(self) -> str:
+        """Human-readable rendering: probe sources plus, when static
+        analysis ran, the full provenance-carrying report."""
+        from .reporting import format_table, render_report
+
+        rows = [("verdict_source", self.verdict_source)]
+        rows.extend(sorted(self.sources.items()))
+        text = format_table(("probe", "source"), rows)
+        if self.static_report is not None:
+            text += "\n\n" + render_report(self.static_report)
+        return text
 
     def consistent_with_calm(self) -> bool:
         """Does the verdict satisfy the implications of Corollary 13?
@@ -146,6 +173,7 @@ def calm_verdict(
     pool=None,
     engine=None,
     faults=None,
+    static_first: bool = False,
 ) -> CalmVerdict:
     """Assemble the full CALM diagnostic for one transducer.
 
@@ -174,8 +202,22 @@ def calm_verdict(
     faults.  The coordination probes stay *clean* deliberately: they
     drive heartbeat-only schedules whose verdict semantics (cycle
     detection over message-free runs) a fault plan would distort.
+
+    *static_first* consults the static analyzer before sweeping.  The
+    NTI probe always runs empirically (there is no sound static NTI
+    certificate — ``relay_identity`` is oblivious yet not NTI); when it
+    passes and no fault plan is injected, a certified-oblivious
+    transducer skips the coordination probes (Prop. 11) and a
+    certified-Id-free one skips the monotonicity sweep (Thm. 16).  The
+    resulting verdict is **equal** to the full empirical one — the
+    certificates are sound, pinned by the differential suite — with
+    ``verdict_source`` / per-probe ``sources`` recording which probes
+    were discharged statically and ``static_report`` carrying the
+    diagnostics.
     """
+    from ..net.consistency import check_topology_independence
     from ..net.convergence import resolve_memo
+    from ..net.network import single
     from ..net.runcache import resolve_run_cache
 
     network = network if network is not None else line(2)
@@ -187,32 +229,17 @@ def calm_verdict(
         memo=memo, run_cache=run_cache, faults=faults,
     )
 
-    coordination_free: bool | None = None
-    if check_coordination:
-        probes = [test_instance, Instance.empty(transducer.schema.inputs)]
-        verdicts = []
-        for probe in probes:
-            expected = query(probe)
-            report = check_coordination_free_on(
-                network, transducer, probe, expected,
-                workers=workers, backend=backend,
-                run_cache=run_cache, pool=pool, engine=engine,
-            )
-            verdicts.append(report.coordination_free)
-        coordination_free = all(verdicts)
+    static_report: StaticReport | None = None
+    if static_first:
+        from .static import analyze_transducer
 
-    monotone: bool | None = None
-    pairs = instance_pairs(
-        transducer.schema.inputs,
-        monotonicity_domain,
-        monotonicity_trials,
-        seed=seed,
-    )
-    monotone = all(check_monotone_pair(query, small, big) for small, big in pairs)
+        static_report = analyze_transducer(transducer)
 
-    from ..net.consistency import check_topology_independence
-    from ..net.network import single
-
+    # The NTI probe runs first: it is the premise of every static
+    # shortcut (Prop. 11 and Thm. 16 both presuppose NTI).  Each probe
+    # below is independently seeded, so the order of execution cannot
+    # change any individual verdict.
+    sources: dict[str, str] = {"topology_independent": "empirical"}
     nti_report = check_topology_independence(
         transducer,
         test_instance,
@@ -227,6 +254,57 @@ def calm_verdict(
         engine=engine,
         faults=faults,
     )
+    # Static certificates only discharge probes when their NTI premise
+    # holds and the run is clean (a fault plan changes what the
+    # empirical probes would measure, so nothing is skipped under one).
+    static_ok = (
+        static_report is not None
+        and nti_report.independent
+        and faults is None
+    )
+
+    coordination_free: bool | None = None
+    if check_coordination:
+        if (
+            static_ok
+            and static_report is not None
+            and static_report.certifies("coordination_free_given_nti")
+        ):
+            coordination_free = True
+            sources["coordination_free"] = "static"
+        else:
+            probes = [test_instance, Instance.empty(transducer.schema.inputs)]
+            verdicts = []
+            for probe in probes:
+                expected = query(probe)
+                report = check_coordination_free_on(
+                    network, transducer, probe, expected,
+                    workers=workers, backend=backend,
+                    run_cache=run_cache, pool=pool, engine=engine,
+                )
+                verdicts.append(report.coordination_free)
+            coordination_free = all(verdicts)
+            sources["coordination_free"] = "empirical"
+
+    monotone: bool | None = None
+    if (
+        static_ok
+        and static_report is not None
+        and static_report.certifies("computed_monotone_given_nti")
+    ):
+        monotone = True
+        sources["computed_query_monotone"] = "static"
+    else:
+        pairs = instance_pairs(
+            transducer.schema.inputs,
+            monotonicity_domain,
+            monotonicity_trials,
+            seed=seed,
+        )
+        monotone = all(
+            check_monotone_pair(query, small, big) for small, big in pairs
+        )
+        sources["computed_query_monotone"] = "empirical"
 
     return CalmVerdict(
         name=transducer.name,
@@ -238,6 +316,11 @@ def calm_verdict(
         coordination_free=coordination_free,
         computed_query_monotone=monotone,
         topology_independent=nti_report.independent,
+        verdict_source=(
+            "static" if "static" in sources.values() else "empirical"
+        ),
+        sources=sources,
+        static_report=static_report,
     )
 
 

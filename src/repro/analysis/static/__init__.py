@@ -1,0 +1,51 @@
+"""The static CALM analyzer.
+
+One implementation of the syntactic CALM theory: polarity walks over
+FO / UCQ¬ / stratified-Datalog / Dedalus ASTs, a predicate dependency
+graph with edge polarity, provenance-carrying three-valued verdicts
+(:class:`Verdict`), stable ``CALM0xx`` diagnostics and per-subject
+:class:`StaticReport` aggregation.  Entry points:
+
+* :func:`analyze_query` — any :class:`repro.lang.query.Query`
+* :func:`analyze_transducer` — whole-transducer CALM certificate
+* :func:`analyze_dedalus` — Dedalus program analysis
+
+``calm_verdict(..., static_first=True)`` consults these to discharge
+the empirical monotonicity / coordination sweeps whenever a sound
+certificate exists; ``python -m repro.analysis.lint`` exposes them on
+the command line.
+"""
+
+from .dedalus import analyze_dedalus
+from .diagnostics import (
+    CODES,
+    Diagnostic,
+    Severity,
+    StaticReport,
+    Verdict,
+    combine,
+)
+from .polarity import (
+    DepEdge,
+    DependencyGraph,
+    formula_diagnostics,
+    rule_diagnostics,
+)
+from .queries import analyze_query
+from .transducers import analyze_transducer
+
+__all__ = [
+    "CODES",
+    "DepEdge",
+    "DependencyGraph",
+    "Diagnostic",
+    "Severity",
+    "StaticReport",
+    "Verdict",
+    "analyze_dedalus",
+    "analyze_query",
+    "analyze_transducer",
+    "combine",
+    "formula_diagnostics",
+    "rule_diagnostics",
+]

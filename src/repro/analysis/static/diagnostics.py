@@ -1,0 +1,259 @@
+"""The diagnostics model of the static CALM analyzer.
+
+Every verdict the analyzer produces is *provenance-carrying*: a
+three-valued :class:`Verdict` (certified / refuted / unknown) plus the
+:class:`Diagnostic` records explaining exactly which rule, negated
+atom, quantifier or system-relation read blocked (or would block) a
+certificate.  Diagnostics carry stable ``CALM0xx`` codes so tests, CI
+and downstream tooling can match on them, a ``where`` breadcrumb
+(role › rule › subformula), a ``span`` (the offending program
+fragment, pretty-printed) and a fix ``hint``.
+
+Aggregation lives in :class:`StaticReport`: one report per analyzed
+subject (query, transducer, program), with a ``verdicts`` map from
+property name to :class:`Verdict` and provenance notes citing the
+paper results each certificate rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from collections.abc import Iterable
+
+
+class Verdict(Enum):
+    """A three-valued static verdict.
+
+    ``CERTIFIED`` is a *sound* positive: the property provably holds
+    from the program text.  ``REFUTED`` is a sound negative (only used
+    for exactly-decidable syntactic facts, e.g. obliviousness — a query
+    either reads ``Id``/``All`` or it does not).  ``UNKNOWN`` means the
+    analyzer cannot decide; semantic properties (monotonicity,
+    emptiness) are undecidable, so their negative side is always
+    ``UNKNOWN`` and must be settled empirically.
+    """
+
+    CERTIFIED = "certified"
+    REFUTED = "refuted"
+    UNKNOWN = "unknown"
+
+    @property
+    def certified(self) -> bool:
+        return self is Verdict.CERTIFIED
+
+    @property
+    def refuted(self) -> bool:
+        return self is Verdict.REFUTED
+
+    def __repr__(self) -> str:  # noqa: D105 — compact in report tables
+        return self.value
+
+
+def combine(verdicts: Iterable[Verdict]) -> Verdict:
+    """Conjunction of verdicts: all certified ⇒ certified; any refuted
+    ⇒ refuted; otherwise unknown."""
+    out = Verdict.CERTIFIED
+    for v in verdicts:
+        if v is Verdict.REFUTED:
+            return Verdict.REFUTED
+        if v is Verdict.UNKNOWN:
+            out = Verdict.UNKNOWN
+    return out
+
+
+class Severity(Enum):
+    """How a diagnostic affects the lint exit status.
+
+    ``ERROR`` marks a malformed program (parse failure, unsafe rule,
+    unstratifiable negation) — the lint CLI exits nonzero.  ``WARNING``
+    marks a certificate blocker: the program is perfectly valid, it
+    just cannot be *statically certified* monotone / oblivious /
+    coordination-free (coordinating programs are supposed to trip
+    these).  ``INFO`` is advice.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+#: The stable diagnostic code registry: code → (slug, default severity,
+#: fix hint).  Codes are append-only; never renumber.
+CODES: dict[str, tuple[str, Severity, str]] = {
+    "CALM001": (
+        "negated-idb-dependency",
+        Severity.WARNING,
+        "the output relation (transitively) depends on a negated "
+        "derived relation; restructure so negation only touches "
+        "relations the output does not need, or accept coordination",
+    ),
+    "CALM002": (
+        "universal-quantifier",
+        Severity.WARNING,
+        "∀ ranges over the active domain, which grows with the "
+        "instance — rewrite with ∃ if the query allows it",
+    ),
+    "CALM003": (
+        "non-oblivious-system-read",
+        Severity.WARNING,
+        "reading Id or All makes the transducer aware of its network "
+        "context; oblivious transducers are coordination-free "
+        "(Prop. 11), Id-free ones compute monotone queries (Thm. 16)",
+    ),
+    "CALM004": (
+        "negated-subformula",
+        Severity.WARNING,
+        "a negated atom or subformula breaks the positive-existential "
+        "certificate; drop the negation or certify empirically",
+    ),
+    "CALM005": (
+        "opaque-query",
+        Severity.WARNING,
+        "the analyzer cannot see inside this query; declare "
+        "monotone=True on PythonQuery if the author can vouch for it",
+    ),
+    "CALM006": (
+        "non-empty-delete",
+        Severity.WARNING,
+        "a deletion query that is not certifiably empty blocks the "
+        "inflationary certificate; remove the delete rule or make it "
+        "an EmptyQuery",
+    ),
+    "CALM007": (
+        "non-monotone-construct",
+        Severity.WARNING,
+        "emptiness tests, gates and unbounded loops are non-monotone "
+        "constructs; the certificate must come from an empirical sweep",
+    ),
+    "CALM008": (
+        "entangled-timestamp",
+        Severity.WARNING,
+        "copying `now` into a data position lets the program name "
+        "unboundedly many new values (Thm. 18) — drop the entanglement "
+        "unless that expressiveness is intended",
+    ),
+    "CALM009": (
+        "unstratifiable-negation",
+        Severity.ERROR,
+        "negation through recursion has no stratified semantics; break "
+        "the negative cycle",
+    ),
+    "CALM010": (
+        "parse-error",
+        Severity.ERROR,
+        "fix the syntax error; see the repro.lang.parser grammar",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding, anchored to a program location.
+
+    *where* is a ``›``-separated breadcrumb (e.g. ``output › disjunct 2``)
+    and *span* the pretty-printed offending fragment — the repo's ASTs
+    carry no source offsets, so the fragment itself is the span.
+    """
+
+    code: str
+    message: str
+    where: str = ""
+    span: str = ""
+    severity: Severity | None = None
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+        if self.severity is None:
+            object.__setattr__(self, "severity", CODES[self.code][1])
+
+    @property
+    def slug(self) -> str:
+        return CODES[self.code][0]
+
+    @property
+    def hint(self) -> str:
+        return CODES[self.code][2]
+
+    def qualified(self, prefix: str) -> "Diagnostic":
+        """The same diagnostic with *prefix* prepended to the breadcrumb."""
+        where = f"{prefix} › {self.where}" if self.where else prefix
+        return replace(self, where=where)
+
+    def to_json(self) -> dict:
+        return {
+            "code": self.code,
+            "slug": self.slug,
+            "severity": self.severity.value if self.severity else None,
+            "message": self.message,
+            "where": self.where,
+            "span": self.span,
+            "hint": self.hint,
+        }
+
+    def __repr__(self) -> str:
+        loc = f" at {self.where}" if self.where else ""
+        return f"{self.code}[{self.slug}]{loc}: {self.message}"
+
+
+@dataclass
+class StaticReport:
+    """The aggregated static analysis of one subject.
+
+    ``verdicts`` maps property names (``monotone``, ``oblivious``,
+    ``inflationary``, ``coordination_free_given_nti``, ...) to
+    three-valued verdicts; ``provenance`` records, per certificate, the
+    paper result it rests on.  ``reads`` is the exact set of relation
+    names the subject's queries may read (the obliviousness evidence).
+    """
+
+    subject: str
+    kind: str
+    verdicts: dict[str, Verdict] = field(default_factory=dict)
+    diagnostics: tuple[Diagnostic, ...] = ()
+    provenance: tuple[str, ...] = ()
+    reads: frozenset[str] = frozenset()
+
+    def verdict(self, prop: str) -> Verdict:
+        return self.verdicts.get(prop, Verdict.UNKNOWN)
+
+    def certifies(self, prop: str) -> bool:
+        """True when *prop* is soundly certified from the program text."""
+        return self.verdict(prop).certified
+
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(
+            d for d in self.diagnostics if d.severity is Severity.ERROR
+        )
+
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(
+            d for d in self.diagnostics if d.severity is Severity.WARNING
+        )
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity diagnostics (the program is well-formed)."""
+        return not self.errors()
+
+    def codes(self) -> frozenset[str]:
+        return frozenset(d.code for d in self.diagnostics)
+
+    def to_json(self) -> dict:
+        return {
+            "subject": self.subject,
+            "kind": self.kind,
+            "ok": self.ok,
+            "verdicts": {k: v.value for k, v in sorted(self.verdicts.items())},
+            "reads": sorted(self.reads),
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+            "provenance": list(self.provenance),
+        }
+
+    def __repr__(self) -> str:
+        certified = sorted(k for k, v in self.verdicts.items() if v.certified)
+        return (
+            f"StaticReport({self.subject!r}, {self.kind}, "
+            f"certified={certified}, {len(self.diagnostics)} diagnostics)"
+        )

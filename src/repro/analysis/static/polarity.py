@@ -1,0 +1,250 @@
+"""The polarity/dependency dataflow pass.
+
+Two walkers produce the raw material every certificate is built from:
+
+* :func:`formula_diagnostics` walks an FO formula and emits one
+  diagnostic per construct that leaves the positive-existential
+  fragment (negation, universal quantification) — each anchored to its
+  subformula path.  A formula with no findings is monotone (Cor. 14's
+  "positive-existential FO" certificate; equality atoms are fine,
+  ``¬`` of anything — including equalities — and ``∀`` are not,
+  matching the strict :meth:`repro.lang.ast.Formula.is_positive`).
+
+* :class:`DependencyGraph` builds the predicate dependency graph of a
+  rule set with positive/negative edge polarity, computes which
+  relations are *tainted* (their derivation transitively crosses a
+  negated atom) and answers per-output monotonicity: an output relation
+  whose backward slice is negation-free is computed by a positive
+  subprogram, hence monotone — even when *other* rules of the same
+  program use negation.  Negated (in)equalities are disequality
+  constraints on variables already bound by positive atoms (safety),
+  so they never taint: more facts can only bind more rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...lang.ast import (
+    And,
+    Atom,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Rule,
+)
+from .diagnostics import Diagnostic
+
+
+def _trim(fragment: object, limit: int = 64) -> str:
+    text = repr(fragment)
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+# ---------------------------------------------------------------------------
+# FO formulas
+# ---------------------------------------------------------------------------
+
+
+def formula_diagnostics(formula: Formula, where: str = "") -> list[Diagnostic]:
+    """Per-subformula findings that block the positive-existential
+    certificate; empty iff ``formula.is_positive()``."""
+    found: list[Diagnostic] = []
+
+    def walk(f: Formula, path: str) -> None:
+        if isinstance(f, (Atom, Eq)):
+            return
+        if isinstance(f, Not):
+            inner = f.body
+            if isinstance(inner, Eq):
+                message = (
+                    f"negated equality {_trim(inner)} (strict FO "
+                    "certificate rejects any ¬)"
+                )
+            else:
+                message = f"negated subformula ¬({_trim(inner)})"
+            found.append(
+                Diagnostic("CALM004", message, where=path, span=_trim(f))
+            )
+            walk(inner, f"{path} › ¬" if path else "¬")
+            return
+        if isinstance(f, Forall):
+            names = ",".join(v.name for v in f.variables)
+            found.append(
+                Diagnostic(
+                    "CALM002",
+                    f"universal quantifier ∀{names} ranges over the "
+                    "active domain",
+                    where=path,
+                    span=_trim(f),
+                )
+            )
+            walk(f.body, f"{path} › ∀{names}" if path else f"∀{names}")
+            return
+        if isinstance(f, Exists):
+            names = ",".join(v.name for v in f.variables)
+            walk(f.body, f"{path} › ∃{names}" if path else f"∃{names}")
+            return
+        if isinstance(f, (And, Or)):
+            tag = "∧" if isinstance(f, And) else "∨"
+            for i, part in enumerate(f.parts):
+                sub = f"{tag}[{i}]"
+                walk(part, f"{path} › {sub}" if path else sub)
+            return
+        # Unknown formula node: conservatively flag it.
+        found.append(
+            Diagnostic(
+                "CALM005",
+                f"unrecognized formula node {type(f).__name__}",
+                where=path,
+                span=_trim(f),
+            )
+        )
+
+    walk(formula, where)
+    return found
+
+
+# ---------------------------------------------------------------------------
+# Rules and the predicate dependency graph
+# ---------------------------------------------------------------------------
+
+
+def rule_diagnostics(
+    rule: Rule,
+    idb: frozenset[str] = frozenset(),
+    where: str = "",
+) -> list[Diagnostic]:
+    """Findings for one rule body: a diagnostic per negated relational
+    atom (CALM001 for derived relations, CALM004 otherwise).
+
+    Negated (in)equalities are tolerated — safety bounds their
+    variables by positive atoms, so they are monotone constraints.
+    """
+    found: list[Diagnostic] = []
+    for atom in rule.negative_body_atoms():
+        if atom.relation in idb:
+            found.append(
+                Diagnostic(
+                    "CALM001",
+                    f"negated derived relation {atom.relation!r} in "
+                    f"{_trim(rule)}",
+                    where=where,
+                    span=f"not {_trim(atom)}",
+                )
+            )
+        else:
+            found.append(
+                Diagnostic(
+                    "CALM004",
+                    f"negated atom {_trim(atom)} in {_trim(rule)}",
+                    where=where,
+                    span=f"not {_trim(atom)}",
+                )
+            )
+    return found
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """One dependency-graph edge: *head* reads *body* in rule *rule_index*."""
+
+    head: str
+    body: str
+    positive: bool
+    rule_index: int
+
+
+class DependencyGraph:
+    """The predicate dependency graph of a rule set, with polarity.
+
+    Nodes are relation names; an edge (head → body, polarity) exists
+    per rule whose head derives from a (possibly negated) body atom.
+    """
+
+    def __init__(self, rules: tuple[Rule, ...]):
+        self.rules = tuple(rules)
+        edges: list[DepEdge] = []
+        for i, rule in enumerate(self.rules):
+            head = rule.head.relation
+            for atom in rule.positive_body_atoms():
+                edges.append(DepEdge(head, atom.relation, True, i))
+            for atom in rule.negative_body_atoms():
+                edges.append(DepEdge(head, atom.relation, False, i))
+        self.edges = tuple(edges)
+        self.heads = frozenset(r.head.relation for r in self.rules)
+        self._succ: dict[str, set[str]] = {}
+        for e in self.edges:
+            self._succ.setdefault(e.head, set()).add(e.body)
+
+    def negative_edges(self) -> tuple[DepEdge, ...]:
+        return tuple(e for e in self.edges if not e.positive)
+
+    def supports(self, root: str) -> frozenset[str]:
+        """All relations the derivation of *root* may read, transitively
+        (including *root* itself)."""
+        seen: set[str] = set()
+        stack = [root]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self._succ.get(name, ()))
+        return frozenset(seen)
+
+    def tainted(self) -> frozenset[str]:
+        """Relations whose derivation transitively crosses a negated atom.
+
+        A head is tainted when one of its rules negates *any* relation,
+        or (transitively) uses a tainted relation positively or
+        negatively.
+        """
+        tainted: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for e in self.edges:
+                if e.head in tainted:
+                    continue
+                if not e.positive or e.body in tainted:
+                    tainted.add(e.head)
+                    changed = True
+        return frozenset(tainted)
+
+    def monotone_in(self, output: str) -> bool:
+        """Is the *output* relation computed by a negation-free slice?
+
+        True means the backward slice of *output* is a positive program
+        — monotone in every EDB relation (a sound, per-output
+        refinement of "all rules positive").
+        """
+        return not (self.supports(output) & self.tainted())
+
+    def slice_diagnostics(
+        self,
+        output: str,
+        idb: frozenset[str] | None = None,
+        where: str = "",
+    ) -> list[Diagnostic]:
+        """The rule diagnostics that actually block *output*'s certificate:
+        findings restricted to rules inside its backward slice."""
+        idb = self.heads if idb is None else idb
+        support = self.supports(output)
+        found: list[Diagnostic] = []
+        for i, rule in enumerate(self.rules):
+            if rule.head.relation not in support:
+                continue
+            prefix = f"rule {i + 1}" if not where else f"{where} › rule {i + 1}"
+            found.extend(rule_diagnostics(rule, idb, where=prefix))
+        return found
+
+    def __repr__(self) -> str:
+        neg = sum(1 for e in self.edges if not e.positive)
+        return (
+            f"DependencyGraph({len(self.rules)} rules, {len(self.edges)} "
+            f"edges, {neg} negative)"
+        )

@@ -1,0 +1,154 @@
+"""Transducer-level static analysis: :func:`analyze_transducer`.
+
+Lifts per-query reports through the transducer spec (out / snd / ins /
+del roles plus the Id/All memory discipline) to a whole-network CALM
+certificate:
+
+* ``oblivious`` — **exactly decidable**: a query either reads ``Id`` /
+  ``All`` or it does not, so the negative side is ``REFUTED``, not
+  unknown (Section 4's definition is itself syntactic).  Likewise
+  ``id_free`` and ``all_free`` (Section 7 splits obliviousness).
+* ``inflationary`` — certified when every deletion query is certifiably
+  empty (the paper's "does not do deletions").
+* ``monotone`` — certified when every local query carries a static
+  monotonicity certificate.
+* ``coordination_free_given_nti`` — Prop. 11: an *oblivious*,
+  network-topology-independent transducer is coordination-free.  The
+  NTI premise is semantic, so the certificate is conditional: it
+  discharges the coordination probe only after an NTI check passes.
+* ``computed_monotone_given_nti`` — Thm. 16: an NTI transducer that
+  does not use ``Id`` computes a monotone query.  Same conditional
+  shape.
+
+The report's diagnostics pinpoint the blocking construct per role
+(``send[R] › disjunct 2 › ...``), with CALM003 naming each Id/All read.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from ...core.schema import ALL_RELATION, ID_RELATION
+from ...core.transducer import Transducer
+from .diagnostics import Diagnostic, StaticReport, Verdict, combine
+from .queries import analyze_query
+
+_MEMO: "weakref.WeakKeyDictionary[Transducer, StaticReport]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def analyze_transducer(transducer: Transducer) -> StaticReport:
+    """The whole-transducer static report (memoized per object)."""
+    try:
+        cached = _MEMO.get(transducer)
+    except TypeError:
+        return _analyze(transducer)
+    if cached is not None:
+        return cached
+    report = _analyze(transducer)
+    try:
+        _MEMO[transducer] = report
+    except TypeError:
+        pass
+    return report
+
+
+def _analyze(transducer: Transducer) -> StaticReport:
+    roles = list(transducer.all_queries())
+    children = [(role, analyze_query(query)) for role, query in roles]
+
+    diagnostics: list[Diagnostic] = []
+    reads: set[str] = set()
+    id_readers: list[str] = []
+    all_readers: list[str] = []
+    for role, child in children:
+        reads |= child.reads
+        diagnostics.extend(d.qualified(role) for d in child.diagnostics)
+        if ID_RELATION in child.reads:
+            id_readers.append(role)
+        if ALL_RELATION in child.reads:
+            all_readers.append(role)
+    for role in id_readers:
+        diagnostics.append(
+            Diagnostic(
+                "CALM003",
+                f"{role} reads the system relation {ID_RELATION!r}",
+                where=role,
+                span=ID_RELATION,
+            )
+        )
+    for role in all_readers:
+        diagnostics.append(
+            Diagnostic(
+                "CALM003",
+                f"{role} reads the system relation {ALL_RELATION!r}",
+                where=role,
+                span=ALL_RELATION,
+            )
+        )
+
+    id_free = Verdict.REFUTED if id_readers else Verdict.CERTIFIED
+    all_free = Verdict.REFUTED if all_readers else Verdict.CERTIFIED
+    oblivious = combine([id_free, all_free])
+
+    delete_children = [
+        (role, child) for role, child in children
+        if role.startswith("delete[")
+    ]
+    inflationary = combine(
+        child.verdict("empty") for _, child in delete_children
+    ) if delete_children else Verdict.CERTIFIED
+    if inflationary is Verdict.REFUTED:
+        # A delete query statically *known* non-empty still only blocks
+        # the certificate — "inflationary" asks about every reachable
+        # state, and an unreachable delete may never fire.
+        inflationary = Verdict.UNKNOWN
+    for role, child in delete_children:
+        if not child.certifies("empty"):
+            diagnostics.append(
+                Diagnostic(
+                    "CALM006",
+                    f"{role} is not certifiably empty",
+                    where=role,
+                    span=child.subject,
+                )
+            )
+
+    monotone = combine(child.verdict("monotone") for _, child in children)
+
+    provenance: list[str] = []
+    for role, child in children:
+        provenance.extend(f"{role}: {note}" for note in child.provenance)
+    verdicts = {
+        "oblivious": oblivious,
+        "id_free": id_free,
+        "all_free": all_free,
+        "inflationary": inflationary,
+        "monotone": monotone,
+    }
+    if oblivious.certified:
+        verdicts["coordination_free_given_nti"] = Verdict.CERTIFIED
+        provenance.append(
+            "coordination_free_given_nti: oblivious + NTI ⇒ "
+            "coordination-free (Prop. 11)"
+        )
+    else:
+        verdicts["coordination_free_given_nti"] = Verdict.UNKNOWN
+    if id_free.certified:
+        verdicts["computed_monotone_given_nti"] = Verdict.CERTIFIED
+        provenance.append(
+            "computed_monotone_given_nti: NTI + no Id ⇒ the computed "
+            "query is monotone (Thm. 16)"
+        )
+    else:
+        verdicts["computed_monotone_given_nti"] = Verdict.UNKNOWN
+
+    return StaticReport(
+        subject=transducer.name,
+        kind="transducer",
+        verdicts=verdicts,
+        diagnostics=tuple(diagnostics),
+        provenance=tuple(provenance),
+        reads=frozenset(reads),
+    )

@@ -20,7 +20,7 @@ Two directions:
 from __future__ import annotations
 
 from ..db.schema import DatabaseSchema, SchemaError
-from ..lang.ast import Atom, Eq, Literal, Rule, Var
+from ..lang.ast import Atom, Literal, Rule
 from ..lang.datalog import DatalogProgram, DatalogQuery
 from ..lang.ucq import UCQNegQuery
 from .builder import build_transducer

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..db.schema import DatabaseSchema
 from ..lang.ast import (
     And,
     Atom,

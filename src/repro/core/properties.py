@@ -13,31 +13,37 @@ These are *syntactic* certificates: they inspect the queries, not
 run-time behaviour.  Section 7 refines obliviousness into "does not use
 Id" and "does not use All" separately (Theorem 16, Corollary 17), so
 those tests are exposed individually.
+
+Since the static analyzer landed, every function here is a thin shim
+over :func:`repro.analysis.static.analyze_transducer` — the one
+implementation of the syntactic CALM theory; use the analyzer directly
+when you need the *why* (diagnostics, provenance) and not just the bool.
 """
 
 from __future__ import annotations
 
-from .schema import ALL_RELATION, ID_RELATION
 from .transducer import Transducer
+
+
+def _report(transducer: Transducer):
+    from ..analysis.static import analyze_transducer
+
+    return analyze_transducer(transducer)
 
 
 def uses_id(transducer: Transducer) -> bool:
     """True when some local query reads the ``Id`` relation."""
-    return any(
-        ID_RELATION in query.relations() for _, query in transducer.all_queries()
-    )
+    return _report(transducer).verdict("id_free").refuted
 
 
 def uses_all(transducer: Transducer) -> bool:
     """True when some local query reads the ``All`` relation."""
-    return any(
-        ALL_RELATION in query.relations() for _, query in transducer.all_queries()
-    )
+    return _report(transducer).verdict("all_free").refuted
 
 
 def is_oblivious(transducer: Transducer) -> bool:
     """True when no local query reads ``Id`` or ``All`` (Section 4)."""
-    return not uses_id(transducer) and not uses_all(transducer)
+    return _report(transducer).certifies("oblivious")
 
 
 def is_inflationary(transducer: Transducer) -> bool:
@@ -48,12 +54,12 @@ def is_inflationary(transducer: Transducer) -> bool:
     missing/[:class:`~repro.lang.query.EmptyQuery`] deletion query is a
     certificate.
     """
-    return all(q.is_empty_syntactic() for q in transducer.delete_queries.values())
+    return _report(transducer).certifies("inflationary")
 
 
 def is_monotone(transducer: Transducer) -> bool:
     """True when every local query is syntactically monotone (Section 4)."""
-    return all(q.is_monotone_syntactic() for _, q in transducer.all_queries())
+    return _report(transducer).certifies("monotone")
 
 
 def property_report(transducer: Transducer) -> dict[str, bool]:

@@ -26,7 +26,7 @@ union of conjunctive queries with negation:
 from __future__ import annotations
 
 from ..db.schema import DatabaseSchema
-from ..lang.ast import Atom, Literal, Rule, Var
+from ..lang.ast import Atom, Literal, Rule
 from ..lang.query import FOQuery, Query
 from ..lang.ucq import UCQNegQuery
 from .builder import build_transducer
@@ -41,7 +41,7 @@ from .constructions import (
     STORE_PREFIX,
     _vars,
 )
-from .fo_compile import ADOM_RELATION, compile_fo_staged
+from .fo_compile import compile_fo_staged
 from .schema import TransducerSchema
 from .transducer import Transducer
 

@@ -41,7 +41,7 @@ from ..lang.query import Query
 from ..lang.whilelang import Assign, Statement, While, WhileChange, WhileProgram
 from .schema import TransducerSchema
 from .transducer import Transducer
-from .wrappers import GatedQuery, InnerQuery
+from .wrappers import InnerQuery
 
 PC_PREFIX = "Pc_"
 SHADOW_PREFIX = "Shadow_"

@@ -35,7 +35,7 @@ eventual consistency in the paper's sense.
 from __future__ import annotations
 
 from .program import DedalusProgram
-from .tm import BLANK, LEFT, RIGHT, STAY, TuringMachine
+from .tm import BLANK, LEFT, RIGHT, TuringMachine
 from .word import letter_relation, word_schema
 
 

@@ -20,7 +20,7 @@ that never stabilize exhaust ``max_steps`` and are reported unstable.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Mapping
 
 from ..db.fact import Fact

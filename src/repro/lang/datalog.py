@@ -38,7 +38,7 @@ from ..db.instance import Instance
 from ..db.schema import DatabaseSchema, SchemaError
 from .ast import Atom, Const, Eq, Literal, Rule, Var
 from .engine import make_pool, resolve_engine
-from .joinplan import IndexPool, JoinPlan, plan_for
+from .joinplan import JoinPlan, plan_for
 from .query import Query
 
 Relations = Mapping[str, frozenset]
@@ -482,7 +482,11 @@ class DatalogQuery(Query):
         return frozenset(self.program.edb_schema.relation_names())
 
     def is_monotone_syntactic(self) -> bool:
-        return True  # Datalog without negation is monotone
+        # Shim over the static analyzer (Datalog without negation is
+        # always certified monotone).
+        from ..analysis.static import analyze_query
+
+        return analyze_query(self).certifies("monotone")
 
     def __repr__(self) -> str:
         return f"DatalogQuery({self.output}, {self.program!r})"

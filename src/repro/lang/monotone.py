@@ -25,8 +25,26 @@ from .query import Query, QueryUndefined
 
 
 def is_monotone_syntactic(query: Query) -> bool:
-    """Sound syntactic monotonicity: ``True`` implies the query is monotone."""
-    return query.is_monotone_syntactic()
+    """Sound syntactic monotonicity: ``True`` implies the query is monotone.
+
+    .. deprecated::
+        Use :func:`repro.analysis.static.analyze_query` (which carries
+        diagnostics and provenance) or the query's own
+        ``is_monotone_syntactic`` method.  This free function will be
+        removed once external callers migrate.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.lang.monotone.is_monotone_syntactic is deprecated; use "
+        "repro.analysis.static.analyze_query(query).certifies('monotone') "
+        "or query.is_monotone_syntactic()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..analysis.static import analyze_query
+
+    return analyze_query(query).certifies("monotone")
 
 
 def check_monotone_pair(query: Query, small: Instance, big: Instance) -> bool:

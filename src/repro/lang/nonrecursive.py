@@ -91,7 +91,11 @@ class NonrecursiveQuery(Query):
         )
 
     def is_monotone_syntactic(self) -> bool:
-        return self.program.is_positive
+        # Shim over the static analyzer (output-sensitive slice test,
+        # at least as strong as program.is_positive).
+        from ..analysis.static import analyze_query
+
+        return analyze_query(self).certifies("monotone")
 
     def __repr__(self) -> str:
         return f"NonrecursiveQuery({self.output}, {self.program!r})"

@@ -106,7 +106,11 @@ class FOQuery(Query):
         return self.formula.relations()
 
     def is_monotone_syntactic(self) -> bool:
-        return self.formula.is_positive()
+        # Shim over the static analyzer (the one implementation of the
+        # syntactic CALM theory); equivalent to formula.is_positive().
+        from ..analysis.static import analyze_query
+
+        return analyze_query(self).certifies("monotone")
 
     def __repr__(self) -> str:
         heads = ", ".join(v.name for v in self.answer_vars)

@@ -14,14 +14,13 @@ from __future__ import annotations
 
 from ..db.instance import Instance
 from ..db.schema import DatabaseSchema, SchemaError
-from .ast import Atom, Rule
+from .ast import Rule
 from .datalog import (
     DatalogError,
-    Relations,
     _program_constants_rules,
     fire_rule,
 )
-from .engine import make_pool, resolve_engine
+from .engine import resolve_engine
 from .joinplan import IndexPool
 from .query import Query
 
@@ -262,7 +261,13 @@ class StratifiedQuery(Query):
         return frozenset(self.program.edb_schema.relation_names())
 
     def is_monotone_syntactic(self) -> bool:
-        return all(rule.is_positive() for rule in self.program.rules)
+        # Shim over the static analyzer.  Output-sensitive: the query
+        # is certified when the *backward slice* of its output relation
+        # is negation-free, even if other strata use negation — a sound
+        # refinement of the old "every rule positive" test.
+        from ..analysis.static import analyze_query
+
+        return analyze_query(self).certifies("monotone")
 
     def __repr__(self) -> str:
         return f"StratifiedQuery({self.output}, {self.program!r})"

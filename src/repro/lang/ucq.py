@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from ..db.instance import Instance
 from ..db.schema import DatabaseSchema
-from .ast import Atom, Rule
+from .ast import Rule
 from .datalog import DatalogError, fire_rule, _program_constants_rules
 from .engine import make_pool, resolve_engine
 from .query import Query
@@ -107,7 +107,11 @@ class UCQNegQuery(Query):
         return out
 
     def is_monotone_syntactic(self) -> bool:
-        return all(not rule.negative_body_atoms() for rule in self.rules)
+        # Shim over the static analyzer; equivalent to "no negated
+        # relational atoms in any disjunct" ((in)equalities tolerated).
+        from ..analysis.static import analyze_query
+
+        return analyze_query(self).certifies("monotone")
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.output}, {len(self.rules)} disjuncts)"
@@ -117,6 +121,3 @@ class UCQQuery(UCQNegQuery):
     """A union of conjunctive queries (no negated atoms): always monotone."""
 
     negation_allowed = False
-
-    def is_monotone_syntactic(self) -> bool:
-        return True

@@ -1,6 +1,5 @@
 """The CALM harness: diagnostics line up with Corollary 13/17."""
 
-import pytest
 
 from repro.analysis import CalmVerdict, ComputedQuery, calm_verdict
 from repro.core import (
@@ -9,7 +8,6 @@ from repro.core import (
     transitive_closure_transducer,
 )
 from repro.db import Instance, instance, schema
-from repro.net import line
 
 
 class TestComputedQuery:

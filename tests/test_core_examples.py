@@ -1,6 +1,5 @@
 """The paper's worked examples behave exactly as claimed."""
 
-import pytest
 
 from repro.core import (
     ab_nonempty_transducer,

@@ -7,7 +7,7 @@ from repro.core import (
     ordering_transducer,
     parity_transducer,
 )
-from repro.db import Instance, instance, schema
+from repro.db import instance, schema
 from repro.net import full_replication, line, ring, round_robin, run_fair, single
 
 

@@ -2,13 +2,12 @@
 
 import pytest
 
-from repro.db import Instance, fact, instance, schema
+from repro.db import fact, instance, schema
 from repro.dedalus import (
     DedalusInterpreter,
     DedalusProgram,
     RuleKind,
     parse_dedalus_rule,
-    parse_dedalus_rules,
     run_program,
     temporal_input,
 )

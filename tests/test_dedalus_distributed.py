@@ -64,8 +64,6 @@ class TestLocalize:
         """The 'oblivious Dedalus' restriction: no joins on locations."""
         prog = DedalusProgram.parse(TC_LOCAL, S2)
         dist = localize(prog)
-        from repro.dedalus.distributed import LOCATION_VAR
-
         for drule in dist.rules:
             if drule.kind.value == "async":
                 continue  # the shipping rule necessarily uses two locations

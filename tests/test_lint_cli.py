@@ -1,0 +1,154 @@
+"""End-to-end tests for ``python -m repro.analysis.lint``.
+
+Each test shells out exactly the way CI does, so exit codes, stdout
+formats, and the JSON envelope are pinned at the process boundary.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def run_lint(*args, cwd=REPO):
+    env = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis.lint", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+    )
+
+
+@pytest.fixture
+def dl(tmp_path):
+    def write(text, name="prog.dl"):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    return write
+
+
+class TestExitCodes:
+    def test_clean_program_exits_zero(self, dl):
+        path = dl("T(x, y) :- S(x, y).\nT(x, z) :- S(x, y), T(y, z).\n")
+        proc = run_lint(path)
+        assert proc.returncode == 0, proc.stderr
+        assert "monotone[T]" in proc.stdout
+
+    def test_warning_program_exits_zero(self, dl):
+        path = dl("T(x) :- S(x, y).\nC(x) :- S(x, y), not T(y).\n")
+        proc = run_lint(path)
+        assert proc.returncode == 0
+        assert "CALM001" in proc.stdout
+
+    def test_strict_promotes_warnings(self, dl):
+        path = dl("T(x) :- S(x, y).\nC(x) :- S(x, y), not T(y).\n")
+        assert run_lint(path, "--strict").returncode == 1
+
+    def test_unstratifiable_exits_one(self, dl):
+        path = dl("P(x) :- S(x), not P(x).\n")
+        proc = run_lint(path)
+        assert proc.returncode == 1
+        assert "CALM009" in proc.stdout
+
+    def test_parse_error_exits_one(self, dl):
+        proc = run_lint(dl("T(x ::= garbage\n"))
+        assert proc.returncode == 1
+        assert "CALM010" in proc.stdout
+
+    def test_no_targets_is_usage_error(self):
+        proc = run_lint()
+        assert proc.returncode == 2
+
+    def test_missing_file_is_usage_error(self):
+        assert run_lint("no/such/file.dl").returncode == 2
+
+
+class TestDedalus:
+    def test_next_rules_route_to_dedalus(self, dl):
+        path = dl("P(x) @next :- P(x).\nP(x) :- E(x).\n")
+        proc = run_lint(path)
+        assert proc.returncode == 0, proc.stderr
+        assert "dedalus-program" in proc.stdout
+
+    def test_entangled_program_warns(self, dl):
+        path = dl("Mark(now) @next :- S(x).\n")
+        proc = run_lint(path)
+        assert proc.returncode == 0
+        assert "CALM008" in proc.stdout
+
+
+class TestFlags:
+    def test_edb_override_changes_split(self, dl):
+        # Without the override T is inferred IDB (it heads a rule);
+        # forcing U to EDB suppresses the undefined-relation error.
+        path = dl("T(x) :- S(x, y), U(x).\n")
+        assert run_lint(path).returncode == 0
+        proc = run_lint(path, "--edb", "U/1")
+        assert proc.returncode == 0
+
+    def test_bad_edb_spec_is_usage_error(self, dl):
+        path = dl("T(x) :- S(x, y).\n")
+        assert run_lint(path, "--edb", "U-1").returncode == 2
+
+    def test_quiet_suppresses_tables(self, dl):
+        path = dl("T(x, y) :- S(x, y).\n")
+        proc = run_lint(path, "--quiet")
+        assert proc.returncode == 0
+        assert "monotone[T]" not in proc.stdout
+
+    def test_hints_shown_on_request(self, dl):
+        path = dl("T(x) :- S(x, y).\nC(x) :- S(x, y), not T(y).\n")
+        proc = run_lint(path, "--hints")
+        assert "hint [CALM001]" in proc.stdout
+
+
+class TestJson:
+    def test_json_envelope(self, dl):
+        path = dl("T(x) :- S(x, y).\nC(x) :- S(x, y), not T(y).\n")
+        proc = run_lint(path, "--json")
+        assert proc.returncode == 0
+        payload = json.loads(proc.stdout)
+        assert payload["schema"] == "repro-static-report/1"
+        assert payload["ok"] is True
+        (entry,) = payload["reports"]
+        codes = {d["code"] for d in entry["diagnostics"]}
+        assert "CALM001" in codes
+        assert entry["verdicts"]["monotone[T]"] == "certified"
+        assert entry["verdicts"]["monotone[C]"] == "unknown"
+
+    def test_json_reports_errors(self, dl):
+        proc = run_lint(dl("P(x) :- S(x), not P(x).\n"), "--json")
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["ok"] is False
+        assert payload["errors"] >= 1
+
+
+class TestExamplesAndSpecs:
+    def test_examples_corpus_lints_clean(self):
+        proc = run_lint("--examples", "--json")
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["errors"] == 0
+        names = [r["subject"] for r in payload["reports"]]
+        assert any("dedalus:tm_even_length" in n for n in names)
+        # Thm. 18: the TM compilation must trip the entanglement lint.
+        tm = next(r for r in payload["reports"] if "tm_even_length" in r["subject"])
+        assert "CALM008" in {d["code"] for d in tm["diagnostics"]}
+
+    def test_module_spec_target(self):
+        proc = run_lint("repro.core.examples:transitive_closure_transducer")
+        assert proc.returncode == 0, proc.stderr
+        assert "transducer" in proc.stdout
+
+    def test_bad_spec_is_usage_error(self):
+        assert run_lint("repro.core.examples:no_such_thing").returncode == 2

@@ -30,7 +30,6 @@ from repro.core import (
 )
 from repro.db import Fact, Instance, schema
 from repro.net import (
-    SCHEDULERS,
     FaultPlan,
     FaultyScheduler,
     check_consistency,
@@ -41,7 +40,6 @@ from repro.net import (
     run_fair,
     run_fifo_rounds,
     run_round_robin_batch,
-    run_schedule,
     run_witness_guided,
     star,
     sweep_runs,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import build_transducer, transitive_closure_transducer
-from repro.db import FactMultiset, Instance, fact, instance, schema
+from repro.db import fact, instance, schema
 from repro.net import (
     deliver,
     full_replication,

@@ -15,7 +15,6 @@ from repro.net import (
     SCHEDULERS,
     BatchingError,
     ConvergenceTracker,
-    FairRandomScheduler,
     FifoRoundsScheduler,
     HeartbeatOnlyScheduler,
     RoundRobinBatchScheduler,

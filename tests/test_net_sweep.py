@@ -43,7 +43,6 @@ from repro.net import (
     run_fair,
     run_witness_guided,
     sample_partitions,
-    shared_memo,
     star,
     sweep_runs,
 )

@@ -13,24 +13,21 @@ skip re-validation without losing it.
 import pickle
 
 import hypothesis.strategies as st
-import pytest
 from hypothesis import given
 
 from repro.core import (
     relay_identity_transducer,
     transitive_closure_transducer,
 )
-from repro.db import DatabaseSchema, Fact, FactMultiset, Instance, schema
+from repro.db import Fact, FactMultiset, Instance, schema
 from repro.db.instance import instance
 from repro.net import (
-    Configuration,
     ConvergenceMemo,
     initial_configuration,
     line,
     ring,
     round_robin,
     run_fair,
-    sample_partitions,
 )
 
 S2 = schema(S=2)

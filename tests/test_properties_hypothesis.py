@@ -15,7 +15,6 @@ from repro.core import (
     transitive_closure_transducer,
 )
 from repro.db import (
-    DatabaseSchema,
     Fact,
     FactMultiset,
     Instance,
