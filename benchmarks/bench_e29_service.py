@@ -1,0 +1,177 @@
+"""E29 — the verification service keeps its caches hot across clients.
+
+Claim: a second identical ``POST /jobs`` against a warm server
+completes ≥5× faster than the first — the cold job executes the full
+sweep grid while the warm one is served entirely from the shared
+``RunCache`` (zero recomputed cells) — and ``/metrics`` accounts for
+every cell as a hit.  A third client submitting a *prefix* of the
+grid (fewer seeds) also rides the same cells: warmth is per run cell,
+not per job.
+
+Latency is measured server-side (``started_at → finished_at`` as the
+orchestrator stamps them) so HTTP and poll granularity don't pollute
+the bar.
+"""
+
+import json
+import pathlib
+import urllib.request
+
+from conftest import once, write_snapshot
+
+from repro.service.app import ServiceConfig, ServiceThread
+
+CHAIN_N = 7
+SEEDS = [0, 1, 2]
+PARTITIONS = 4
+SPEEDUP_BAR = 5.0
+
+
+def _payload(seeds=SEEDS):
+    return {
+        "kind": "consistency",
+        "spec": "repro.core.examples:transitive_closure_transducer",
+        "network": {"topology": "line", "size": 3},
+        "instance": {"S": [[i, i + 1] for i in range(1, CHAIN_N + 1)]},
+        "seeds": seeds,
+        "partition_count": PARTITIONS,
+    }
+
+
+def _submit_and_wait(st, payload):
+    req = urllib.request.Request(
+        st.base_url + "/jobs",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        body = json.loads(resp.read())
+    job = st.service.orchestrator.wait(body["job_id"], timeout=600)
+    assert job.status == "done", job.error
+    return job
+
+
+def _metrics(st):
+    with urllib.request.urlopen(st.base_url + "/metrics", timeout=30) as resp:
+        return json.loads(resp.read())
+
+
+def test_e29_warm_job_latency(benchmark, report):
+    rows = []
+    snapshot = {}
+    ok = True
+
+    def run_all():
+        nonlocal ok
+        st = ServiceThread(ServiceConfig(port=0, job_workers=2)).start()
+        try:
+            cold = _submit_and_wait(st, _payload())
+            warm = _submit_and_wait(st, _payload())
+            prefix = _submit_and_wait(st, _payload(seeds=SEEDS[:1]))
+
+            cold_s, warm_s = cold.duration, warm.duration
+            speedup = cold_s / warm_s
+            cold_cache = cold.result["cache"]
+            warm_cache = warm.result["cache"]
+            prefix_cache = prefix.result["cache"]
+            metrics = _metrics(st)
+
+            row_ok = (
+                speedup >= SPEEDUP_BAR
+                and cold_cache["hits"] == 0
+                and warm_cache["misses"] == 0
+                and warm_cache["hits"] + warm_cache["dedup"]
+                == cold_cache["misses"] + cold_cache["dedup"]
+                and prefix_cache["misses"] == 0
+                and metrics["run_cache"]["cache_hits"]
+                >= warm_cache["hits"] + prefix_cache["hits"]
+            )
+            ok &= row_ok
+            for label, seconds, cache in (
+                ("cold", cold_s, cold_cache),
+                ("warm", warm_s, warm_cache),
+                ("prefix", prefix.duration, prefix_cache),
+            ):
+                rows.append([
+                    label, f"{seconds * 1e3:.1f} ms",
+                    cache["hits"], cache["misses"], cache["dedup"],
+                ])
+            rows.append(["speedup", f"{speedup:.1f}x", "", "", ""])
+            snapshot.update({
+                "cold_s": cold_s,
+                "warm_s": warm_s,
+                "prefix_s": prefix.duration,
+                "speedup": speedup,
+                "cold_cache": cold_cache,
+                "warm_cache": warm_cache,
+                "prefix_cache": prefix_cache,
+                "metrics_cache": metrics["run_cache"],
+                "latency_histograms": metrics["latency"],
+            })
+        finally:
+            st.stop()
+
+    once(benchmark, run_all)
+    report(
+        "E29",
+        "a second identical POST /jobs is served from the shared "
+        f"RunCache, >={SPEEDUP_BAR:.0f}x faster than the cold job",
+        ["job", "latency", "hits", "misses", "dedup"],
+        rows,
+        ok,
+        detail=f"chain n={CHAIN_N}, {len(SEEDS)} seeds x {PARTITIONS} partitions",
+    )
+
+    write_snapshot(
+        pathlib.Path(__file__).parent / "BENCH_service.json",
+        {
+            "experiment": "E29",
+            "workload": "consistency sweep of chain TC over the service",
+            "chain_n": CHAIN_N,
+            "seeds": SEEDS,
+            "partition_count": PARTITIONS,
+            "speedup_bar": SPEEDUP_BAR,
+            **snapshot,
+        },
+    )
+
+
+def test_e29_restart_warm_from_disk(report, tmp_path):
+    """A restarted server answers the same grid from its disk tier."""
+    disk = str(tmp_path / "cache.sqlite")
+    rows = []
+
+    st = ServiceThread(ServiceConfig(
+        port=0, job_workers=2, cache_disk_path=disk,
+    )).start()
+    try:
+        cold = _submit_and_wait(st, _payload())
+        rows.append(["first life (cold)", f"{cold.duration * 1e3:.1f} ms",
+                     cold.result["cache"]["misses"]])
+    finally:
+        st.stop()
+
+    st2 = ServiceThread(ServiceConfig(
+        port=0, job_workers=2, cache_disk_path=disk,
+    )).start()
+    try:
+        warm = _submit_and_wait(st2, _payload())
+        promotions = _metrics(st2)["run_cache"]["promotions"]
+        rows.append(["second life (disk)", f"{warm.duration * 1e3:.1f} ms",
+                     warm.result["cache"]["misses"]])
+        ok = (
+            warm.result["cache"]["misses"] == 0
+            and warm.result["cache"]["hits"] > 0
+            and promotions > 0
+        )
+    finally:
+        st2.stop()
+
+    report(
+        "E29b",
+        "restarting the service keeps results warm via the cache's disk tier",
+        ["life", "latency", "recomputed cells"],
+        rows,
+        ok,
+        detail=f"disk tier at {pathlib.Path(disk).name}",
+    )

@@ -75,9 +75,34 @@ def _infer_edb(rules, overrides: DatabaseSchema) -> DatabaseSchema:
     return DatabaseSchema(arities)
 
 
-def analyze_file(path: Path, edb_overrides: DatabaseSchema) -> StaticReport:
-    """Parse and analyze one program file (never raises: parse and
-    validation failures come back as CALM010/CALM009 error reports)."""
+class ProgramSpecError(ValueError):
+    """A program text that cannot be loaded.
+
+    Carries the diagnostic *code* (CALM009 for stratification/validity
+    failures, CALM010 for parse failures) and the subject *kind* the
+    CLI renders, so callers — the linter below, the verification
+    service's ``POST /jobs`` handler — can turn the failure into the
+    same error report / HTTP 400 body without re-deriving either.
+    """
+
+    def __init__(self, code: str, kind: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.kind = kind
+
+
+def parse_program_text(text: str, edb_overrides: DatabaseSchema | None = None):
+    """Parse ``.dl`` program text into a program object.
+
+    Text containing ``@next`` / ``@async`` parses as a
+    :class:`~repro.dedalus.program.DedalusProgram`, everything else as
+    a :class:`~repro.lang.stratified.StratifiedProgram`.  The EDB
+    schema is inferred (relations read but never derived) unless pinned
+    via *edb_overrides*.  Raises :class:`ProgramSpecError` on parse or
+    validation failure — shared by the linter CLI (which renders it as
+    a CALM009/CALM010 error report) and the verification service
+    (which renders it as a 400).
+    """
     from ..dedalus.parser import parse_dedalus_rules
     from ..dedalus.program import DedalusProgram
     from ..lang.parser import ParseError, parse_rules
@@ -85,65 +110,44 @@ def analyze_file(path: Path, edb_overrides: DatabaseSchema) -> StaticReport:
         DatalogError,
         StratificationError,
         StratifiedProgram,
-        StratifiedQuery,
     )
+
+    overrides = edb_overrides if edb_overrides is not None else DatabaseSchema({})
+    if "@next" in text or "@async" in text:
+        try:
+            rules = parse_dedalus_rules(text)
+            edb = _infer_edb(tuple(d.rule for d in rules), overrides)
+            return DedalusProgram(rules, edb)
+        except ParseError as exc:
+            raise ProgramSpecError("CALM010", "dedalus-program", str(exc)) from exc
+        except (StratificationError, DatalogError, ValueError) as exc:
+            raise ProgramSpecError("CALM009", "dedalus-program", str(exc)) from exc
+    try:
+        rules = parse_rules(text)
+        edb = _infer_edb(rules, overrides)
+        return StratifiedProgram(rules, edb)
+    except ParseError as exc:
+        raise ProgramSpecError("CALM010", "query", str(exc)) from exc
+    except StratificationError as exc:
+        raise ProgramSpecError("CALM009", "query", str(exc)) from exc
+    except (DatalogError, ValueError) as exc:
+        raise ProgramSpecError("CALM010", "query", str(exc)) from exc
+
+
+def analyze_file(path: Path, edb_overrides: DatabaseSchema) -> StaticReport:
+    """Parse and analyze one program file (never raises: parse and
+    validation failures come back as CALM010/CALM009 error reports)."""
+    from dataclasses import replace
 
     try:
         text = path.read_text()
     except OSError as exc:
         return _error_report(str(path), "file", "CALM010", f"cannot read: {exc}")
-
-    dedalus = "@next" in text or "@async" in text
-    if dedalus:
-        try:
-            rules = parse_dedalus_rules(text)
-            edb = _infer_edb(tuple(d.rule for d in rules), edb_overrides)
-            program = DedalusProgram(rules, edb)
-        except ParseError as exc:
-            return _error_report(str(path), "dedalus-program", "CALM010", str(exc))
-        except (StratificationError, DatalogError, ValueError) as exc:
-            return _error_report(str(path), "dedalus-program", "CALM009", str(exc))
-        report = analyze_dedalus(program)
-    else:
-        try:
-            rules = parse_rules(text)
-            edb = _infer_edb(rules, edb_overrides)
-            program = StratifiedProgram(rules, edb)
-        except ParseError as exc:
-            return _error_report(str(path), "query", "CALM010", str(exc))
-        except StratificationError as exc:
-            return _error_report(str(path), "query", "CALM009", str(exc))
-        except (DatalogError, ValueError) as exc:
-            return _error_report(str(path), "query", "CALM010", str(exc))
-        # Lint every IDB relation as an output: the per-relation verdicts
-        # show which slices of the program are certified.
-        verdicts: dict[str, Verdict] = {}
-        diagnostics: list[Diagnostic] = []
-        provenance: list[str] = []
-        for output in sorted(program.idb_schema):
-            sub = analyze_query(StratifiedQuery(program, output))
-            verdicts[f"monotone[{output}]"] = sub.verdict("monotone")
-            diagnostics.extend(
-                d.qualified(f"output {output}") for d in sub.diagnostics
-            )
-            provenance.extend(f"{output}: {n}" for n in sub.provenance)
-        report = StaticReport(
-            subject=str(path),
-            kind="stratified-program",
-            verdicts=verdicts,
-            diagnostics=_dedupe(diagnostics),
-            provenance=tuple(provenance),
-            reads=frozenset(program.edb_schema),
-        )
-        return report
-    return StaticReport(
-        subject=str(path),
-        kind=report.kind,
-        verdicts=report.verdicts,
-        diagnostics=report.diagnostics,
-        provenance=report.provenance,
-        reads=report.reads,
-    )
+    try:
+        program = parse_program_text(text, edb_overrides)
+    except ProgramSpecError as exc:
+        return _error_report(str(path), exc.kind, exc.code, str(exc))
+    return replace(analyze_object(program), subject=str(path))
 
 
 def _dedupe(diagnostics: list[Diagnostic]) -> tuple[Diagnostic, ...]:

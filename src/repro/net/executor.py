@@ -645,10 +645,10 @@ class CacheSplice:
                 # cells — which never execute — inflate neither the
                 # miss nor the hit count.
                 if key in hit_for_key:
-                    cache.cache_dedup += 1
+                    cache.bump("cache_dedup")
                     self.results[i] = self._hit(self.tasks[i], hit_for_key[key])
                 elif key in first_for_key:
-                    cache.cache_dedup += 1
+                    cache.bump("cache_dedup")
                     self.duplicates.append((i, first_for_key[key]))
                 else:
                     value = cache.get(key)
@@ -857,7 +857,7 @@ def sweep_runs(
                 memo.add_counts(hits, misses)
             if cache is not None:
                 if shared_hit:
-                    cache.shared_hits += 1
+                    cache.bump("shared_hits")
                 if cache_delta:
                     cache_deltas.append(cache_delta)
     results = splice.fill(fresh, store=lambda obs: obs.result)

@@ -67,6 +67,7 @@ import pathlib
 import pickle
 import sqlite3
 import sys
+import threading
 import warnings
 import zlib
 
@@ -94,6 +95,7 @@ _CACHE_FORMAT = "repro-runcache"
 _CACHE_VERSION = 3
 
 _RUNTIME_TOKEN = None
+_RUNTIME_TOKEN_LOCK = threading.Lock()
 
 
 def runtime_token() -> str:
@@ -106,18 +108,29 @@ def runtime_token() -> str:
     rejects files written by different code — a stale CI bundle after
     any source change is discarded (cold start), never served.
     In-memory caching is unaffected.
+
+    First-call initialization is double-checked under a lock: two
+    service handler threads racing here used to both walk the source
+    tree and interleave the module-level write.  The token itself is
+    deterministic, so the race was wasteful rather than wrong — but a
+    long-running server hits it on every cold start, and the disk tier
+    stamps files with the result mid-computation.
     """
     global _RUNTIME_TOKEN
-    if _RUNTIME_TOKEN is None:
-        import repro
+    token = _RUNTIME_TOKEN
+    if token is None:
+        with _RUNTIME_TOKEN_LOCK:
+            if _RUNTIME_TOKEN is None:
+                import repro
 
-        root = pathlib.Path(repro.__file__).parent
-        digest = hashlib.sha256()
-        for path in sorted(root.rglob("*.py")):
-            digest.update(str(path.relative_to(root)).encode())
-            digest.update(path.read_bytes())
-        _RUNTIME_TOKEN = digest.hexdigest()
-    return _RUNTIME_TOKEN
+                root = pathlib.Path(repro.__file__).parent
+                digest = hashlib.sha256()
+                for path in sorted(root.rglob("*.py")):
+                    digest.update(str(path.relative_to(root)).encode())
+                    digest.update(path.read_bytes())
+                _RUNTIME_TOKEN = digest.hexdigest()
+            token = _RUNTIME_TOKEN
+    return token
 
 
 # ---------------------------------------------------------------------------
@@ -478,11 +491,24 @@ class _DiskTier:
     (gets miss, puts discard) and the cache continues memory-only.  A
     long sweep must survive a bad disk, and the tier is only ever an
     accelerator.
+
+    The tier is thread-safe: the connection is opened with
+    ``check_same_thread=False`` (sqlite's default refuses any use from
+    a thread other than the opener — the first cross-thread ``get``
+    from a service handler used to raise ``ProgrammingError``) and
+    every connection touch, including :meth:`close` and the
+    ``_disable`` error path, holds one tier-level lock, so a close
+    racing an in-flight read waits for it instead of yanking the
+    handle out from under the cursor.
     """
 
     def __init__(self, path):
         self.path = str(path)
         self._conn = None
+        # One lock for every connection touch: sqlite serializes its
+        # own C-level access, but _disable/close must not race a get()
+        # between the None-check and the execute.
+        self._lock = threading.RLock()
         try:
             self._conn = self._open()
         except sqlite3.DatabaseError as exc:
@@ -502,7 +528,11 @@ class _DiskTier:
                 self._disable("could not be recreated")
 
     def _open(self):
-        conn = sqlite3.connect(self.path)
+        # check_same_thread=False: the tier outlives the thread that
+        # opened it (a service submits jobs from a handler thread and
+        # reads from orchestrator workers); cross-thread use is safe
+        # because every touch holds self._lock.
+        conn = sqlite3.connect(self.path, check_same_thread=False)
         try:
             conn.execute(
                 "CREATE TABLE IF NOT EXISTS meta (k TEXT PRIMARY KEY, v TEXT)"
@@ -533,52 +563,60 @@ class _DiskTier:
             RuntimeWarning,
             stacklevel=4,
         )
-        if self._conn is not None:
-            try:
-                self._conn.close()
-            except sqlite3.Error:
-                pass
-        self._conn = None
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    self._conn.close()
+                except sqlite3.Error:
+                    pass
+            self._conn = None
 
     def get(self, text: str) -> bytes | None:
-        if self._conn is None:
-            return None
-        try:
-            row = self._conn.execute(
-                "SELECT v FROM entries WHERE k = ?", (text,)
-            ).fetchone()
-        except sqlite3.DatabaseError as exc:
-            self._disable(f"failed mid-session ({exc})")
-            return None
-        return row[0] if row is not None else None
+        with self._lock:
+            if self._conn is None:
+                return None
+            try:
+                row = self._conn.execute(
+                    "SELECT v FROM entries WHERE k = ?", (text,)
+                ).fetchone()
+            except sqlite3.DatabaseError as exc:
+                self._disable(f"failed mid-session ({exc})")
+                return None
+            return row[0] if row is not None else None
 
     def put(self, text: str, blob: bytes) -> None:
-        if self._conn is None:
-            return
-        try:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO entries (k, v) VALUES (?, ?)",
-                (text, blob),
-            )
-            self._conn.commit()
-        except sqlite3.DatabaseError as exc:
-            self._disable(f"failed mid-session ({exc})")
+        with self._lock:
+            if self._conn is None:
+                return
+            try:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO entries (k, v) VALUES (?, ?)",
+                    (text, blob),
+                )
+                self._conn.commit()
+            except sqlite3.DatabaseError as exc:
+                self._disable(f"failed mid-session ({exc})")
 
     def __len__(self) -> int:
-        if self._conn is None:
-            return 0
-        try:
-            return self._conn.execute(
-                "SELECT COUNT(*) FROM entries"
-            ).fetchone()[0]
-        except sqlite3.DatabaseError as exc:
-            self._disable(f"failed mid-session ({exc})")
-            return 0
+        with self._lock:
+            if self._conn is None:
+                return 0
+            try:
+                return self._conn.execute(
+                    "SELECT COUNT(*) FROM entries"
+                ).fetchone()[0]
+            except sqlite3.DatabaseError as exc:
+                self._disable(f"failed mid-session ({exc})")
+                return 0
 
     def close(self) -> None:
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
+        # Safe against concurrent in-flight reads: a get() holds the
+        # lock across its execute, so close() waits its turn instead
+        # of closing the handle under a live cursor.
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
 
 
 # ---------------------------------------------------------------------------
@@ -685,6 +723,18 @@ class RunCache:
     restores both the run results *and* the quiescence certificates a
     warm CI job needs; the bounds, the compression flag and the LRU
     recency order all survive the round-trip (bundle format v3).
+
+    The cache is **thread-safe**: one reentrant lock guards every
+    mutation path — :meth:`get` (LRU promotion + counters),
+    :meth:`record`, eviction/demotion, the journal, merges and
+    :meth:`save`'s snapshot.  Unlocked, two orchestrator workers
+    interleaving ``get``/``record`` could corrupt the recency dict
+    mid-promotion (``del`` then re-insert is two steps), double-evict
+    one key (both pop the same front entry, the ``bytes`` ledger
+    drifts), or lose counter increments (``+=`` is a read-modify-write)
+    — exactly what a verification service sharing one cache across
+    concurrent jobs flushed out.  Counter arithmetic from outside the
+    class goes through :meth:`bump` so it lands under the same lock.
     """
 
     _KEEP = object()  # load() sentinel: use the persisted bound
@@ -709,6 +759,10 @@ class RunCache:
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self.compress_traces = bool(compress_traces)
+        # Reentrant: record() -> _evict_over_bound() -> _disk demotion
+        # all run under one acquisition; dropped by __reduce__ (worker
+        # copies build their own).
+        self._lock = threading.RLock()
         self.entries: dict[tuple, object] = {}
         #: key -> pickled size; ``bytes`` is the running total.
         self._weights: dict[tuple, int] = {}
@@ -737,6 +791,15 @@ class RunCache:
     def __len__(self) -> int:
         return len(self.entries)
 
+    def bump(self, counter: str, n: int = 1) -> None:
+        """Atomically add *n* to a named counter (``cache_dedup``,
+        ``shared_hits``…).  ``+=`` on the attribute is a
+        read-modify-write that loses increments under concurrent
+        sweeps; external counter arithmetic routes through here so it
+        shares the cache's own lock."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + n)
+
     def get(self, key: tuple):
         """The cached result for *key* (None on miss), counting.
 
@@ -746,25 +809,28 @@ class RunCache:
         the entry back into memory (the row stays — the disk tier is
         a superset, not a spill-once) and counts as a cache hit.
         """
-        value = self.entries.get(key)
-        if value is None:
-            if self._disk is not None:
-                value = self._disk_get(key)
-                if value is not None:
-                    return value
-            self.cache_misses += 1
-            return None
-        self.cache_hits += 1
-        # Promotion: dicts iterate in insertion order, so re-inserting
-        # makes insertion order *recency* order — eviction pops the
-        # front, i.e. the least recently hit entry.
-        del self.entries[key]
-        self.entries[key] = value
+        with self._lock:
+            value = self.entries.get(key)
+            if value is None:
+                if self._disk is not None:
+                    value = self._disk_get(key)
+                    if value is not None:
+                        return value
+                self.cache_misses += 1
+                return None
+            self.cache_hits += 1
+            # Promotion: dicts iterate in insertion order, so
+            # re-inserting makes insertion order *recency* order —
+            # eviction pops the front, i.e. the least recently hit
+            # entry.
+            del self.entries[key]
+            self.entries[key] = value
         if isinstance(value, _CompressedResult):
             value = value.thaw()
         return value
 
     def _disk_get(self, key: tuple):
+        # Caller (get) holds the lock.
         text = _disk_key_text(key)
         if text is None:
             return None
@@ -782,10 +848,11 @@ class RunCache:
 
     def record(self, key: tuple, value) -> None:
         value = self._freeze(value)
-        self._insert(key, value)
-        if self._journal is not None:
-            self._journal[key] = value
-        self._evict_over_bound()
+        with self._lock:
+            self._insert(key, value)
+            if self._journal is not None:
+                self._journal[key] = value
+            self._evict_over_bound()
 
     def _insert(self, key: tuple, value) -> None:
         """Insert an already-frozen value as most-recent, keeping the
@@ -835,12 +902,14 @@ class RunCache:
         """Start (or reset) journalling: every :meth:`record` from now
         on is also kept aside for :meth:`drain_new` — the worker side
         of the delta protocol, mirroring ``ConvergenceMemo``."""
-        self._journal = {}
+        with self._lock:
+            self._journal = {}
 
     def drain_new(self) -> dict:
         """The entries recorded since the journal (re)started; resets
         the journal.  Values are frozen exactly as stored."""
-        delta, self._journal = self._journal or {}, {}
+        with self._lock:
+            delta, self._journal = self._journal or {}, {}
         return delta
 
     def worker_view(self) -> "RunCache":
@@ -854,9 +923,10 @@ class RunCache:
         later tasks instead of re-missing per worker.
         """
         view = RunCache(compress_traces=self.compress_traces)
-        view.entries = dict(self.entries)
-        view._weights = dict(self._weights)
-        view.bytes = self.bytes
+        with self._lock:
+            view.entries = dict(self.entries)
+            view._weights = dict(self._weights)
+            view.bytes = self.bytes
         view.start_journal()
         return view
 
@@ -865,12 +935,13 @@ class RunCache:
         number of new entries.  Existing entries win on overlap (under
         one runtime, overlapping values are identical)."""
         added = 0
-        for key, value in delta.items():
-            if key not in self.entries:
-                self._insert(key, value)
-                added += 1
-        if added:
-            self._evict_over_bound()
+        with self._lock:
+            for key, value in delta.items():
+                if key not in self.entries:
+                    self._insert(key, value)
+                    added += 1
+            if added:
+                self._evict_over_bound()
         return added
 
     def merge(self, other: "RunCache") -> int:
@@ -884,45 +955,79 @@ class RunCache:
         the fold (merged-in entries count as most recent, in the other
         cache's recency order).
         """
-        before = len(self.entries)
-        for key, value in other.entries.items():
-            if key not in self.entries:
-                # Freeze on the way in, exactly like record(): merging
-                # a warm-start bundle into a compress_traces cache must
-                # not accumulate the uncompressed trace-heavy entries
-                # the knob exists to shrink.
-                self._insert(key, self._freeze(value))
-        for fingerprint, memo_entries in other.memos.items():
-            mine = self.memos.setdefault(fingerprint, {})
-            for key, value in memo_entries.items():
-                mine.setdefault(key, value)
-        added = len(self.entries) - before
-        self._evict_over_bound()
+        # Snapshot the other cache under its own lock, then fold under
+        # ours — never both at once, so two caches merging each other
+        # concurrently cannot deadlock.
+        with other._lock:
+            other_entries = dict(other.entries)
+            other_memos = {
+                fp: dict(entries) for fp, entries in other.memos.items()
+            }
+        with self._lock:
+            before = len(self.entries)
+            for key, value in other_entries.items():
+                if key not in self.entries:
+                    # Freeze on the way in, exactly like record():
+                    # merging a warm-start bundle into a
+                    # compress_traces cache must not accumulate the
+                    # uncompressed trace-heavy entries the knob exists
+                    # to shrink.
+                    self._insert(key, self._freeze(value))
+            for fingerprint, memo_entries in other_memos.items():
+                mine = self.memos.setdefault(fingerprint, {})
+                for key, value in memo_entries.items():
+                    mine.setdefault(key, value)
+            added = len(self.entries) - before
+            self._evict_over_bound()
         return added
 
     def close(self) -> None:
-        """Close the disk tier's sqlite handle (idempotent; the cache
-        keeps working memory-only afterwards)."""
-        if self._disk is not None:
-            self._disk.close()
-            self._disk = None
+        """Spill memory entries down to the disk tier (when present)
+        and close its sqlite handle (idempotent; the cache keeps
+        working memory-only afterwards).
+
+        The shutdown spill is what makes a restarted service fully
+        warm: eviction-time demotion only covers cells that *left*
+        memory, so without it the most recently used cells — exactly
+        the ones a client is most likely to resubmit — would die with
+        the process.  Counted as demotions; the usual restrictions
+        apply (``mem:`` fingerprints and object keys never spill).
+        """
+        with self._lock:
+            if self._disk is not None:
+                for key, value in self.entries.items():
+                    text = _disk_key_text(key)
+                    if text is None:
+                        continue
+                    try:
+                        blob = pickle.dumps(
+                            value, protocol=pickle.HIGHEST_PROTOCOL
+                        )
+                    except Exception:
+                        continue
+                    self._disk.put(text, blob)
+                    self.demotions += 1
+                self._disk.close()
+                self._disk = None
 
     # -- bundled convergence memos --------------------------------------
 
     def store_memo(self, transducer, memo: ConvergenceMemo) -> None:
         """Snapshot *memo*'s certificates under *transducer*'s fingerprint."""
         fingerprint = transducer_fingerprint(transducer)
-        self.memos.setdefault(fingerprint, {}).update(memo.entries)
+        with self._lock:
+            self.memos.setdefault(fingerprint, {}).update(memo.entries)
 
     def memo_for(self, transducer) -> ConvergenceMemo | None:
         """A fresh :class:`ConvergenceMemo` seeded with the snapshot
         stored for *transducer*, or None when nothing was stored.
         Sound by the fingerprint contract: entries only come back for a
         structurally identical transducer."""
-        entries = self.memos.get(transducer_fingerprint(transducer))
-        if entries is None:
-            return None
-        return ConvergenceMemo(entries)
+        with self._lock:
+            entries = self.memos.get(transducer_fingerprint(transducer))
+            if entries is None:
+                return None
+            return ConvergenceMemo(dict(entries))
 
     # -- persistence -----------------------------------------------------
 
@@ -942,24 +1047,25 @@ class RunCache:
                 and fingerprint.startswith("mem:")
             )
 
-        payload = {
-            "format": _CACHE_FORMAT,
-            "version": _CACHE_VERSION,
-            "runtime": runtime_token(),
-            "max_entries": self.max_entries,
-            "max_bytes": self.max_bytes,
-            "compress_traces": self.compress_traces,
-            "entries": {
-                key: value
-                for key, value in self.entries.items()
-                if persistable(key)
-            },
-            "memos": {
-                fingerprint: entries
-                for fingerprint, entries in self.memos.items()
-                if not fingerprint.startswith("mem:")
-            },
-        }
+        with self._lock:
+            payload = {
+                "format": _CACHE_FORMAT,
+                "version": _CACHE_VERSION,
+                "runtime": runtime_token(),
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "compress_traces": self.compress_traces,
+                "entries": {
+                    key: value
+                    for key, value in self.entries.items()
+                    if persistable(key)
+                },
+                "memos": {
+                    fingerprint: dict(entries)
+                    for fingerprint, entries in self.memos.items()
+                    if not fingerprint.startswith("mem:")
+                },
+            }
         with open(path, "wb") as handle:
             pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
 
@@ -1037,36 +1143,39 @@ class RunCache:
         )
 
     def stats(self) -> dict:
-        return {
-            "entries": len(self.entries),
-            "bytes": self.bytes,
-            "memo_fingerprints": len(self.memos),
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "cache_dedup": self.cache_dedup,
-            "shared_hits": self.shared_hits,
-            "max_entries": self.max_entries,
-            "max_bytes": self.max_bytes,
-            "evictions": self.evictions,
-            "demotions": self.demotions,
-            "promotions": self.promotions,
-            "disk_entries": len(self._disk) if self._disk is not None else 0,
-        }
+        with self._lock:
+            return {
+                "entries": len(self.entries),
+                "bytes": self.bytes,
+                "memo_fingerprints": len(self.memos),
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "cache_dedup": self.cache_dedup,
+                "shared_hits": self.shared_hits,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "evictions": self.evictions,
+                "demotions": self.demotions,
+                "promotions": self.promotions,
+                "disk_entries": len(self._disk) if self._disk is not None else 0,
+            }
 
     def __reduce__(self):
-        # Counters, journal and the disk tier are process-local plumbing
-        # and deliberately dropped: an unpickled copy (worker view in a
-        # persistent pool's payload) is memory-only.
-        return (
-            RunCache,
-            (
-                self.entries,
-                self.memos,
-                self.max_entries,
-                self.compress_traces,
-                self.max_bytes,
-            ),
-        )
+        # Counters, journal, the lock and the disk tier are
+        # process-local plumbing and deliberately dropped: an unpickled
+        # copy (worker view in a persistent pool's payload) is
+        # memory-only and builds its own lock.
+        with self._lock:
+            return (
+                RunCache,
+                (
+                    dict(self.entries),
+                    {fp: dict(e) for fp, e in self.memos.items()},
+                    self.max_entries,
+                    self.compress_traces,
+                    self.max_bytes,
+                ),
+            )
 
     def __repr__(self) -> str:
         bound = "∞" if self.max_entries is None else self.max_entries

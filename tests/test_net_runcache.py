@@ -370,7 +370,7 @@ class TestRunCacheDeterminism:
     def test_calm_verdict_with_cache_and_pool_matches_plain(self):
         plain = calm_verdict(transitive_closure_transducer(), GRAPH)
         cache = RunCache()
-        with SweepPool(workers=2) as pool:
+        with _deprecated_pool(2) as pool:
             cached = calm_verdict(
                 transitive_closure_transducer(), GRAPH,
                 run_cache=cache, pool=pool,
@@ -389,13 +389,27 @@ class TestRunCacheDeterminism:
 # ---------------------------------------------------------------------------
 
 
+
+def _deprecated_pool(workers):
+    """Construct the SweepPool shim, asserting the deprecation fires."""
+    with pytest.warns(DeprecationWarning, match="SweepPool is deprecated"):
+        return SweepPool(workers=workers)
+
+
+def _deprecated_session(workers, fn, ctx):
+    """Construct the SweepSession-over-SweepExecutor shim pair; both
+    constructors warn."""
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        return SweepSession(SweepExecutor(workers=workers), fn, ctx)
+
+
 class TestSweepPool:
     @pytest.mark.parametrize("workers", [1, 2])
     def test_back_to_back_sweeps_match_serial(self, workers):
         partitions = sample_partitions(GRAPH, line(3), 3)
         serial_a = sweep_runs(line(3), TC, partitions, (0, 1))
         serial_b = sweep_runs(line(3), TC, partitions, (2, 3))
-        with SweepPool(workers=workers) as pool:
+        with _deprecated_pool(workers) as pool:
             pooled_a = sweep_runs(line(3), TC, partitions, (0, 1), pool=pool)
             pooled_b = sweep_runs(line(3), TC, partitions, (2, 3), pool=pool)
             if pool.parallel:
@@ -409,7 +423,7 @@ class TestSweepPool:
         inst, network, seed = case
         partitions = sample_partitions(inst, network, 3)
         serial = sweep_runs(network, TC, partitions, (seed, seed + 1))
-        with SweepPool(workers=workers) as pool:
+        with _deprecated_pool(workers) as pool:
             pooled = sweep_runs(
                 network, TC, partitions, (seed, seed + 1), pool=pool
             )
@@ -420,13 +434,13 @@ class TestSweepPool:
         baseline = ConvergenceMemo()
         sweep_runs(line(3), TC, partitions, (0, 1), memo=baseline)
         memo = ConvergenceMemo()
-        with SweepPool(workers=2) as pool:
+        with _deprecated_pool(2) as pool:
             sweep_runs(line(3), TC, partitions, (0, 1), memo=memo, pool=pool)
         assert len(memo) == len(baseline)
         assert memo._new is None  # journal never enabled in-parent
 
     def test_map_preserves_order_and_reuses_pool(self):
-        with SweepPool(workers=2) as pool:
+        with _deprecated_pool(2) as pool:
             for _ in range(3):
                 out = pool.map(_double, "ctx", list(range(7)))
                 assert out == [("ctx", i * 2) for i in range(7)]
@@ -434,18 +448,18 @@ class TestSweepPool:
                 assert pool.maps_served == 3
 
     def test_single_item_map_runs_in_process(self):
-        with SweepPool(workers=2) as pool:
+        with _deprecated_pool(2) as pool:
             assert pool.map(_double, "c", [3]) == [("c", 6)]
             assert pool.maps_served == 0  # no fan-out for one item
 
     def test_workers_one_is_serial(self):
-        pool = SweepPool(workers=1)
+        pool = _deprecated_pool(1)
         assert not pool.parallel
         assert pool.map(_double, "c", [1, 2]) == [("c", 2), ("c", 4)]
         pool.close()  # no-op, never forked
 
     def test_close_is_idempotent(self):
-        pool = SweepPool(workers=2)
+        pool = _deprecated_pool(2)
         pool.map(_double, "c", [1, 2, 3])
         pool.close()
         pool.close()
@@ -477,7 +491,7 @@ class _FakePool:
 
 class TestShutdownDiscipline:
     def test_session_clean_exit_closes_not_terminates(self):
-        session = SweepSession(SweepExecutor(workers=2), _double, "ctx")
+        session = _deprecated_session(2, _double, "ctx")
         fake = _FakePool()
         session._pool = fake
         with session:
@@ -485,7 +499,7 @@ class TestShutdownDiscipline:
         assert fake.calls == ["close", "join"]
 
     def test_session_exceptional_exit_terminates(self):
-        session = SweepSession(SweepExecutor(workers=2), _double, "ctx")
+        session = _deprecated_session(2, _double, "ctx")
         fake = _FakePool()
         session._pool = fake
         with pytest.raises(RuntimeError):
@@ -494,7 +508,7 @@ class TestShutdownDiscipline:
         assert fake.calls == ["terminate", "join"]
 
     def test_pool_clean_exit_closes_not_terminates(self):
-        pool = SweepPool(workers=2)
+        pool = _deprecated_pool(2)
         fake = _FakePool()
         pool._pool = fake
         with pool:
@@ -502,7 +516,7 @@ class TestShutdownDiscipline:
         assert fake.calls == ["close", "join"]
 
     def test_pool_exceptional_exit_terminates(self):
-        pool = SweepPool(workers=2)
+        pool = _deprecated_pool(2)
         fake = _FakePool()
         pool._pool = fake
         with pytest.raises(RuntimeError):
